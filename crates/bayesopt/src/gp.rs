@@ -1,0 +1,193 @@
+//! Gaussian-process regression with an RBF kernel.
+//!
+//! Sized for hyperparameter tuning: tens of observations, a handful of
+//! dimensions — a dense Cholesky solve is exact and instantaneous.
+
+use crate::{BayesOptError, Result};
+
+/// A fitted GP posterior.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    /// α = K⁻¹ y, precomputed at fit time.
+    alpha: Vec<f64>,
+    /// Cholesky factor L of K (row-major lower triangle).
+    chol: Vec<Vec<f64>>,
+    lengthscale: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a zero-mean GP with RBF kernel `exp(-‖a−b‖²/2ℓ²)` and noise
+    /// variance `noise` to observations `(xs, ys)`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lengthscale: f64, noise: f64) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(BayesOptError::InvalidCandidates("empty or mismatched fit"));
+        }
+        let n = xs.len();
+        let mut k = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rbf(&xs[i], &xs[j], lengthscale);
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+            k[i][i] += noise;
+        }
+        let chol = cholesky(&k)?;
+        let alpha = chol_solve(&chol, ys);
+        Ok(GaussianProcess {
+            xs: xs.to_vec(),
+            alpha,
+            chol,
+            lengthscale,
+        })
+    }
+
+    /// Posterior mean and variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let n = self.xs.len();
+        let kstar: Vec<f64> = (0..n)
+            .map(|i| rbf(&self.xs[i], x, self.lengthscale))
+            .collect();
+        let mean: f64 = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        // var = k(x,x) − k*ᵀ K⁻¹ k* computed via v = L⁻¹ k*.
+        let v = forward_sub(&self.chol, &kstar);
+        let reduction: f64 = v.iter().map(|t| t * t).sum();
+        let var = (1.0 - reduction).max(0.0);
+        (mean, var)
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], lengthscale: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
+    (-0.5 * d2 / (lengthscale * lengthscale)).exp()
+}
+
+/// Dense Cholesky factorization with jitter retry.
+fn cholesky(k: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    let n = k.len();
+    for jitter_pow in 0..6 {
+        let jitter = if jitter_pow == 0 {
+            0.0
+        } else {
+            1e-10 * 10f64.powi(jitter_pow)
+        };
+        let mut l = vec![vec![0.0f64; n]; n];
+        let mut ok = true;
+        'outer: for i in 0..n {
+            for j in 0..=i {
+                let mut sum = k[i][j] + if i == j { jitter } else { 0.0 };
+                for p in 0..j {
+                    sum -= l[i][p] * l[j][p];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        ok = false;
+                        break 'outer;
+                    }
+                    l[i][j] = sum.sqrt();
+                } else {
+                    l[i][j] = sum / l[j][j];
+                }
+            }
+        }
+        if ok {
+            return Ok(l);
+        }
+    }
+    Err(BayesOptError::Numerical("covariance not positive definite"))
+}
+
+/// Solves L z = b.
+fn forward_sub(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l[i][j] * z[j];
+        }
+        z[i] = sum / l[i][i];
+    }
+    z
+}
+
+/// Solves K α = y given K = L Lᵀ.
+fn chol_solve(l: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    let z = forward_sub(l, y);
+    // Back substitution: Lᵀ α = z.
+    let mut alpha = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for j in i + 1..n {
+            sum -= l[j][i] * alpha[j];
+        }
+        alpha[i] = sum / l[i][i];
+    }
+    alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_observations_with_low_noise() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = vec![1.0, -1.0, 0.5];
+        let gp = GaussianProcess::fit(&xs, &ys, 0.3, 1e-8).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            let (mu, var) = gp.predict(x);
+            assert!((mu - y).abs() < 1e-3, "at {x:?}: {mu} vs {y}");
+            assert!(var < 1e-3);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0, 0.0];
+        let gp = GaussianProcess::fit(&xs, &ys, 0.2, 1e-6).unwrap();
+        let (_, var_near) = gp.predict(&[0.05]);
+        let (_, var_far) = gp.predict(&[3.0]);
+        assert!(var_far > var_near);
+        assert!(var_far > 0.9, "far point should be near prior variance");
+    }
+
+    #[test]
+    fn mean_reverts_to_prior_far_away() {
+        let xs = vec![vec![0.0]];
+        let ys = vec![5.0];
+        let gp = GaussianProcess::fit(&xs, &ys, 0.1, 1e-6).unwrap();
+        let (mu, _) = gp.predict(&[10.0]);
+        assert!(mu.abs() < 1e-6, "zero-mean prior should dominate: {mu}");
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        let xs = vec![vec![0.3], vec![0.3], vec![0.7]];
+        let ys = vec![1.0, 1.1, 2.0];
+        // Tiny noise makes the kernel ill-conditioned; jitter must rescue.
+        let gp = GaussianProcess::fit(&xs, &ys, 0.5, 1e-12).unwrap();
+        let (mu, _) = gp.predict(&[0.3]);
+        assert!((mu - 1.05).abs() < 0.2);
+    }
+
+    #[test]
+    fn mismatched_input_rejected() {
+        assert!(GaussianProcess::fit(&[], &[], 0.3, 1e-4).is_err());
+        assert!(GaussianProcess::fit(&[vec![1.0]], &[1.0, 2.0], 0.3, 1e-4).is_err());
+    }
+
+    #[test]
+    fn multidimensional_inputs() {
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        // Centre the plane z = x + y so the zero-mean prior holds
+        // (minimize() standardizes observations before fitting, too).
+        let ys = vec![-1.0, 0.0, 0.0, 1.0];
+        let gp = GaussianProcess::fit(&xs, &ys, 0.8, 1e-6).unwrap();
+        let (mu, _) = gp.predict(&[0.5, 0.5]);
+        assert!(mu.abs() < 0.25, "centre prediction {mu}");
+    }
+}

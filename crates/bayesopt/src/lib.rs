@@ -1,0 +1,334 @@
+//! # ds-bayesopt — Bayesian optimization for hyperparameter tuning
+//!
+//! Implements the `minimize()` primitive of the paper's Fig. 5 pseudocode
+//! (§5.4): Gaussian-process regression with an RBF kernel over a *discrete*
+//! candidate grid (the paper tunes code size × number of experts from
+//! candidate lists), with expected improvement as the acquisition function
+//! and an evaluation budget. "Before each trial, an acquisition function
+//! predicts the next most promising candidate combination … based on past
+//! exploration."
+
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read clearer with explicit loops
+
+pub mod gp;
+
+use gp::GaussianProcess;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Errors from the optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BayesOptError {
+    /// The candidate grid was empty or ragged.
+    InvalidCandidates(&'static str),
+    /// A GP numerical failure (non-PSD covariance after jitter).
+    Numerical(&'static str),
+}
+
+impl std::fmt::Display for BayesOptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BayesOptError::InvalidCandidates(w) => write!(f, "invalid candidates: {w}"),
+            BayesOptError::Numerical(w) => write!(f, "numerical failure: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for BayesOptError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, BayesOptError>;
+
+/// One evaluated trial.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Index into the candidate grid.
+    pub candidate: usize,
+    /// Objective value observed.
+    pub value: f64,
+}
+
+/// Outcome of a [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct MinimizeResult {
+    /// Index of the best candidate found.
+    pub best: usize,
+    /// Best objective value.
+    pub best_value: f64,
+    /// Every trial in evaluation order (the Fig. 9 convergence series).
+    pub history: Vec<Trial>,
+}
+
+/// Minimizes a black-box objective over a discrete candidate grid.
+///
+/// * `candidates` — points in parameter space (all the same dimension).
+/// * `objective` — expensive function to minimize (the paper's `train()`:
+///   model training + compression, returning compressed size).
+/// * `budget` — total number of objective evaluations allowed.
+/// * `seed` — randomness for the initial design and tie-breaking.
+///
+/// The first `min(3, budget)` evaluations are a random space-filling
+/// design; subsequent trials maximize expected improvement under a GP fit
+/// to all past observations.
+pub fn minimize(
+    candidates: &[Vec<f64>],
+    mut objective: impl FnMut(usize, &[f64]) -> f64,
+    budget: usize,
+    seed: u64,
+) -> Result<MinimizeResult> {
+    if candidates.is_empty() {
+        return Err(BayesOptError::InvalidCandidates("empty grid"));
+    }
+    let dim = candidates[0].len();
+    if dim == 0 || candidates.iter().any(|c| c.len() != dim) {
+        return Err(BayesOptError::InvalidCandidates("ragged or zero-dim grid"));
+    }
+    let budget = budget.min(candidates.len()).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Normalize each dimension to [0,1] so one RBF lengthscale fits all.
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for c in candidates {
+        for (d, &v) in c.iter().enumerate() {
+            lo[d] = lo[d].min(v);
+            hi[d] = hi[d].max(v);
+        }
+    }
+    let normalize = |c: &[f64]| -> Vec<f64> {
+        c.iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let span = hi[d] - lo[d];
+                if span > 0.0 {
+                    (v - lo[d]) / span
+                } else {
+                    0.5
+                }
+            })
+            .collect()
+    };
+    let points: Vec<Vec<f64>> = candidates.iter().map(|c| normalize(c)).collect();
+
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    remaining.shuffle(&mut rng);
+    let mut history: Vec<Trial> = Vec::with_capacity(budget);
+    let mut tried = vec![false; candidates.len()];
+
+    let n_init = budget.min(3);
+    for _ in 0..n_init {
+        let idx = remaining.pop().expect("budget <= candidates");
+        let value = objective(idx, &candidates[idx]);
+        tried[idx] = true;
+        history.push(Trial {
+            candidate: idx,
+            value,
+        });
+    }
+
+    while history.len() < budget {
+        // Fit a GP to standardized observations.
+        let xs: Vec<Vec<f64>> = history.iter().map(|t| points[t.candidate].clone()).collect();
+        let raw_ys: Vec<f64> = history.iter().map(|t| t.value).collect();
+        let mean = raw_ys.iter().sum::<f64>() / raw_ys.len() as f64;
+        let std = (raw_ys.iter().map(|y| (y - mean).powi(2)).sum::<f64>()
+            / raw_ys.len() as f64)
+            .sqrt()
+            .max(1e-12);
+        let ys: Vec<f64> = raw_ys.iter().map(|y| (y - mean) / std).collect();
+
+        let next = match GaussianProcess::fit(&xs, &ys, 0.3, 1e-4) {
+            Ok(gp) => {
+                let f_best = ys.iter().copied().fold(f64::INFINITY, f64::min);
+                let mut best_idx = None;
+                let mut best_ei = -1.0;
+                for (i, p) in points.iter().enumerate() {
+                    if tried[i] {
+                        continue;
+                    }
+                    let (mu, var) = gp.predict(p);
+                    let ei = expected_improvement(f_best, mu, var.max(0.0).sqrt());
+                    if ei > best_ei {
+                        best_ei = ei;
+                        best_idx = Some(i);
+                    }
+                }
+                best_idx
+            }
+            // Degenerate GP (e.g., duplicated points): fall back to random.
+            Err(_) => None,
+        };
+        let idx = match next {
+            Some(i) => {
+                remaining.retain(|&r| r != i);
+                i
+            }
+            None => loop {
+                match remaining.pop() {
+                    Some(i) if !tried[i] => break i,
+                    Some(_) => continue,
+                    None => {
+                        // Every candidate tried; shouldn't happen given the
+                        // budget clamp, but terminate defensively.
+                        let best = best_of(&history);
+                        return Ok(best);
+                    }
+                }
+            },
+        };
+        let value = objective(idx, &candidates[idx]);
+        tried[idx] = true;
+        history.push(Trial {
+            candidate: idx,
+            value,
+        });
+    }
+
+    Ok(best_of(&history))
+}
+
+fn best_of(history: &[Trial]) -> MinimizeResult {
+    let (best_trial_idx, _) = history
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.value.total_cmp(&b.value))
+        .expect("history nonempty");
+    MinimizeResult {
+        best: history[best_trial_idx].candidate,
+        best_value: history[best_trial_idx].value,
+        history: history.to_vec(),
+    }
+}
+
+/// Expected improvement for minimization.
+fn expected_improvement(f_best: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma < 1e-12 {
+        return (f_best - mu).max(0.0);
+    }
+    let z = (f_best - mu) / sigma;
+    (f_best - mu) * normal_cdf(z) + sigma * normal_pdf(z)
+}
+
+fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Φ(z) via the Abramowitz–Stegun erf approximation (max abs error ~1.5e-7).
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Grid of (code_size, experts)-like integer pairs with a bowl-shaped
+    /// objective: the optimizer must find the minimum in far fewer trials
+    /// than exhaustive search.
+    #[test]
+    fn finds_minimum_of_bowl_with_small_budget() {
+        let mut candidates = Vec::new();
+        for code in 1..=8 {
+            for experts in 1..=10 {
+                candidates.push(vec![f64::from(code), f64::from(experts)]);
+            }
+        }
+        // Minimum at (3, 4).
+        let f = |_i: usize, c: &[f64]| (c[0] - 3.0).powi(2) + 0.5 * (c[1] - 4.0).powi(2);
+        let result = minimize(&candidates, f, 20, 1).unwrap();
+        assert!(result.best_value < 1.0, "best {}", result.best_value);
+        assert_eq!(result.history.len(), 20);
+        // 20 trials over an 80-point grid: must beat random-ish exploration.
+        let best_c = &candidates[result.best];
+        assert!((best_c[0] - 3.0).abs() <= 1.0 && (best_c[1] - 4.0).abs() <= 2.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let candidates: Vec<Vec<f64>> = (0..30).map(|i| vec![f64::from(i)]).collect();
+        let f = |_i: usize, c: &[f64]| (c[0] - 17.0).abs();
+        let a = minimize(&candidates, f, 10, 5).unwrap();
+        let b = minimize(&candidates, f, 10, 5).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(
+            a.history.iter().map(|t| t.candidate).collect::<Vec<_>>(),
+            b.history.iter().map(|t| t.candidate).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn budget_clamped_to_grid_and_exhaustive_is_exact() {
+        let candidates: Vec<Vec<f64>> = (0..5).map(|i| vec![f64::from(i)]).collect();
+        let f = |_i: usize, c: &[f64]| -c[0]; // best is the last candidate
+        let result = minimize(&candidates, f, 100, 2).unwrap();
+        assert_eq!(result.history.len(), 5);
+        assert_eq!(result.best, 4);
+        assert_eq!(result.best_value, -4.0);
+    }
+
+    #[test]
+    fn never_reevaluates_a_candidate() {
+        let candidates: Vec<Vec<f64>> = (0..12).map(|i| vec![f64::from(i)]).collect();
+        let mut seen = std::collections::HashSet::new();
+        let result = minimize(
+            &candidates,
+            |i, _| {
+                assert!(seen.insert(i), "candidate {i} evaluated twice");
+                f64::from(i as u32)
+            },
+            12,
+            3,
+        )
+        .unwrap();
+        assert_eq!(result.history.len(), 12);
+    }
+
+    #[test]
+    fn invalid_grids_rejected() {
+        assert!(minimize(&[], |_, _| 0.0, 5, 0).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(minimize(&ragged, |_, _| 0.0, 5, 0).is_err());
+        let zero_dim = vec![vec![], vec![]];
+        assert!(minimize(&zero_dim, |_, _| 0.0, 5, 0).is_err());
+    }
+
+    #[test]
+    fn handles_constant_objective() {
+        let candidates: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+        let result = minimize(&candidates, |_, _| 7.0, 6, 4).unwrap();
+        assert_eq!(result.best_value, 7.0);
+        assert_eq!(result.history.len(), 6);
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-5);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ei_is_zero_when_certain_and_worse() {
+        // No variance and mean above best → no improvement expected.
+        assert_eq!(expected_improvement(1.0, 2.0, 0.0), 0.0);
+        // No variance and mean below best → exact improvement.
+        assert!((expected_improvement(1.0, 0.25, 0.0) - 0.75).abs() < 1e-12);
+        // Uncertainty adds hope even when the mean is worse.
+        assert!(expected_improvement(1.0, 1.5, 1.0) > 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks for the compression substrate: throughput of
+//! every codec DeepSqueeze's materialization path leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ds_codec::{bitpack, delta, gzlike, huffman, lzss, parq, rle};
+
+fn text_corpus(len: usize) -> Vec<u8> {
+    let unit = b"sensor,42.5,ok,2020-06-14T12:00:00,cluster-7,0.125\n";
+    unit.iter().copied().cycle().take(len).collect()
+}
+
+fn skewed_codes(len: usize) -> Vec<u32> {
+    (0..len)
+        .map(|i| if i % 11 == 0 { (i % 5) as u32 + 1 } else { 0 })
+        .collect()
+}
+
+fn bench_general_purpose(c: &mut Criterion) {
+    let data = text_corpus(256 * 1024);
+    let mut group = c.benchmark_group("general_purpose");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+
+    group.bench_function("gzlike_compress", |b| {
+        b.iter(|| gzlike::compress(&data));
+    });
+    let compressed = gzlike::compress(&data);
+    group.bench_function("gzlike_decompress", |b| {
+        b.iter(|| gzlike::decompress(&compressed).expect("roundtrip"));
+    });
+    group.bench_function("lzss_tokenize", |b| {
+        b.iter(|| lzss::tokenize(&data));
+    });
+    group.bench_function("huffman_encode_bytes", |b| {
+        b.iter(|| huffman::encode_bytes(&data));
+    });
+    group.finish();
+}
+
+fn bench_columnar(c: &mut Criterion) {
+    let codes = skewed_codes(200_000);
+    let ints: Vec<i64> = (0..200_000).map(|i| i * 3 + (i % 7)).collect();
+    let mut group = c.benchmark_group("columnar");
+    group.throughput(Throughput::Elements(codes.len() as u64));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+
+    group.bench_function("rle_encode", |b| b.iter(|| rle::encode(&codes)));
+    let rle_bytes = rle::encode(&codes);
+    group.bench_function("rle_decode", |b| {
+        b.iter(|| rle::decode(&rle_bytes).expect("roundtrip"))
+    });
+    group.bench_function("delta_encode_i64", |b| b.iter(|| delta::encode_i64(&ints)));
+    let wide: Vec<u64> = codes.iter().map(|&v| u64::from(v)).collect();
+    group.bench_function("bitpack_encode", |b| b.iter(|| bitpack::encode(&wide)));
+    group.finish();
+}
+
+fn bench_parq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parq_container");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &rows in &[10_000usize, 50_000] {
+        let cols = vec![
+            (
+                "codes".to_string(),
+                parq::ParqColumn::U32(skewed_codes(rows)),
+            ),
+            (
+                "deltas".to_string(),
+                parq::ParqColumn::I64((0..rows as i64).map(|i| i % 3 - 1).collect()),
+            ),
+            (
+                "values".to_string(),
+                parq::ParqColumn::F64((0..rows).map(|i| (i % 500) as f64 * 0.25).collect()),
+            ),
+        ];
+        group.bench_with_input(BenchmarkId::new("write", rows), &cols, |b, cols| {
+            b.iter(|| parq::write_table(cols).expect("well-formed"));
+        });
+        let (bytes, _) = parq::write_table(&cols).expect("well-formed");
+        group.bench_with_input(BenchmarkId::new("read", rows), &bytes, |b, bytes| {
+            b.iter(|| parq::read_table(bytes).expect("roundtrip"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rangecoder(c: &mut Criterion) {
+    use ds_codec::rangecoder::{AdaptiveModel, RangeDecoder, RangeEncoder};
+    let symbols: Vec<usize> = (0..100_000).map(|i| if i % 9 == 0 { i % 16 } else { 0 }).collect();
+    let mut group = c.benchmark_group("rangecoder");
+    group.throughput(Throughput::Elements(symbols.len() as u64));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("adaptive_encode", |b| {
+        b.iter(|| {
+            let mut m = AdaptiveModel::new(16).expect("valid alphabet");
+            let mut enc = RangeEncoder::new();
+            for &s in &symbols {
+                m.encode(&mut enc, s).expect("in range");
+            }
+            enc.finish()
+        });
+    });
+    let bytes = {
+        let mut m = AdaptiveModel::new(16).expect("valid alphabet");
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            m.encode(&mut enc, s).expect("in range");
+        }
+        enc.finish()
+    };
+    group.bench_function("adaptive_decode", |b| {
+        b.iter(|| {
+            let mut m = AdaptiveModel::new(16).expect("valid alphabet");
+            let mut dec = RangeDecoder::new(&bytes).expect("primed");
+            for _ in 0..symbols.len() {
+                m.decode(&mut dec).expect("well-formed");
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_general_purpose,
+    bench_columnar,
+    bench_parq,
+    bench_rangecoder
+);
+criterion_main!(benches);

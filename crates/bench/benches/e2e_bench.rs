@@ -1,0 +1,64 @@
+//! Criterion end-to-end benchmarks: full compress/decompress pipelines of
+//! every system on a small Monitor slice, so relative costs (the Table 2
+//! story) are tracked as code evolves.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ds_core::{compress, decompress, DsConfig};
+use ds_squish::{compress as squish_compress, decompress as squish_decompress, SquishConfig};
+use ds_table::gen;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let table = gen::monitor_like(2000, 11);
+    let raw = table.raw_size() as u64;
+    let mut group = c.benchmark_group("end_to_end_monitor2k");
+    group.throughput(Throughput::Bytes(raw));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+
+    group.bench_function("gzip_compress", |b| {
+        let csv = ds_table::csv::write_csv(&table);
+        b.iter(|| ds_codec::gzlike::compress(csv.as_bytes()));
+    });
+    group.bench_function("parquet_compress", |b| {
+        let cols = ds_bench::baselines::to_parq_columns(&table);
+        b.iter(|| ds_codec::parq::write_table(&cols).expect("well-formed"));
+    });
+    group.bench_function("squish_compress", |b| {
+        let cfg = SquishConfig {
+            error_threshold: 0.10,
+            ..Default::default()
+        };
+        b.iter(|| squish_compress(&table, &cfg).expect("compresses"));
+    });
+    let squish_archive = squish_compress(
+        &table,
+        &SquishConfig {
+            error_threshold: 0.10,
+            ..Default::default()
+        },
+    )
+    .expect("compresses");
+    group.bench_function("squish_decompress", |b| {
+        b.iter(|| squish_decompress(&squish_archive).expect("roundtrips"));
+    });
+
+    let ds_cfg = DsConfig {
+        error_threshold: 0.10,
+        code_size: 2,
+        n_experts: 1,
+        max_epochs: 5, // model-training cost dominates; keep the bench honest but bounded
+        ..Default::default()
+    };
+    group.bench_function("deepsqueeze_compress_5epochs", |b| {
+        b.iter(|| compress(&table, &ds_cfg).expect("compresses"));
+    });
+    let archive = compress(&table, &ds_cfg).expect("compresses");
+    group.bench_function("deepsqueeze_decompress", |b| {
+        b.iter(|| decompress(&archive).expect("roundtrips"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks for the neural substrate: forward/backward
+//! throughput at the model sizes the paper's datasets induce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ds_nn::autoencoder::{Autoencoder, Head, ModelSpec};
+use ds_nn::moe::{MoeAutoencoder, MoeConfig};
+use ds_nn::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Monitor-shaped model: 17 numeric columns.
+fn monitor_like_spec(code: usize) -> ModelSpec {
+    ModelSpec::with_defaults(vec![Head::Numeric; 17], code)
+}
+
+/// A Census-shaped model: 40 categorical columns (scaled down from 68).
+fn census_like_spec(code: usize) -> ModelSpec {
+    let mut heads = Vec::new();
+    for i in 0..40 {
+        heads.push(Head::Categorical { card: 4 + (i % 12) });
+    }
+    ModelSpec::with_defaults(heads, code)
+}
+
+fn random_batch(rng: &mut StdRng, rows: usize, cols: usize) -> Mat {
+    let mut x = Mat::zeros(rows, cols);
+    for v in x.data_mut() {
+        *v = rng.gen();
+    }
+    x
+}
+
+fn cat_targets_for(spec: &ModelSpec, rows: usize, rng: &mut StdRng) -> Vec<Vec<u32>> {
+    spec.heads
+        .iter()
+        .filter_map(|h| match h {
+            Head::Categorical { card } => {
+                Some((0..rows).map(|_| rng.gen_range(0..*card) as u32).collect())
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_pass");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    for (name, spec) in [
+        ("monitor17num", monitor_like_spec(4)),
+        ("census40cat", census_like_spec(4)),
+    ] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ae = Autoencoder::new(spec.clone(), &mut rng).expect("valid spec");
+        let x = random_batch(&mut rng, 128, spec.input_dim());
+        let cats = cat_targets_for(&spec, 128, &mut rng);
+        group.throughput(Throughput::Elements(128));
+        group.bench_function(BenchmarkId::new("batch128", name), |b| {
+            b.iter(|| ae.train_pass(&x, &cats, None).expect("valid batch"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    let spec = monitor_like_spec(4);
+    let mut rng = StdRng::seed_from_u64(2);
+    let ae = Autoencoder::new(spec.clone(), &mut rng).expect("valid spec");
+    let x = random_batch(&mut rng, 4096, spec.input_dim());
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("encode4096", |b| {
+        b.iter(|| ae.encode(&x).expect("valid shape"));
+    });
+    let codes = ae.encode(&x).expect("valid shape");
+    group.bench_function("decode4096", |b| {
+        b.iter(|| ae.decode(&codes).expect("valid shape"));
+    });
+    group.finish();
+}
+
+fn bench_moe_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moe_epoch");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let spec = monitor_like_spec(2);
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = random_batch(&mut rng, 2048, spec.input_dim());
+    for experts in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("experts", experts),
+            &experts,
+            |b, &experts| {
+                b.iter(|| {
+                    let cfg = MoeConfig {
+                        n_experts: experts,
+                        max_epochs: 1,
+                        tol: -1.0,
+                        seed: 9,
+                        ..Default::default()
+                    };
+                    MoeAutoencoder::train(&spec, &x, &[], &cfg).expect("trains")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_backward, bench_encode_decode, bench_moe_epoch);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! `cargo bench -p ds-bench --bench paper_experiments` — regenerates every
+//! table and figure of the paper's evaluation section. Not a criterion
+//! bench: the "benchmark" is the experiment suite itself.
+//!
+//! Environment: `DS_SCALE` (row multiplier), `DS_EPOCHS` (epoch cap),
+//! `DS_ONLY` (comma-separated subset, e.g. `fig6,fig8`).
+
+fn main() {
+    ds_bench::experiments::run_all();
+}

@@ -1,0 +1,166 @@
+//! Plain-text table printing and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple result table: header + rows of strings.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with the given title and header.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        ResultTable {
+            title: title.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i];
+                let _ = write!(out, "{cell:>pad$}");
+                if i + 1 < ncols {
+                    let _ = write!(out, "  ");
+                }
+            }
+            let _ = writeln!(out);
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as CSV under `results/<name>.csv` (relative to the
+    /// workspace root, falling back to the current directory).
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        self.write_csv_to(&results_dir(), name)
+    }
+
+    /// Writes the table as CSV into an explicit directory.
+    pub fn write_csv_to(&self, dir: &std::path::Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let quoted: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", quoted.join(","));
+        }
+        std::fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+/// `results/` next to the workspace `Cargo.toml` when discoverable.
+fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    // Walk up until a Cargo.toml with [workspace] is found.
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir.join("results");
+                }
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+/// Formats a byte count as a percentage of `raw` with two decimals.
+pub fn pct(bytes: usize, raw: usize) -> String {
+    format!("{:.2}", 100.0 * bytes as f64 / raw.max(1) as f64)
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = ResultTable::new("demo", &["name", "value"]);
+        t.push_row(vec!["x".into(), "1".into()]);
+        t.push_row(vec!["longer".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+        // Both data lines end aligned at the same width.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[2].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = ResultTable::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = ResultTable::new("demo", &["a"]);
+        t.push_row(vec!["has,comma".into()]);
+        let tmp = std::env::temp_dir().join("ds_bench_csv_test");
+        let path = t.write_csv_to(&tmp, "escape_test").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"has,comma\""));
+    }
+
+    #[test]
+    fn pct_and_secs_formatting() {
+        assert_eq!(pct(50, 200), "25.00");
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

@@ -1,0 +1,195 @@
+//! `dsqz` — command-line DeepSqueeze for CSV files.
+//!
+//! ```text
+//! dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E]
+//!                 [--epochs N] [--seed S] [--tune] [--quiet]
+//! dsqz decompress <in.dsqz> <out.csv>
+//! dsqz inspect    <in.dsqz>
+//! dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>
+//! ```
+//!
+//! Schema is inferred from the CSV: a column is numeric when every cell
+//! parses as a finite number, categorical otherwise. `--error` is the
+//! relative per-column error bound for numeric columns (default 0 =
+//! lossless); `--tune` runs the paper's Fig. 5 hyperparameter search
+//! before compressing.
+
+mod args;
+
+use args::{ArgError, Parsed};
+use ds_core::{compress, decompress, inspect, tune, DsArchive, DsConfig, TuneConfig};
+use ds_table::csv::{read_csv_infer, write_csv};
+use ds_table::gen::Dataset;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dsqz: {msg}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--tune] [--quiet]\n  \
+     dsqz decompress <in.dsqz> <out.csv>\n  \
+     dsqz inspect    <in.dsqz>\n  \
+     dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>"
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let mut parsed = Parsed::parse(argv).map_err(|e: ArgError| e.to_string())?;
+    match parsed.command.as_str() {
+        "compress" => cmd_compress(&mut parsed),
+        "decompress" => cmd_decompress(&mut parsed),
+        "inspect" => cmd_inspect(&mut parsed),
+        "gen" => cmd_gen(&mut parsed),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
+    let input = p.positional(0)?;
+    let output = p.positional(1)?;
+    let error: f64 = p.flag_or("error", 0.0)?;
+    let code: usize = p.flag_or("code", 2)?;
+    let experts: usize = p.flag_or("experts", 1)?;
+    let epochs: usize = p.flag_or("epochs", 120)?;
+    let seed: u64 = p.flag_or("seed", 0)?;
+    let do_tune = p.switch("tune");
+    let quiet = p.switch("quiet");
+    p.finish()?;
+
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?;
+    let table = read_csv_infer(&text).map_err(|e| format!("parse {input}: {e}"))?;
+    let (cats, nums) = table.type_counts();
+    if !quiet {
+        eprintln!(
+            "{input}: {} rows, {cats} categorical + {nums} numeric columns, {} bytes raw",
+            table.nrows(),
+            table.raw_size()
+        );
+    }
+
+    let mut cfg = DsConfig {
+        error_threshold: error,
+        code_size: code,
+        n_experts: experts,
+        max_epochs: epochs,
+        seed,
+        ..Default::default()
+    };
+    if do_tune {
+        let tune_cfg = TuneConfig {
+            samples: vec![(table.nrows() / 4).max(256)],
+            codes: vec![1, 2, 4, 6],
+            experts: vec![1, 2, 4],
+            eps: 0.02,
+            budget: 8,
+            base: DsConfig {
+                max_epochs: epochs.min(40),
+                ..cfg.clone()
+            },
+        };
+        let outcome = tune(&table, &tune_cfg).map_err(|e| format!("tuning failed: {e}"))?;
+        if !quiet {
+            eprintln!(
+                "tuned: code_size={} experts={} over {} trials",
+                outcome.config.code_size,
+                outcome.config.n_experts,
+                outcome.trials.len()
+            );
+        }
+        cfg.code_size = outcome.config.code_size;
+        cfg.n_experts = outcome.config.n_experts;
+    }
+
+    let archive = compress(&table, &cfg).map_err(|e| format!("compression failed: {e}"))?;
+    std::fs::write(&output, archive.as_bytes()).map_err(|e| format!("write {output}: {e}"))?;
+    if !quiet {
+        let b = archive.breakdown();
+        eprintln!(
+            "{output}: {} bytes ({:.2}% of raw) [decoder {}, codes {}, failures {}, metadata {}]",
+            archive.size(),
+            100.0 * archive.size() as f64 / table.raw_size().max(1) as f64,
+            b.decoder,
+            b.codes,
+            b.failures,
+            b.metadata
+        );
+    }
+    Ok(())
+}
+
+fn cmd_decompress(p: &mut Parsed) -> Result<(), String> {
+    let input = p.positional(0)?;
+    let output = p.positional(1)?;
+    p.finish()?;
+    let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
+    let table =
+        decompress(&DsArchive::from_bytes(bytes)).map_err(|e| format!("decode {input}: {e}"))?;
+    std::fs::write(&output, write_csv(&table)).map_err(|e| format!("write {output}: {e}"))?;
+    eprintln!("{output}: {} rows restored", table.nrows());
+    Ok(())
+}
+
+fn cmd_inspect(p: &mut Parsed) -> Result<(), String> {
+    use std::io::Write;
+    let input = p.positional(0)?;
+    p.finish()?;
+    let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
+    let size = bytes.len();
+    let info = inspect(&DsArchive::from_bytes(bytes)).map_err(|e| format!("{input}: {e}"))?;
+    // Ignore write errors (EPIPE from `| head` must not panic a CLI).
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "{input}: {size} bytes");
+    let _ = writeln!(out, "rows: {}", info.nrows);
+    let _ = writeln!(
+        out,
+        "model: {}",
+        if info.has_model {
+            format!(
+                "{} expert(s), code size {} × {} bits",
+                info.n_experts, info.code_size, info.code_bits
+            )
+        } else {
+            "none (pure columnar fallback)".to_owned()
+        }
+    );
+    let _ = writeln!(out, "columns ({}):", info.columns.len());
+    for (name, kind) in &info.columns {
+        let _ = writeln!(out, "  {name}: {kind}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(p: &mut Parsed) -> Result<(), String> {
+    let which = p.positional(0)?;
+    let rows: usize = p
+        .positional(1)?
+        .parse()
+        .map_err(|_| "rows must be an integer".to_string())?;
+    let output = p.positional(2)?;
+    let seed: u64 = p.flag_or("seed", 42)?;
+    p.finish()?;
+    let dataset = Dataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(&which))
+        .ok_or_else(|| format!("unknown dataset `{which}`"))?;
+    let table = dataset.generate(rows, seed);
+    std::fs::write(&output, write_csv(&table)).map_err(|e| format!("write {output}: {e}"))?;
+    eprintln!(
+        "{output}: {} rows of {} ({} bytes)",
+        table.nrows(),
+        dataset.name(),
+        table.raw_size()
+    );
+    Ok(())
+}

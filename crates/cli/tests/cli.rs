@@ -1,0 +1,154 @@
+//! End-to-end tests of the `dsqz` binary: gen → compress → inspect →
+//! decompress, plus failure modes (bad args, corrupt archives).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dsqz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dsqz"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsqz_test_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn full_cycle_gen_compress_inspect_decompress() {
+    let dir = tmpdir("cycle");
+    let csv = dir.join("m.csv");
+    let dsq = dir.join("m.dsqz");
+    let back = dir.join("m_restored.csv");
+
+    let st = dsqz()
+        .args(["gen", "monitor", "800", csv.to_str().unwrap()])
+        .status()
+        .expect("spawn");
+    assert!(st.success());
+
+    let st = dsqz()
+        .args([
+            "compress",
+            csv.to_str().unwrap(),
+            dsq.to_str().unwrap(),
+            "--error",
+            "0.05",
+            "--epochs",
+            "10",
+            "--quiet",
+        ])
+        .status()
+        .expect("spawn");
+    assert!(st.success());
+    let raw = std::fs::metadata(&csv).unwrap().len();
+    let compressed = std::fs::metadata(&dsq).unwrap().len();
+    assert!(compressed < raw, "{compressed} >= {raw}");
+
+    let out = dsqz()
+        .args(["inspect", dsq.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rows: 800"), "inspect output: {text}");
+    assert!(text.contains("numeric (quantized)"));
+
+    let st = dsqz()
+        .args(["decompress", dsq.to_str().unwrap(), back.to_str().unwrap()])
+        .status()
+        .expect("spawn");
+    assert!(st.success());
+    let restored = std::fs::read_to_string(&back).unwrap();
+    // Header preserved, row count preserved.
+    let original = std::fs::read_to_string(&csv).unwrap();
+    assert_eq!(
+        restored.lines().next().unwrap(),
+        original.lines().next().unwrap()
+    );
+    assert_eq!(restored.lines().count(), original.lines().count());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lossless_cycle_is_exact() {
+    let dir = tmpdir("lossless");
+    let csv = dir.join("c.csv");
+    let dsq = dir.join("c.dsqz");
+    let back = dir.join("c2.csv");
+
+    assert!(dsqz()
+        .args(["gen", "census", "400", csv.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(dsqz()
+        .args([
+            "compress",
+            csv.to_str().unwrap(),
+            dsq.to_str().unwrap(),
+            "--epochs",
+            "6",
+            "--quiet",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(dsqz()
+        .args(["decompress", dsq.to_str().unwrap(), back.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert_eq!(
+        std::fs::read_to_string(&csv).unwrap(),
+        std::fs::read_to_string(&back).unwrap(),
+        "lossless categorical cycle must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    // Unknown command.
+    let out = dsqz().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Unknown flag.
+    let out = dsqz()
+        .args(["compress", "a.csv", "b.dsqz", "--bogus", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+
+    // Missing file.
+    let out = dsqz()
+        .args(["inspect", "/nonexistent/file.dsqz"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Corrupt archive.
+    let dir = tmpdir("corrupt");
+    let bad = dir.join("bad.dsqz");
+    std::fs::write(&bad, b"not an archive at all").unwrap();
+    let out = dsqz()
+        .args(["inspect", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gen_rejects_unknown_dataset() {
+    let out = dsqz()
+        .args(["gen", "imaginary", "10", "/tmp/x.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+}

@@ -1,0 +1,138 @@
+//! Fixed-width bit packing for bounded integer columns.
+//!
+//! Dictionary codes and quantization bucket indexes have a known maximum,
+//! so each value needs only `ceil(log2(max+1))` bits. This is the "plain"
+//! compact representation the [`crate::parq`] container falls back on.
+
+use crate::{bitstream::BitReader, bitstream::BitWriter, ByteReader, ByteWriter, CodecError, Result};
+
+/// Minimum bits needed to represent `max_value` (at least 1).
+pub fn width_for(max_value: u64) -> u32 {
+    (64 - max_value.leading_zeros()).max(1)
+}
+
+/// Packs `values` at the minimum width for their maximum.
+///
+/// Layout: varint count, u8 width, packed payload.
+pub fn encode(values: &[u64]) -> Vec<u8> {
+    let width = width_for(values.iter().copied().max().unwrap_or(0));
+    encode_with_width(values, width)
+}
+
+/// Packs `values` at an explicit `width` (1..=57 bits).
+///
+/// Values wider than `width` are a caller bug and are masked off in release
+/// builds (debug-asserted).
+pub fn encode_with_width(values: &[u64], width: u32) -> Vec<u8> {
+    debug_assert!((1..=57).contains(&width));
+    let mut header = ByteWriter::with_capacity(values.len() * width as usize / 8 + 8);
+    header.write_varint(values.len() as u64);
+    header.write_u8(width as u8);
+    let mut bits = BitWriter::new();
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    for &v in values {
+        debug_assert!(v <= mask, "value wider than pack width");
+        bits.write_bits(v & mask, width);
+    }
+    let mut out = header.into_vec();
+    out.extend_from_slice(&bits.into_vec());
+    out
+}
+
+/// Unpacks a stream produced by [`encode`]/[`encode_with_width`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<u64>> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.read_varint()? as usize;
+    let width = u32::from(r.read_u8()?);
+    if !(1..=57).contains(&width) {
+        return Err(CodecError::Corrupt("bitpack: bad width"));
+    }
+    let payload = r.read_bytes(r.remaining())?;
+    let needed_bits = n.checked_mul(width as usize).ok_or(CodecError::Overflow)?;
+    if payload.len() * 8 < needed_bits {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut bits = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(bits.read_bits(width)?);
+    }
+    Ok(out)
+}
+
+/// Size of the packed output without materializing it.
+pub fn encoded_size(values: &[u64]) -> usize {
+    let width = width_for(values.iter().copied().max().unwrap_or(0)) as usize;
+    let payload = (values.len() * width).div_ceil(8);
+    crate::varint::encoded_len(values.len() as u64) + 1 + payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_codes() {
+        let data: Vec<u64> = (0..1000).map(|i| i % 7).collect();
+        let enc = encode(&data);
+        assert_eq!(decode(&enc).unwrap(), data);
+        assert_eq!(enc.len(), encoded_size(&data));
+        // 7 distinct values -> 3 bits each.
+        assert!(enc.len() < 1000 / 2);
+    }
+
+    #[test]
+    fn roundtrip_zeroes() {
+        let data = vec![0u64; 64];
+        let enc = encode(&data);
+        assert_eq!(decode(&enc).unwrap(), data);
+        // 1-bit width minimum.
+        assert!(enc.len() <= 8 + 2);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn roundtrip_wide_values() {
+        let data = vec![0u64, (1 << 40) - 1, 12345, 1 << 39];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn width_for_boundaries() {
+        assert_eq!(width_for(0), 1);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 2);
+        assert_eq!(width_for(255), 8);
+        assert_eq!(width_for(256), 9);
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let enc = encode(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert!(decode(&enc[..enc.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn bad_width_rejected() {
+        let mut w = ByteWriter::new();
+        w.write_varint(1);
+        w.write_u8(0); // width 0 invalid
+        w.write_u8(0);
+        assert!(decode(w.as_slice()).is_err());
+        let mut w = ByteWriter::new();
+        w.write_varint(1);
+        w.write_u8(60); // width > 57 invalid
+        assert!(decode(w.as_slice()).is_err());
+    }
+
+    #[test]
+    fn explicit_width_roundtrip() {
+        let data = vec![1u64, 0, 1, 1, 0];
+        let enc = encode_with_width(&data, 1);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+}

@@ -1,0 +1,182 @@
+//! Bit-granular readers/writers shared by [`crate::huffman`],
+//! [`crate::bitpack`] and the binary-failure XOR encoding in DeepSqueeze.
+//!
+//! Bits are packed LSB-first within each byte, which keeps the packer
+//! branch-free and matches the fixed-width layout [`crate::bitpack`] expects.
+
+use crate::{CodecError, Result};
+
+/// Accumulates bits into a byte vector, LSB-first.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits used in the final byte of `buf` (0 means byte-aligned).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty bit writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `nbits` bits of `value` (LSB-first). `nbits` ≤ 57 so
+    /// the staging arithmetic cannot overflow a u64.
+    pub fn write_bits(&mut self, value: u64, nbits: u32) {
+        debug_assert!(nbits <= 57, "write_bits supports at most 57 bits");
+        debug_assert!(nbits == 64 || value < (1u64 << nbits.max(1)) || nbits == 0);
+        let mut v = value;
+        let mut n = nbits;
+        while n > 0 {
+            if self.bit_pos == 0 {
+                self.buf.push(0);
+            }
+            let last = self.buf.len() - 1;
+            let free = 8 - self.bit_pos;
+            let take = free.min(n as u8);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            self.buf[last] |= ((v & mask) as u8) << self.bit_pos;
+            v >>= take;
+            n -= u32::from(take);
+            self.bit_pos = (self.bit_pos + take) % 8;
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+
+    /// Total number of bits written.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finishes the stream, zero-padding the final byte.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Total bits available in the underlying buffer.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8
+    }
+
+    /// Bits remaining before exhaustion.
+    pub fn remaining_bits(&self) -> usize {
+        self.bit_len() - self.pos
+    }
+
+    /// Reads `nbits` bits (≤ 57), returning them LSB-aligned.
+    pub fn read_bits(&mut self, nbits: u32) -> Result<u64> {
+        debug_assert!(nbits <= 57);
+        if self.remaining_bits() < nbits as usize {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < nbits {
+            let byte = self.buf[self.pos / 8];
+            let off = (self.pos % 8) as u32;
+            let avail = 8 - off;
+            let take = avail.min(nbits - got);
+            let mask = ((1u16 << take) - 1) as u8;
+            let chunk = (byte >> off) & mask;
+            out |= u64::from(chunk) << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Ok(out)
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        Ok(self.read_bits(1)? != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let values = [
+            (0b1u64, 1u32),
+            (0b1011, 4),
+            (0xFFFF, 16),
+            (0, 3),
+            (0x1F_FFFF_FFFF, 37),
+            (1, 1),
+        ];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let total: u32 = values.iter().map(|&(_, n)| n).sum();
+        assert_eq!(w.bit_len(), total as usize);
+        let bytes = w.into_vec();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v, "width {n}");
+        }
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, false, true, true, true, false, true, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_vec();
+        assert_eq!(bytes.len(), 2); // 9 bits -> 2 bytes
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut r = BitReader::new(&[0xAB]);
+        r.read_bits(8).unwrap();
+        assert_eq!(r.read_bits(1).unwrap_err(), CodecError::UnexpectedEof);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_vec().is_empty());
+    }
+
+    #[test]
+    fn lsb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bit(true); // bit 0
+        w.write_bit(false); // bit 1
+        w.write_bit(true); // bit 2
+        assert_eq!(w.into_vec(), vec![0b0000_0101]);
+    }
+}

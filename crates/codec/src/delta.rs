@@ -1,0 +1,121 @@
+//! Delta encoding for integer sequences.
+//!
+//! Stores the first value and then zigzag-varint deltas. DeepSqueeze uses
+//! this for truncated-and-integerized codes (§6.2), for the original-index
+//! side of expert mappings (§6.4), and for bucket-index failure deltas on
+//! numeric columns (§6.3.2).
+
+use crate::{varint, ByteReader, ByteWriter, CodecError, Result};
+
+/// Encodes `values` as first value + zigzag deltas.
+pub fn encode_i64(values: &[i64]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(values.len() + 16);
+    w.write_varint(values.len() as u64);
+    let mut prev = 0i64;
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 {
+            varint::write_i64(&mut w, v);
+        } else {
+            varint::write_i64(&mut w, v.wrapping_sub(prev));
+        }
+        prev = v;
+    }
+    w.into_vec()
+}
+
+/// Decodes a stream produced by [`encode_i64`].
+pub fn decode_i64(bytes: &[u8]) -> Result<Vec<i64>> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.read_varint()? as usize;
+    if n > bytes.len().saturating_mul(64).max(1024) {
+        return Err(CodecError::Corrupt("delta: implausible element count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for i in 0..n {
+        let d = varint::read_i64(&mut r)?;
+        let v = if i == 0 { d } else { prev.wrapping_add(d) };
+        out.push(v);
+        prev = v;
+    }
+    Ok(out)
+}
+
+/// Encoded size of [`encode_i64`] output without allocating it.
+pub fn encoded_size_i64(values: &[i64]) -> usize {
+    let mut size = varint::encoded_len(values.len() as u64);
+    let mut prev = 0i64;
+    for (i, &v) in values.iter().enumerate() {
+        let d = if i == 0 { v } else { v.wrapping_sub(prev) };
+        size += varint::encoded_len(varint::zigzag(d));
+        prev = v;
+    }
+    size
+}
+
+/// Convenience wrapper for unsigned sequences (e.g., sorted row indexes).
+pub fn encode_u32(values: &[u32]) -> Vec<u8> {
+    let widened: Vec<i64> = values.iter().map(|&v| i64::from(v)).collect();
+    encode_i64(&widened)
+}
+
+/// Decodes [`encode_u32`] output, rejecting values outside `u32`.
+pub fn decode_u32(bytes: &[u8]) -> Result<Vec<u32>> {
+    decode_i64(bytes)?
+        .into_iter()
+        .map(|v| u32::try_from(v).map_err(|_| CodecError::Corrupt("delta: value exceeds u32")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_monotone_sequence() {
+        let data: Vec<i64> = (0..10_000).map(|i| i * 3 + 100).collect();
+        let enc = encode_i64(&data);
+        assert_eq!(decode_i64(&enc).unwrap(), data);
+        assert_eq!(enc.len(), encoded_size_i64(&data));
+        // Constant stride deltas should be ~1 byte per element.
+        assert!(enc.len() < data.len() * 2);
+    }
+
+    #[test]
+    fn roundtrip_negative_and_extremes() {
+        let data = vec![i64::MIN, i64::MAX, 0, -5, 5, i64::MIN, i64::MAX];
+        assert_eq!(decode_i64(&encode_i64(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(decode_i64(&encode_i64(&[])).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn u32_wrapper_roundtrip() {
+        let data = vec![0u32, 1, 100, u32::MAX, 7];
+        assert_eq!(decode_u32(&encode_u32(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn u32_wrapper_rejects_out_of_range() {
+        let enc = encode_i64(&[-1]);
+        assert!(decode_u32(&enc).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let enc = encode_i64(&[1, 2, 3]);
+        assert!(decode_i64(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn sorted_indexes_compress_well() {
+        // Expert-mapping use case: sorted original row indexes.
+        let data: Vec<u32> = (0..50_000).step_by(3).map(|i| i as u32).collect();
+        let enc = encode_u32(&data);
+        assert!(enc.len() <= data.len() + 16);
+        assert_eq!(decode_u32(&enc).unwrap(), data);
+    }
+}

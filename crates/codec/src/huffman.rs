@@ -1,0 +1,463 @@
+//! Canonical Huffman coding over small symbol alphabets.
+//!
+//! Used as the entropy stage of [`crate::gzlike`] (mirroring DEFLATE's
+//! literal/length and distance trees) and directly for rank-encoded
+//! categorical failures (§6.3.1 of the paper). Code lengths are limited to
+//! [`MAX_CODE_LEN`] bits and the table serializes as 4-bit lengths, so the
+//! header cost is `alphabet/2` bytes.
+
+use crate::{
+    bitstream::{BitReader, BitWriter},
+    ByteReader, ByteWriter, CodecError, Result,
+};
+
+/// Longest permitted code, as in DEFLATE.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Maximum alphabet size supported by the 12-bit symbol paths.
+pub const MAX_SYMBOLS: usize = 4096;
+
+/// A canonical Huffman code book: per-symbol (code, length) for encoding
+/// plus the canonical tables needed for decoding.
+#[derive(Debug, Clone)]
+pub struct CodeBook {
+    lengths: Vec<u8>,
+    /// Encoding table: MSB-first code value per symbol (0 where unused).
+    codes: Vec<u32>,
+    /// `first_code[len]`: canonical first code of each length.
+    first_code: [u32; (MAX_CODE_LEN + 2) as usize],
+    /// `first_index[len]`: index into `sorted_symbols` of the first symbol
+    /// with that code length.
+    first_index: [u32; (MAX_CODE_LEN + 2) as usize],
+    /// Symbols sorted by (length, symbol), i.e., canonical order.
+    sorted_symbols: Vec<u16>,
+}
+
+impl CodeBook {
+    /// Builds a length-limited canonical code book from symbol frequencies.
+    ///
+    /// Symbols with zero frequency get no code. An alphabet where at most
+    /// one symbol occurs still produces a 1-bit code so the encoder always
+    /// has something to emit.
+    pub fn from_frequencies(freqs: &[u64]) -> Result<Self> {
+        if freqs.len() > MAX_SYMBOLS {
+            return Err(CodecError::InvalidParameter("huffman: alphabet too large"));
+        }
+        let lengths = build_lengths(freqs);
+        Self::from_lengths(lengths)
+    }
+
+    /// Reconstructs a code book from its serialized code lengths.
+    pub fn from_lengths(lengths: Vec<u8>) -> Result<Self> {
+        if lengths.len() > MAX_SYMBOLS {
+            return Err(CodecError::Corrupt("huffman: alphabet too large"));
+        }
+        // Validate Kraft inequality; a over-full code is undecodable.
+        let mut kraft: u64 = 0;
+        let mut used = 0usize;
+        for &l in &lengths {
+            if l as u32 > MAX_CODE_LEN {
+                return Err(CodecError::Corrupt("huffman: code length too long"));
+            }
+            if l > 0 {
+                kraft += 1u64 << (MAX_CODE_LEN - u32::from(l));
+                used += 1;
+            }
+        }
+        if used > 0 && kraft > 1u64 << MAX_CODE_LEN {
+            return Err(CodecError::Corrupt("huffman: over-subscribed code"));
+        }
+
+        // Canonical assignment: count per length, then first codes.
+        let mut count = [0u32; (MAX_CODE_LEN + 2) as usize];
+        for &l in &lengths {
+            count[l as usize] += 1;
+        }
+        count[0] = 0;
+        let mut first_code = [0u32; (MAX_CODE_LEN + 2) as usize];
+        let mut first_index = [0u32; (MAX_CODE_LEN + 2) as usize];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=(MAX_CODE_LEN + 1) as usize {
+            code = (code + count[len - 1]) << 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            if len <= MAX_CODE_LEN as usize {
+                index += count[len];
+            }
+        }
+        let mut sorted: Vec<u16> = (0..lengths.len() as u16)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
+        sorted.sort_by_key(|&s| (lengths[s as usize], s));
+
+        // Per-symbol code values for the encoder.
+        let mut next_code = first_code;
+        let mut codes = vec![0u32; lengths.len()];
+        for &s in &sorted {
+            let l = lengths[s as usize] as usize;
+            codes[s as usize] = next_code[l];
+            next_code[l] += 1;
+        }
+
+        Ok(CodeBook {
+            lengths,
+            codes,
+            first_code,
+            first_index,
+            sorted_symbols: sorted,
+        })
+    }
+
+    /// Code lengths (serialize these to reconstruct the book).
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Emits `symbol` into `bits` (MSB of the code first).
+    pub fn encode_symbol(&self, bits: &mut BitWriter, symbol: u16) -> Result<()> {
+        let len = *self
+            .lengths
+            .get(symbol as usize)
+            .ok_or(CodecError::InvalidParameter("huffman: symbol out of range"))?;
+        if len == 0 {
+            return Err(CodecError::InvalidParameter(
+                "huffman: symbol has no code (zero frequency)",
+            ));
+        }
+        let code = self.codes[symbol as usize];
+        // BitWriter is LSB-first; emit the code bits MSB-first one by one.
+        for i in (0..len).rev() {
+            bits.write_bit((code >> i) & 1 == 1);
+        }
+        Ok(())
+    }
+
+    /// Decodes one symbol from `bits`.
+    pub fn decode_symbol(&self, bits: &mut BitReader<'_>) -> Result<u16> {
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | u32::from(bits.read_bit()?);
+            let count_at_len = self.count_at(len);
+            if count_at_len > 0 {
+                let first = self.first_code[len];
+                if code < first + count_at_len {
+                    if code < first {
+                        return Err(CodecError::Corrupt("huffman: invalid code"));
+                    }
+                    let idx = self.first_index[len] + (code - first);
+                    return Ok(self.sorted_symbols[idx as usize]);
+                }
+            }
+        }
+        Err(CodecError::Corrupt("huffman: code exceeds max length"))
+    }
+
+    fn count_at(&self, len: usize) -> u32 {
+        if len < MAX_CODE_LEN as usize {
+            self.first_index[len + 1] - self.first_index[len]
+        } else {
+            self.sorted_symbols.len() as u32 - self.first_index[len]
+        }
+    }
+
+    /// Serializes the code-length table (4 bits per symbol).
+    pub fn write_to(&self, w: &mut ByteWriter) {
+        w.write_varint(self.lengths.len() as u64);
+        let mut bits = BitWriter::new();
+        for &l in &self.lengths {
+            bits.write_bits(u64::from(l), 4);
+        }
+        w.write_len_prefixed(&bits.into_vec());
+    }
+
+    /// Reads a table written by [`CodeBook::write_to`].
+    pub fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
+        let n = r.read_varint()? as usize;
+        if n > MAX_SYMBOLS {
+            return Err(CodecError::Corrupt("huffman: alphabet too large"));
+        }
+        let payload = r.read_len_prefixed()?;
+        let mut bits = BitReader::new(payload);
+        let mut lengths = Vec::with_capacity(n);
+        for _ in 0..n {
+            lengths.push(bits.read_bits(4)? as u8);
+        }
+        Self::from_lengths(lengths)
+    }
+}
+
+/// Builds length-limited Huffman code lengths from frequencies.
+fn build_lengths(freqs: &[u64]) -> Vec<u8> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Standard heap-based Huffman tree over the used symbols.
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap via reversed comparison; tie-break on id for
+            // determinism across platforms.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then_with(|| other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = used.len();
+    // parent[i] for tree nodes; leaves are 0..n, internals n..2n-1.
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    let mut heap = std::collections::BinaryHeap::with_capacity(n);
+    for (leaf, &sym) in used.iter().enumerate() {
+        heap.push(Node {
+            weight: freqs[sym],
+            id: leaf,
+        });
+    }
+    let mut next_internal = n;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("heap len checked");
+        let b = heap.pop().expect("heap len checked");
+        parent[a.id] = next_internal;
+        parent[b.id] = next_internal;
+        heap.push(Node {
+            weight: a.weight.saturating_add(b.weight),
+            id: next_internal,
+        });
+        next_internal += 1;
+    }
+
+    // Depth of each leaf = chain length to the root.
+    let mut depths = vec![0u32; n];
+    for (leaf, depth) in depths.iter_mut().enumerate() {
+        let mut d = 0;
+        let mut cur = leaf;
+        while parent[cur] != usize::MAX {
+            cur = parent[cur];
+            d += 1;
+        }
+        *depth = d.max(1);
+    }
+
+    // Length-limit to MAX_CODE_LEN: clamp, then restore the Kraft sum by
+    // deepening the least-frequent symbols (cheapest in expected bits).
+    let limit = MAX_CODE_LEN;
+    let one = 1u64 << limit; // Kraft unit: lengths weighted as 2^(limit-len)
+    let mut kraft: u64 = 0;
+    for d in depths.iter_mut() {
+        if *d > limit {
+            *d = limit;
+        }
+        kraft += 1u64 << (limit - *d);
+    }
+    if kraft > one {
+        // Order leaves by ascending frequency so we lengthen cheap symbols.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&l| freqs[used[l]]);
+        'outer: loop {
+            for &l in &order {
+                if depths[l] < limit {
+                    kraft -= 1u64 << (limit - depths[l]);
+                    depths[l] += 1;
+                    kraft += 1u64 << (limit - depths[l]);
+                    if kraft <= one {
+                        break 'outer;
+                    }
+                }
+            }
+            if order.iter().all(|&l| depths[l] >= limit) {
+                break; // cannot happen for n <= 2^limit, defensive
+            }
+        }
+    }
+
+    for (leaf, &sym) in used.iter().enumerate() {
+        lengths[sym] = depths[leaf] as u8;
+    }
+    lengths
+}
+
+/// Compresses a `u16` symbol stream with a static canonical code.
+///
+/// Layout: varint symbol-count, serialized code book, bit payload.
+pub fn encode_symbols(symbols: &[u16], alphabet: usize) -> Result<Vec<u8>> {
+    if alphabet > MAX_SYMBOLS {
+        return Err(CodecError::InvalidParameter("huffman: alphabet too large"));
+    }
+    let mut freqs = vec![0u64; alphabet];
+    for &s in symbols {
+        *freqs
+            .get_mut(s as usize)
+            .ok_or(CodecError::InvalidParameter("huffman: symbol out of range"))? += 1;
+    }
+    let book = CodeBook::from_frequencies(&freqs)?;
+    let mut w = ByteWriter::new();
+    w.write_varint(symbols.len() as u64);
+    book.write_to(&mut w);
+    let mut bits = BitWriter::new();
+    for &s in symbols {
+        book.encode_symbol(&mut bits, s)?;
+    }
+    w.write_len_prefixed(&bits.into_vec());
+    Ok(w.into_vec())
+}
+
+/// Decompresses a stream produced by [`encode_symbols`].
+pub fn decode_symbols(bytes: &[u8]) -> Result<Vec<u16>> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.read_varint()? as usize;
+    if n > bytes.len().saturating_mul(256).max(4096) {
+        return Err(CodecError::Corrupt("huffman: implausible symbol count"));
+    }
+    let book = CodeBook::read_from(&mut r)?;
+    let payload = r.read_len_prefixed()?;
+    let mut bits = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(book.decode_symbol(&mut bits)?);
+    }
+    Ok(out)
+}
+
+/// Byte-oriented convenience wrappers used by callers compressing raw data.
+pub fn encode_bytes(data: &[u8]) -> Vec<u8> {
+    let symbols: Vec<u16> = data.iter().map(|&b| u16::from(b)).collect();
+    encode_symbols(&symbols, 256).expect("byte alphabet is always valid")
+}
+
+/// Inverse of [`encode_bytes`].
+pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<u8>> {
+    decode_symbols(bytes)?
+        .into_iter()
+        .map(|s| u8::try_from(s).map_err(|_| CodecError::Corrupt("huffman: not a byte symbol")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_skewed_bytes() {
+        let mut data = vec![b'a'; 10_000];
+        data.extend(vec![b'b'; 1000]);
+        data.extend(vec![b'c'; 100]);
+        data.extend(b"defghij".repeat(10));
+        let enc = encode_bytes(&data);
+        assert_eq!(decode_bytes(&enc).unwrap(), data);
+        // Highly skewed input must compress well below 8 bits/symbol.
+        assert!(enc.len() < data.len() / 4, "enc {} raw {}", enc.len(), data.len());
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single_symbol() {
+        assert_eq!(decode_bytes(&encode_bytes(&[])).unwrap(), Vec::<u8>::new());
+        let data = vec![42u8; 500];
+        assert_eq!(decode_bytes(&encode_bytes(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_all_256_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        assert_eq!(decode_bytes(&encode_bytes(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_large_alphabet_symbols() {
+        let symbols: Vec<u16> = (0..2000u16).chain(0..2000).chain(500..600).collect();
+        let enc = encode_symbols(&symbols, 2048).unwrap();
+        assert_eq!(decode_symbols(&enc).unwrap(), symbols);
+    }
+
+    #[test]
+    fn length_limiting_kicks_in_for_exponential_frequencies() {
+        // Fibonacci-ish frequencies force deep Huffman trees.
+        let mut freqs = vec![0u64; 64];
+        let mut a = 1u64;
+        let mut b = 1u64;
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        let book = CodeBook::from_frequencies(&freqs).unwrap();
+        assert!(book
+            .lengths()
+            .iter()
+            .all(|&l| u32::from(l) <= MAX_CODE_LEN));
+        // The resulting code must still be decodable.
+        let symbols: Vec<u16> = (0..64u16).collect();
+        let mut bits = BitWriter::new();
+        for &s in &symbols {
+            book.encode_symbol(&mut bits, s).unwrap();
+        }
+        let payload = bits.into_vec();
+        let mut r = BitReader::new(&payload);
+        for &s in &symbols {
+            assert_eq!(book.decode_symbol(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_lengths_rejected() {
+        // Three symbols of length 1 violate Kraft.
+        assert!(CodeBook::from_lengths(vec![1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn encoding_unseen_symbol_is_an_error() {
+        let book = CodeBook::from_frequencies(&[10, 0, 5]).unwrap();
+        let mut bits = BitWriter::new();
+        assert!(book.encode_symbol(&mut bits, 1).is_err());
+        assert!(book.encode_symbol(&mut bits, 9).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_errors_not_panics() {
+        let enc = encode_bytes(b"some reasonably long test input for huffman");
+        for cut in [1, enc.len() / 2, enc.len() - 1] {
+            let _ = decode_bytes(&enc[..cut]); // must not panic
+        }
+        let mut flipped = enc.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        let _ = decode_bytes(&flipped); // may error or mis-decode, not panic
+    }
+
+    #[test]
+    fn codebook_serialization_roundtrip() {
+        let freqs: Vec<u64> = (1..=40).map(|i| i * i).collect();
+        let book = CodeBook::from_frequencies(&freqs).unwrap();
+        let mut w = ByteWriter::new();
+        book.write_to(&mut w);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        let restored = CodeBook::read_from(&mut r).unwrap();
+        assert_eq!(restored.lengths(), book.lengths());
+    }
+
+    #[test]
+    fn two_symbol_alphabet_uses_one_bit_each() {
+        let book = CodeBook::from_frequencies(&[100, 1]).unwrap();
+        assert_eq!(book.lengths(), &[1, 1]);
+    }
+}

@@ -1,0 +1,296 @@
+//! LZSS: sliding-window dictionary compression (LZ77 family, §2.1.1).
+//!
+//! Produces a token stream of literals and `(length, distance)` matches
+//! found with a hash-chain match finder over a 32 KiB window — the same
+//! shape DEFLATE feeds its Huffman stage. [`crate::gzlike`] entropy-codes
+//! these tokens; this module also offers a raw byte-oriented container for
+//! testing the matcher in isolation.
+
+use crate::{ByteReader, ByteWriter, CodecError, Result};
+
+/// Sliding window size (matches DEFLATE).
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Shortest match worth emitting.
+pub const MIN_MATCH: usize = 4;
+/// Longest emitted match.
+pub const MAX_MATCH: usize = 258;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// How many chain links to follow before giving up (greedy/fast profile).
+const MAX_CHAIN: usize = 64;
+
+/// One LZSS token: a literal byte or a back-reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single uncompressed byte.
+    Literal(u8),
+    /// Copy `len` bytes from `dist` bytes back in the output.
+    Match {
+        /// Match length in `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Backward distance in `1..=WINDOW_SIZE`.
+        dist: u16,
+    },
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    // Multiplicative hash of 4 bytes; data must have 4 bytes at i.
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenizes `data` with a greedy hash-chain matcher.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 3 + 8);
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
+    // position in the same chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW_SIZE];
+
+    let mut i = 0usize;
+    let hash_limit = data.len() - MIN_MATCH + 1;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i < hash_limit {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut chains = 0usize;
+            let min_pos = i.saturating_sub(WINDOW_SIZE);
+            // `cand < i` also guards against stale chain entries after the
+            // prev[] ring wraps, which can alias to newer positions.
+            while cand != usize::MAX && cand < i && cand >= min_pos && chains < MAX_CHAIN {
+                // Quick reject on the byte just past the current best.
+                if best_len == 0
+                    || (cand + best_len < data.len()
+                        && i + best_len < data.len()
+                        && data[cand + best_len] == data[i + best_len])
+                {
+                    let max_len = (data.len() - i).min(MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < max_len && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l >= max_len {
+                            break;
+                        }
+                    }
+                }
+                if cand == 0 {
+                    break;
+                }
+                cand = prev[cand % WINDOW_SIZE];
+                chains += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
+            // Insert every covered position into the chains so later matches
+            // can reference inside this one.
+            let end = (i + best_len).min(hash_limit);
+            let mut j = i;
+            while j < end {
+                let h = hash4(data, j);
+                prev[j % WINDOW_SIZE] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            if i < hash_limit {
+                let h = hash4(data, i);
+                prev[i % WINDOW_SIZE] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Expands a token stream back into bytes.
+pub fn detokenize(tokens: &[Token], size_hint: usize) -> Result<Vec<u8>> {
+    // size_hint is untrusted when called from `decompress`; cap the
+    // allocation so corrupt headers cannot abort the process.
+    let mut out: Vec<u8> = Vec::with_capacity(size_hint.min(1 << 20));
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let len = len as usize;
+                let dist = dist as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(CodecError::Corrupt("lzss: distance before start"));
+                }
+                if !(MIN_MATCH..=MAX_MATCH).contains(&len) {
+                    return Err(CodecError::Corrupt("lzss: bad match length"));
+                }
+                let start = out.len() - dist;
+                // Byte-by-byte copy: overlapping matches (dist < len) are
+                // legal and replicate runs, exactly like LZ77.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Simple standalone container: varint-framed tokens, no entropy stage.
+///
+/// [`crate::gzlike`] supersedes this for real use; it exists so the matcher
+/// can be tested and benchmarked without the Huffman stage.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = tokenize(data);
+    let mut w = ByteWriter::with_capacity(data.len() / 2 + 16);
+    w.write_varint(data.len() as u64);
+    w.write_varint(tokens.len() as u64);
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => {
+                w.write_u8(0);
+                w.write_u8(b);
+            }
+            Token::Match { len, dist } => {
+                w.write_u8(1);
+                w.write_varint(u64::from(len));
+                w.write_varint(u64::from(dist));
+            }
+        }
+    }
+    w.into_vec()
+}
+
+/// Inverse of [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>> {
+    let mut r = ByteReader::new(bytes);
+    let raw_len = r.read_varint()? as usize;
+    let ntok = r.read_varint()? as usize;
+    if ntok > bytes.len().saturating_mul(2).max(1024) {
+        return Err(CodecError::Corrupt("lzss: implausible token count"));
+    }
+    let mut tokens = Vec::with_capacity(ntok);
+    for _ in 0..ntok {
+        match r.read_u8()? {
+            0 => tokens.push(Token::Literal(r.read_u8()?)),
+            1 => {
+                let len = r.read_varint()?;
+                let dist = r.read_varint()?;
+                let len = u16::try_from(len).map_err(|_| CodecError::Corrupt("lzss: len"))?;
+                let dist = u16::try_from(dist).map_err(|_| CodecError::Corrupt("lzss: dist"))?;
+                tokens.push(Token::Match { len, dist });
+            }
+            _ => return Err(CodecError::Corrupt("lzss: bad token tag")),
+        }
+    }
+    let out = detokenize(&tokens, raw_len)?;
+    if out.len() != raw_len {
+        return Err(CodecError::Corrupt("lzss: length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_repetitive_text() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(200);
+        let enc = compress(&data);
+        assert_eq!(decompress(&enc).unwrap(), data);
+        assert!(enc.len() < data.len() / 3, "repetitive input must shrink");
+    }
+
+    #[test]
+    fn roundtrip_empty_short_and_incompressible() {
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+        assert_eq!(decompress(&compress(b"abc")).unwrap(), b"abc");
+        // Pseudo-random bytes: must roundtrip even though they won't shrink.
+        let data: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_replicates_runs() {
+        let data = vec![7u8; 10_000];
+        let enc = compress(&data);
+        // ~39 max-length matches at a few bytes each in the raw container.
+        assert!(enc.len() < 300, "got {}", enc.len());
+        assert_eq!(decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn matches_across_distances() {
+        // Block A, 20KB of noise, block A again: the matcher must find the
+        // far-back copy (distance < 32K window).
+        let block = b"SENSOR-READING-BLOCK-0123456789".repeat(20);
+        let mut data = block.clone();
+        data.extend((0..20_000u32).map(|i| (i.wrapping_mul(40503) >> 7) as u8));
+        data.extend_from_slice(&block);
+        let enc = compress(&data);
+        assert_eq!(decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_distances() {
+        let toks = [Token::Match { len: 4, dist: 1 }];
+        assert!(detokenize(&toks, 4).is_err()); // nothing in window yet
+        let toks = [Token::Literal(1), Token::Match { len: 4, dist: 9 }];
+        assert!(detokenize(&toks, 5).is_err()); // distance past start
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_lengths() {
+        let toks = [
+            Token::Literal(1),
+            Token::Match { len: 2, dist: 1 }, // below MIN_MATCH
+        ];
+        assert!(detokenize(&toks, 3).is_err());
+        let toks = [
+            Token::Literal(1),
+            Token::Match { len: 300, dist: 1 }, // above MAX_MATCH
+        ];
+        assert!(detokenize(&toks, 301).is_err());
+    }
+
+    #[test]
+    fn corrupt_container_errors() {
+        let enc = compress(b"hello hello hello hello hello");
+        assert!(decompress(&enc[..enc.len() - 1]).is_err());
+        let mut bad = enc;
+        bad[0] ^= 0x55; // claimed raw length now wrong
+        assert!(decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn tokens_never_exceed_window() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        for t in tokenize(&data) {
+            if let Token::Match { len, dist } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+                assert!(dist as usize <= WINDOW_SIZE);
+                assert!(dist > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! Varints are the workhorse of every other format in this crate: small
+//! magnitudes — which dominate delta-coded and failure streams — take one
+//! byte instead of eight.
+
+use crate::{ByteReader, ByteWriter, CodecError, Result};
+
+/// Maximum number of bytes a LEB128-encoded u64 can occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `v` to `w` as an unsigned LEB128 varint.
+pub fn write_u64(w: &mut ByteWriter, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_u8(byte);
+            return;
+        }
+        w.write_u8(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from `r`.
+///
+/// Fails with [`CodecError::Overflow`] if the encoding exceeds 64 bits and
+/// [`CodecError::UnexpectedEof`] if the stream ends mid-value.
+pub fn read_u64(r: &mut ByteReader<'_>) -> Result<u64> {
+    let mut out: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = r.read_u8()?;
+        let payload = u64::from(byte & 0x7f);
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return Err(CodecError::Overflow);
+        }
+        out |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed integer to an unsigned one so small magnitudes of either
+/// sign get short varints: 0 → 0, -1 → 1, 1 → 2, -2 → 3, ...
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a zigzag-varint-encoded signed integer.
+pub fn write_i64(w: &mut ByteWriter, v: i64) {
+    write_u64(w, zigzag(v));
+}
+
+/// Reads a zigzag-varint-encoded signed integer.
+pub fn read_i64(r: &mut ByteReader<'_>) -> Result<i64> {
+    Ok(unzigzag(read_u64(r)?))
+}
+
+/// Number of bytes `v` occupies as a varint (without encoding it).
+pub fn encoded_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(v: u64) -> u64 {
+        let mut w = ByteWriter::new();
+        write_u64(&mut w, v);
+        let bytes = w.into_vec();
+        assert_eq!(bytes.len(), encoded_len(v), "encoded_len mismatch for {v}");
+        let mut r = ByteReader::new(&bytes);
+        let out = read_u64(&mut r).unwrap();
+        assert!(r.is_empty());
+        out
+    }
+
+    #[test]
+    fn unsigned_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip_u(v), v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip_boundaries() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            let mut w = ByteWriter::new();
+            write_i64(&mut w, v);
+            let bytes = w.into_vec();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(read_i64(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_ordering_of_small_magnitudes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        // 0x80 says "more bytes follow" but none do.
+        let mut r = ByteReader::new(&[0x80]);
+        assert_eq!(read_u64(&mut r).unwrap_err(), CodecError::UnexpectedEof);
+    }
+
+    #[test]
+    fn overlong_varint_is_overflow() {
+        // Eleven continuation bytes exceed 64 bits of payload.
+        let bytes = [0xff; 11];
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(read_u64(&mut r).unwrap_err(), CodecError::Overflow);
+    }
+
+    #[test]
+    fn tenth_byte_overflow_bit_rejected() {
+        // 10 bytes whose final byte carries more than the single allowed bit.
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(read_u64(&mut r).unwrap_err(), CodecError::Overflow);
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        for v in 0..128u64 {
+            assert_eq!(encoded_len(v), 1);
+        }
+        assert_eq!(encoded_len(128), 2);
+        assert_eq!(encoded_len(u64::MAX), 10);
+    }
+}

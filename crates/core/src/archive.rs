@@ -1,0 +1,212 @@
+//! The self-contained compressed archive container.
+//!
+//! Layout (little-endian, varint-framed):
+//!
+//! ```text
+//! "DSQZ" | version u8
+//! nrows varint | ncols varint
+//! per column: name (len-prefixed) | ColPlan
+//! has_model u8
+//! if has_model:
+//!   decoder blob (len-prefixed, gzlike-compressed DSNN weights)   §6.1
+//!   code layout: k varint | bits u8 | per expert×dim: min f32, span f32
+//!   n_experts varint
+//!   expert mapping: strategy u8 | payload (len-prefixed)          §6.4
+//!   codes blob (len-prefixed parq)                                 §6.2
+//! failures blob (len-prefixed parq)                                §6.3
+//! rare-streams: count varint | per stream: col varint | parq blob
+//! patches: len-prefixed gzlike blob of verbatim out-of-plan cells
+//! ```
+
+/// Byte-size breakdown matching the stacked bars of Fig. 6 ("DS Failures",
+/// "DS Codes", "DS Decoder") plus the envelope metadata (plans,
+/// dictionaries, quantizers — counted with failures in the paper's bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeBreakdown {
+    /// Compressed decoder weights.
+    pub decoder: usize,
+    /// Truncated, integerized codes.
+    pub codes: usize,
+    /// Materialized failures + expert mapping + fallback columns.
+    pub failures: usize,
+    /// Envelope: plans, dictionaries, quantizers, code-layout header.
+    pub metadata: usize,
+}
+
+impl SizeBreakdown {
+    /// Total of all components.
+    pub fn total(&self) -> usize {
+        self.decoder + self.codes + self.failures + self.metadata
+    }
+}
+
+/// Magic bytes of the archive format.
+pub const MAGIC: &[u8; 4] = b"DSQZ";
+/// Current format version.
+pub const VERSION: u8 = 2;
+
+/// A compressed table, self-contained: everything decompression needs.
+#[derive(Debug, Clone)]
+pub struct DsArchive {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) breakdown: SizeBreakdown,
+    /// Per-column failure-stream sizes (diagnostics; empty after
+    /// [`DsArchive::from_bytes`]).
+    pub(crate) failure_stats: Vec<(String, usize)>,
+}
+
+impl DsArchive {
+    /// Wraps raw bytes (breakdown is unavailable when loading from disk;
+    /// sizes are re-derivable by decompressing).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        DsArchive {
+            bytes,
+            breakdown: SizeBreakdown::default(),
+            failure_stats: Vec::new(),
+        }
+    }
+
+    /// Total archive size in bytes — the numerator of the paper's
+    /// compression ratio.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Raw bytes (write these to disk).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Component sizes (zeroed for archives loaded via
+    /// [`DsArchive::from_bytes`]).
+    pub fn breakdown(&self) -> SizeBreakdown {
+        self.breakdown
+    }
+
+    /// Per-column failure-stream sizes in bytes (compression-time
+    /// diagnostics; empty for archives loaded from raw bytes).
+    pub fn failure_stats(&self) -> &[(String, usize)] {
+        &self.failure_stats
+    }
+}
+
+/// Header-level description of an archive (no decompression needed).
+#[derive(Debug, Clone)]
+pub struct ArchiveInfo {
+    /// Row count.
+    pub nrows: usize,
+    /// Per column: (name, plan kind description).
+    pub columns: Vec<(String, &'static str)>,
+    /// Whether a model is embedded.
+    pub has_model: bool,
+    /// Number of experts (1 when no model).
+    pub n_experts: usize,
+    /// Code dimensions (0 when no model).
+    pub code_size: usize,
+    /// Stored code width in bits (0 when no model).
+    pub code_bits: u8,
+}
+
+/// Parses just the archive envelope — cheap metadata access for tooling.
+pub fn inspect(archive: &DsArchive) -> crate::Result<ArchiveInfo> {
+    use crate::preprocess::ColPlan;
+    use crate::DsError;
+    use ds_codec::ByteReader;
+
+    let mut r = ByteReader::new(&archive.bytes);
+    if r.read_bytes(4)? != MAGIC {
+        return Err(DsError::Corrupt("bad magic"));
+    }
+    if r.read_u8()? != VERSION {
+        return Err(DsError::Corrupt("unsupported version"));
+    }
+    let nrows = r.read_varint()? as usize;
+    let ncols = r.read_varint()? as usize;
+    if ncols > 1 << 20 {
+        return Err(DsError::Corrupt("implausible column count"));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = std::str::from_utf8(r.read_len_prefixed()?)
+            .map_err(|_| DsError::Corrupt("column name not utf-8"))?
+            .to_owned();
+        let kind = match ColPlan::read_from(&mut r)? {
+            ColPlan::Numeric { .. } => "numeric (quantized)",
+            ColPlan::NumericRaw { .. } => "numeric (raw)",
+            ColPlan::Binary { .. } => "binary",
+            ColPlan::Cat { .. } => "categorical",
+            ColPlan::Fallback => "fallback (columnar)",
+        };
+        columns.push((name, kind));
+    }
+    let has_model = match r.read_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DsError::Corrupt("bad model flag")),
+    };
+    let (mut n_experts, mut code_size, mut code_bits) = (1usize, 0usize, 0u8);
+    if has_model {
+        let _decoder = r.read_len_prefixed()?;
+        code_size = r.read_varint()? as usize;
+        code_bits = r.read_u8()?;
+        n_experts = r.read_varint()? as usize;
+    }
+    Ok(ArchiveInfo {
+        nrows,
+        columns,
+        has_model,
+        n_experts,
+        code_size,
+        code_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inspect_reads_envelope() {
+        use ds_table::gen;
+        let t = gen::monitor_like(120, 3);
+        let cfg = crate::DsConfig {
+            error_threshold: 0.1,
+            code_size: 3,
+            n_experts: 2,
+            max_epochs: 2,
+            ..Default::default()
+        };
+        let archive = crate::compress(&t, &cfg).expect("compresses");
+        let info = inspect(&archive).expect("inspects");
+        assert_eq!(info.nrows, 120);
+        assert_eq!(info.columns.len(), 17);
+        assert!(info.has_model);
+        assert_eq!(info.n_experts, 2);
+        assert_eq!(info.code_size, 3);
+        assert!(info.code_bits >= 4);
+        assert!(info.columns.iter().all(|(_, k)| *k == "numeric (quantized)"));
+    }
+
+    #[test]
+    fn inspect_rejects_garbage() {
+        assert!(inspect(&DsArchive::from_bytes(vec![1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let b = SizeBreakdown {
+            decoder: 10,
+            codes: 20,
+            failures: 30,
+            metadata: 5,
+        };
+        assert_eq!(b.total(), 65);
+    }
+
+    #[test]
+    fn from_bytes_preserves_size() {
+        let a = DsArchive::from_bytes(vec![0u8; 123]);
+        assert_eq!(a.size(), 123);
+        assert_eq!(a.breakdown(), SizeBreakdown::default());
+    }
+}

@@ -1,0 +1,936 @@
+//! The end-to-end compression and decompression pipelines (§3).
+
+use crate::archive::{DsArchive, MAGIC, VERSION};
+use crate::materialize::{
+    class_at_rank, dequantize_codes, materialize, MappingStrategy, MaterializeOptions,
+};
+use crate::preprocess::{preprocess, ColPlan, Preprocessed, PreprocessOptions};
+use crate::{DsError, Result};
+use ds_codec::{delta, gzlike, parq, rle, ByteReader};
+use ds_nn::moe::{MoeConfig, TrainReport};
+use ds_nn::{serialize, ModelSpec, MoeAutoencoder};
+use ds_table::{Column, ColumnType, Table};
+
+/// All DeepSqueeze knobs in one place. `Default` matches the paper's
+/// stated defaults where it states them (two hidden layers of 2× the
+/// column count, quantization on, single expert until tuned).
+#[derive(Debug, Clone)]
+pub struct DsConfig {
+    /// Uniform relative error bound for numeric columns (fraction of each
+    /// column's range; 0 = lossless).
+    pub error_threshold: f64,
+    /// Optional per-column thresholds overriding the uniform one (must
+    /// have one entry per column; entries for categorical columns are
+    /// ignored).
+    pub per_column_errors: Option<Vec<f64>>,
+    /// Representation-layer width — hyperparameter #1 (§5.4).
+    pub code_size: usize,
+    /// Number of mixture experts — hyperparameter #2 (§5.4).
+    pub n_experts: usize,
+    /// Training epochs cap.
+    pub max_epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Per-epoch multiplicative learning-rate decay (1.0 = constant).
+    pub lr_decay: f32,
+    /// Convergence tolerance (relative epoch-loss improvement).
+    pub tol: f32,
+    /// Seed for everything stochastic.
+    pub seed: u64,
+    /// Fraction of rows used for training (§5.3/§7.4.4); materialization
+    /// always covers the full table.
+    pub sample_frac: f64,
+    /// High-cardinality fallback threshold (§4.1).
+    pub high_card_ratio: f64,
+    /// Skew clipping: maximum model classes per categorical column (§4.1).
+    pub max_train_card: usize,
+    /// Fig. 7 ablation: single linear layer baseline.
+    pub linear_single_layer: bool,
+    /// Fig. 7 ablation: disable numeric quantization.
+    pub quantize_numerics: bool,
+    /// Relative weight of numeric MSE vs categorical cross-entropy.
+    pub numeric_loss_weight: f32,
+    /// Candidate code widths for §6.2 truncation.
+    pub code_bits_candidates: Vec<u8>,
+    /// §6.4 order-free storage (relational tables).
+    pub order_free: bool,
+    /// Mantissa bits zeroed from trained weights before materialization
+    /// (16 = bf16-like; 0 disables). Shrinks the gzip-compressed decoder
+    /// roughly 2× at negligible accuracy cost.
+    pub weight_truncate_bits: u32,
+}
+
+impl Default for DsConfig {
+    fn default() -> Self {
+        DsConfig {
+            error_threshold: 0.0,
+            per_column_errors: None,
+            code_size: 2,
+            n_experts: 1,
+            max_epochs: 120,
+            batch_size: 128,
+            lr: 4e-3,
+            lr_decay: 0.997,
+            tol: 5e-4,
+            seed: 0,
+            sample_frac: 1.0,
+            high_card_ratio: 0.5,
+            max_train_card: 256,
+            linear_single_layer: false,
+            quantize_numerics: true,
+            numeric_loss_weight: 2.0,
+            code_bits_candidates: vec![4, 8, 16],
+            order_free: false,
+            weight_truncate_bits: 16,
+        }
+    }
+}
+
+impl DsConfig {
+    fn preprocess_options(&self, table: &Table) -> Result<PreprocessOptions> {
+        let error_thresholds = match &self.per_column_errors {
+            Some(v) => {
+                if v.len() != table.ncols() {
+                    return Err(DsError::InvalidConfig(
+                        "per_column_errors arity mismatch",
+                    ));
+                }
+                v.clone()
+            }
+            None => vec![self.error_threshold; table.ncols()],
+        };
+        Ok(PreprocessOptions {
+            error_thresholds,
+            high_card_ratio: self.high_card_ratio,
+            max_train_card: self.max_train_card,
+            quantize_numerics: self.quantize_numerics,
+        })
+    }
+}
+
+/// A trained model plus the preprocessing state it was fitted with —
+/// separate from [`compress`] so benchmarks can time training and
+/// materialization independently, and so the streaming scenario (§3) can
+/// reuse one model across batches.
+pub struct TrainedCompressor {
+    pub(crate) prep: Preprocessed,
+    pub(crate) model: Option<MoeAutoencoder>,
+    /// Training diagnostics (empty when the table had no model-visible
+    /// columns).
+    pub report: TrainReport,
+    cfg: DsConfig,
+    nrows: usize,
+}
+
+impl TrainedCompressor {
+    /// Trains a compressor on `table` under `cfg`.
+    pub fn train(table: &Table, cfg: &DsConfig) -> Result<Self> {
+        if !(0.0..=1.0).contains(&cfg.sample_frac) || cfg.sample_frac == 0.0 {
+            return Err(DsError::InvalidConfig("sample_frac must be in (0,1]"));
+        }
+        let prep = preprocess(table, &cfg.preprocess_options(table)?)?;
+
+        let model = if prep.model_cols.is_empty() || table.nrows() == 0 {
+            None
+        } else {
+            let spec = ModelSpec {
+                heads: prep.heads.clone(),
+                code_size: cfg.code_size,
+                hidden: (prep.heads.len() * 2).max(4),
+                linear_single_layer: cfg.linear_single_layer,
+                numeric_loss_weight: cfg.numeric_loss_weight,
+                aux_width: 4,
+            };
+            let moe_cfg = MoeConfig {
+                n_experts: cfg.n_experts,
+                batch_size: cfg.batch_size,
+                max_epochs: cfg.max_epochs,
+                tol: cfg.tol,
+                lr: cfg.lr,
+                lr_decay: cfg.lr_decay,
+                seed: cfg.seed,
+            };
+            let (x_train, cat_train) = if cfg.sample_frac < 1.0 {
+                let target = ((table.nrows() as f64 * cfg.sample_frac).ceil() as usize)
+                    .clamp(1, table.nrows());
+                // Seeded sample of row indexes.
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x5A17);
+                let mut idx: Vec<usize> = (0..table.nrows()).collect();
+                idx.shuffle(&mut rng);
+                idx.truncate(target);
+                let x = prep.x.take_rows(&idx);
+                let cats = prep
+                    .cat_targets
+                    .iter()
+                    .map(|t| idx.iter().map(|&i| t[i]).collect())
+                    .collect();
+                (x, cats)
+            } else {
+                (prep.x.clone(), prep.cat_targets.clone())
+            };
+            let (mut model, report) =
+                MoeAutoencoder::train(&spec, &x_train, &cat_train, &moe_cfg)?;
+            if cfg.weight_truncate_bits > 0 {
+                if cfg.weight_truncate_bits >= 24 {
+                    return Err(DsError::InvalidConfig(
+                        "weight_truncate_bits must be < 24",
+                    ));
+                }
+                model.truncate_weights(cfg.weight_truncate_bits);
+            }
+            return Ok(TrainedCompressor {
+                prep,
+                model: Some(model),
+                report,
+                cfg: cfg.clone(),
+                nrows: table.nrows(),
+            });
+        };
+
+        Ok(TrainedCompressor {
+            prep,
+            model,
+            report: TrainReport::default(),
+            cfg: cfg.clone(),
+            nrows: table.nrows(),
+        })
+    }
+
+    /// The trained mixture (None when the table had no model-visible
+    /// columns or no rows).
+    pub fn model(&self) -> Option<&MoeAutoencoder> {
+        self.model.as_ref()
+    }
+
+    /// Assembles a compressor from externally trained parts (the k-means
+    /// comparator builds its mixture outside the gate-training path).
+    pub(crate) fn from_parts(
+        prep: Preprocessed,
+        model: Option<MoeAutoencoder>,
+        cfg: DsConfig,
+        nrows: usize,
+    ) -> Self {
+        TrainedCompressor {
+            prep,
+            model,
+            report: TrainReport::default(),
+            cfg,
+            nrows,
+        }
+    }
+
+    /// Materializes the archive for the table this compressor was trained
+    /// on (must be byte-identical to the training table).
+    pub fn materialize(&self, table: &Table) -> Result<DsArchive> {
+        if table.nrows() != self.nrows {
+            return Err(DsError::InvalidConfig(
+                "materialize: table differs from training table",
+            ));
+        }
+        let assignments = match &self.model {
+            Some(m) => m.assign_by_loss(&self.prep.x, &self.prep.cat_targets)?,
+            None => vec![0; table.nrows()],
+        };
+        self.materialize_with_assignments(table, &assignments)
+    }
+
+    /// Compresses a *new* table with the already-fitted plans and trained
+    /// model — the streaming scenario of §3, where "the encoder half of
+    /// the model can even be pushed to the clients". Cells the fitted
+    /// plans cannot represent (unseen categorical values, numerics outside
+    /// the fitted error envelope) are stored verbatim as patches, so every
+    /// reconstruction guarantee still holds. Retrain periodically if the
+    /// patch fraction grows.
+    pub fn compress_batch(&self, table: &Table) -> Result<DsArchive> {
+        let (prep, patches) = crate::preprocess::apply_plans(table, &self.prep.plans)?;
+        let assignments = match &self.model {
+            Some(m) => m.assign_by_loss(&prep.x, &prep.cat_targets)?,
+            None => vec![0; table.nrows()],
+        };
+        let opts = MaterializeOptions {
+            code_bits_candidates: self.cfg.code_bits_candidates.clone(),
+            // Streaming batches always preserve row order: patches address
+            // cells by original row index, which order-free storage would
+            // scramble.
+            order_free: false,
+        };
+        crate::materialize::materialize_with_patches(
+            table,
+            &prep,
+            self.model.as_ref(),
+            &assignments,
+            &patches,
+            &opts,
+        )
+    }
+
+    /// Materializes with externally supplied expert assignments (used by
+    /// the k-means comparator, §7.4.2).
+    pub fn materialize_with_assignments(
+        &self,
+        table: &Table,
+        assignments: &[usize],
+    ) -> Result<DsArchive> {
+        let opts = MaterializeOptions {
+            code_bits_candidates: self.cfg.code_bits_candidates.clone(),
+            order_free: self.cfg.order_free,
+        };
+        materialize(table, &self.prep, self.model.as_ref(), assignments, &opts)
+    }
+}
+
+/// Compresses a table end-to-end: preprocess → train → materialize.
+pub fn compress(table: &Table, cfg: &DsConfig) -> Result<DsArchive> {
+    TrainedCompressor::train(table, cfg)?.materialize(table)
+}
+
+/// Decompresses an archive back into a table.
+///
+/// Categorical columns reconstruct exactly; numeric columns are within the
+/// compression-time error thresholds (bucket midpoints). With an
+/// order-free archive (§6.4) rows come back grouped by expert rather than
+/// in original order.
+pub fn decompress(archive: &DsArchive) -> Result<Table> {
+    let mut r = ByteReader::new(&archive.bytes);
+    if r.read_bytes(4)? != MAGIC {
+        return Err(DsError::Corrupt("bad magic"));
+    }
+    if r.read_u8()? != VERSION {
+        return Err(DsError::Corrupt("unsupported version"));
+    }
+    let n = r.read_varint()? as usize;
+    let ncols = r.read_varint()? as usize;
+    if ncols > 1 << 20 {
+        return Err(DsError::Corrupt("implausible column count"));
+    }
+
+    let mut names = Vec::with_capacity(ncols);
+    let mut plans = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = std::str::from_utf8(r.read_len_prefixed()?)
+            .map_err(|_| DsError::Corrupt("column name not utf-8"))?
+            .to_owned();
+        names.push(name);
+        plans.push(ColPlan::read_from(&mut r)?);
+    }
+
+    let has_model = match r.read_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DsError::Corrupt("bad model flag")),
+    };
+
+    let mut model: Option<MoeAutoencoder> = None;
+    let mut code_k = 0usize;
+    let mut code_bits = 8u8;
+    let mut n_experts = 1usize;
+    let mut ranges: Vec<Vec<(f32, f32)>> = Vec::new();
+    if has_model {
+        let decoder_blob = r.read_len_prefixed()?;
+        let weights = gzlike::decompress(decoder_blob)?;
+        model = Some(serialize::import_decoders(&weights)?);
+        code_k = r.read_varint()? as usize;
+        code_bits = r.read_u8()?;
+        if !(1..=32).contains(&code_bits) || code_k > 1 << 16 {
+            return Err(DsError::Corrupt("bad code layout"));
+        }
+        n_experts = r.read_varint()? as usize;
+        if n_experts == 0 || n_experts > 4096 {
+            return Err(DsError::Corrupt("implausible expert count"));
+        }
+        if model.as_ref().map(MoeAutoencoder::n_experts) != Some(n_experts) {
+            return Err(DsError::Corrupt("expert count mismatch"));
+        }
+        for _ in 0..n_experts {
+            let mut dims = Vec::with_capacity(code_k);
+            for _ in 0..code_k {
+                let lo = r.read_f32()?;
+                let span = r.read_f32()?;
+                dims.push((lo, span));
+            }
+            ranges.push(dims);
+        }
+    }
+
+    // ---- expert mapping ----------------------------------------------------
+    let strategy = match r.read_u8()? {
+        0 => MappingStrategy::GroupedIndexes,
+        1 => MappingStrategy::Labels,
+        2 => MappingStrategy::GroupedOrderFree,
+        3 => MappingStrategy::ArithLabels,
+        _ => return Err(DsError::Corrupt("bad mapping strategy")),
+    };
+    let payload = r.read_len_prefixed()?;
+    let (storage_to_original, expert_of_storage) = match strategy {
+        MappingStrategy::GroupedIndexes => {
+            let mut pr = ByteReader::new(payload);
+            let mut s2o = Vec::with_capacity(n);
+            let mut expert = Vec::with_capacity(n);
+            for e in 0..n_experts {
+                let group = delta::decode_u32(pr.read_len_prefixed()?)?;
+                for idx in group {
+                    s2o.push(idx as usize);
+                    expert.push(e);
+                }
+            }
+            if s2o.len() != n {
+                return Err(DsError::Corrupt("mapping row count mismatch"));
+            }
+            (s2o, expert)
+        }
+        MappingStrategy::Labels => {
+            let labels = rle::decode(payload)?;
+            if labels.len() != n {
+                return Err(DsError::Corrupt("label count mismatch"));
+            }
+            let expert: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
+            if expert.iter().any(|&e| e >= n_experts) {
+                return Err(DsError::Corrupt("label out of range"));
+            }
+            ((0..n).collect(), expert)
+        }
+        MappingStrategy::GroupedOrderFree => {
+            let mut pr = ByteReader::new(payload);
+            let mut expert = Vec::with_capacity(n);
+            for e in 0..n_experts {
+                let count = pr.read_varint()? as usize;
+                expert.extend(std::iter::repeat_n(e, count));
+            }
+            if expert.len() != n {
+                return Err(DsError::Corrupt("group sizes mismatch"));
+            }
+            ((0..n).collect(), expert)
+        }
+        MappingStrategy::ArithLabels => {
+            let expert = crate::materialize::decode_labels_arith(payload, n_experts)?;
+            if expert.len() != n {
+                return Err(DsError::Corrupt("label count mismatch"));
+            }
+            if expert.iter().any(|&e| e >= n_experts) {
+                return Err(DsError::Corrupt("label out of range"));
+            }
+            ((0..n).collect(), expert)
+        }
+    };
+
+    // ---- codes ---------------------------------------------------------------
+    let mut code_cols: Vec<Vec<u32>> = Vec::new();
+    if has_model {
+        let codes_blob = r.read_len_prefixed()?;
+        if !codes_blob.is_empty() {
+            let cols = parq::read_table(codes_blob)?;
+            if cols.len() != code_k {
+                return Err(DsError::Corrupt("code column count mismatch"));
+            }
+            for (_, col) in cols {
+                match col {
+                    parq::ParqColumn::U32(v) if v.len() == n => code_cols.push(v),
+                    _ => return Err(DsError::Corrupt("code column malformed")),
+                }
+            }
+        } else if code_k != 0 && n > 0 {
+            return Err(DsError::Corrupt("missing codes"));
+        }
+    }
+
+    // ---- failures --------------------------------------------------------------
+    let failures_blob = r.read_len_prefixed()?;
+    let failure_cols = parq::read_table(failures_blob)?;
+    if failure_cols.len() != ncols {
+        return Err(DsError::Corrupt("failure column count mismatch"));
+    }
+
+    let n_rare = r.read_varint()? as usize;
+    let mut rare: std::collections::HashMap<usize, std::collections::VecDeque<u32>> =
+        Default::default();
+    for _ in 0..n_rare {
+        let col = r.read_varint()? as usize;
+        let blob = r.read_len_prefixed()?;
+        let t = parq::read_table(blob)?;
+        let values = match t.into_iter().next() {
+            Some((_, parq::ParqColumn::U32(v))) => v,
+            _ => return Err(DsError::Corrupt("rare stream malformed")),
+        };
+        rare.insert(col, values.into());
+    }
+
+    // ---- per-expert storage rows -------------------------------------------
+    let mut expert_rows: Vec<Vec<usize>> = vec![Vec::new(); n_experts];
+    for (pos, &e) in expert_of_storage.iter().enumerate() {
+        expert_rows[e].push(pos);
+    }
+
+    // ---- decode predictions and rebuild columns (storage order) -------------
+    // Output cells per column, in storage order.
+    let mut out_cols: Vec<OutCol> = plans
+        .iter()
+        .map(|p| match p {
+            ColPlan::Numeric { .. } | ColPlan::NumericRaw { .. } => OutCol::Num(vec![0.0; n]),
+            _ => OutCol::Str(vec![String::new(); n]),
+        })
+        .collect();
+
+    // Head slot bookkeeping identical to materialization.
+    let mut simple_slot_of = vec![usize::MAX; ncols];
+    let mut cat_slot_of = vec![usize::MAX; ncols];
+    let mut s = 0usize;
+    let mut c = 0usize;
+    for (i, plan) in plans.iter().enumerate() {
+        match plan {
+            ColPlan::Numeric { .. } | ColPlan::NumericRaw { .. } | ColPlan::Binary { .. } => {
+                simple_slot_of[i] = s;
+                s += 1;
+            }
+            ColPlan::Cat { .. } => {
+                cat_slot_of[i] = c;
+                c += 1;
+            }
+            ColPlan::Fallback => {}
+        }
+    }
+
+    for (e, rows) in expert_rows.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let decoded = if has_model {
+            let qcols: Vec<Vec<u32>> = code_cols
+                .iter()
+                .map(|col| rows.iter().map(|&pos| col[pos]).collect())
+                .collect();
+            let dq = dequantize_codes(&qcols, &ranges[e], code_bits);
+            Some(
+                model
+                    .as_ref()
+                    .expect("has_model")
+                    .decode(e, &dq)
+                    .map_err(DsError::from)?,
+            )
+        } else {
+            None
+        };
+
+        for (i, plan) in plans.iter().enumerate() {
+            match plan {
+                ColPlan::Numeric {
+                    quantizer,
+                    min,
+                    max,
+                } => {
+                    let decoded = decoded.as_ref().ok_or(DsError::Corrupt("missing model"))?;
+                    let slot = simple_slot_of[i];
+                    let deltas = match &failure_cols[i].1 {
+                        parq::ParqColumn::I64(v) => v,
+                        _ => return Err(DsError::Corrupt("numeric failures malformed")),
+                    };
+                    let span = (max - min).max(f64::MIN_POSITIVE);
+                    let card = quantizer.cardinality() as i64;
+                    if let OutCol::Num(buf) = &mut out_cols[i] {
+                        for (b, &pos) in rows.iter().enumerate() {
+                            let p = f64::from(decoded.simple.get(b, slot));
+                            let pred_bucket = quantizer.index_of(min + p * span) as i64;
+                            let bucket = (pred_bucket + deltas[pos]).clamp(0, card - 1);
+                            buf[pos] = quantizer.value_of(bucket as u32);
+                        }
+                    }
+                }
+                ColPlan::NumericRaw { min, max, .. } => {
+                    let decoded = decoded.as_ref().ok_or(DsError::Corrupt("missing model"))?;
+                    let slot = simple_slot_of[i];
+                    let deltas = match &failure_cols[i].1 {
+                        parq::ParqColumn::F64(v) => v,
+                        _ => return Err(DsError::Corrupt("raw failures malformed")),
+                    };
+                    let span = (max - min).max(f64::MIN_POSITIVE);
+                    if let OutCol::Num(buf) = &mut out_cols[i] {
+                        for (b, &pos) in rows.iter().enumerate() {
+                            let p = f64::from(decoded.simple.get(b, slot));
+                            let pred = min + p * span;
+                            buf[pos] = pred + deltas[pos];
+                        }
+                    }
+                }
+                ColPlan::Binary { dict } => {
+                    let decoded = decoded.as_ref().ok_or(DsError::Corrupt("missing model"))?;
+                    let slot = simple_slot_of[i];
+                    let xors = match &failure_cols[i].1 {
+                        parq::ParqColumn::U32(v) => v,
+                        _ => return Err(DsError::Corrupt("binary failures malformed")),
+                    };
+                    if let OutCol::Str(buf) = &mut out_cols[i] {
+                        for (b, &pos) in rows.iter().enumerate() {
+                            let bit = u32::from(decoded.simple.get(b, slot) > 0.5) ^ xors[pos];
+                            let value = dict
+                                .value_of(bit)
+                                .or_else(|| dict.value_of(0))
+                                .ok_or(DsError::Corrupt("binary dictionary empty"))?;
+                            buf[pos] = value.to_owned();
+                        }
+                    }
+                }
+                ColPlan::Cat {
+                    dict,
+                    model_card,
+                    class_to_code,
+                } => {
+                    let decoded = decoded.as_ref().ok_or(DsError::Corrupt("missing model"))?;
+                    let slot = cat_slot_of[i];
+                    let ranks = match &failure_cols[i].1 {
+                        parq::ParqColumn::U32(v) => v,
+                        _ => return Err(DsError::Corrupt("categorical failures malformed")),
+                    };
+                    let probs = &decoded.cat_probs[slot];
+                    let has_other = class_to_code.len() < *model_card;
+                    let other = *model_card - 1;
+                    if let OutCol::Str(buf) = &mut out_cols[i] {
+                        for (b, &pos) in rows.iter().enumerate() {
+                            let class = class_at_rank(probs.row(b), *model_card, ranks[pos])
+                                .ok_or(DsError::Corrupt("rank out of range"))?;
+                            let code = if has_other && class == other {
+                                // OTHER: the exact code comes from the rare
+                                // stream — but rare entries are ordered by
+                                // storage position across experts, so they
+                                // are resolved in a second pass below.
+                                u32::MAX
+                            } else {
+                                class_to_code
+                                    .get(class)
+                                    .copied()
+                                    .ok_or(DsError::Corrupt("class map too short"))?
+                            };
+                            if code == u32::MAX {
+                                buf[pos] = RARE_SENTINEL.to_owned();
+                            } else {
+                                let value = dict
+                                    .value_of(code)
+                                    .ok_or(DsError::Corrupt("code outside dictionary"))?;
+                                buf[pos] = value.to_owned();
+                            }
+                        }
+                    }
+                }
+                ColPlan::Fallback => {
+                    let values = match &failure_cols[i].1 {
+                        parq::ParqColumn::Str(v) => v,
+                        _ => return Err(DsError::Corrupt("fallback column malformed")),
+                    };
+                    if let OutCol::Str(buf) = &mut out_cols[i] {
+                        for &pos in rows {
+                            buf[pos] = values[pos].clone();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Fallback columns with no model at all (entire-table fallback).
+    if !has_model {
+        for (i, plan) in plans.iter().enumerate() {
+            if let ColPlan::Fallback = plan {
+                let values = match &failure_cols[i].1 {
+                    parq::ParqColumn::Str(v) => v,
+                    _ => return Err(DsError::Corrupt("fallback column malformed")),
+                };
+                if let OutCol::Str(buf) = &mut out_cols[i] {
+                    buf.clone_from_slice(values);
+                }
+            }
+        }
+    }
+
+    // ---- rare (OTHER) second pass, in storage order per column --------------
+    for (i, plan) in plans.iter().enumerate() {
+        if let ColPlan::Cat { dict, .. } = plan {
+            if let OutCol::Str(buf) = &mut out_cols[i] {
+                if buf.iter().any(|v| v == RARE_SENTINEL) {
+                    let stream = rare
+                        .get_mut(&i)
+                        .ok_or(DsError::Corrupt("missing rare stream"))?;
+                    for cell in buf.iter_mut() {
+                        if cell == RARE_SENTINEL {
+                            let code = stream
+                                .pop_front()
+                                .ok_or(DsError::Corrupt("rare stream exhausted"))?;
+                            *cell = dict
+                                .value_of(code)
+                                .ok_or(DsError::Corrupt("rare code outside dictionary"))?
+                                .to_owned();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- patches: verbatim out-of-plan cells (streaming batches) -------------
+    let patch_blob = gzlike::decompress(r.read_len_prefixed()?)?;
+    let mut pr = ByteReader::new(&patch_blob);
+    let n_patches = pr.read_varint()? as usize;
+    let mut patches = Vec::with_capacity(n_patches.min(1 << 20));
+    for _ in 0..n_patches {
+        let col = pr.read_varint()? as usize;
+        let row = pr.read_varint()? as usize;
+        if col >= ncols || row >= n {
+            return Err(DsError::Corrupt("patch out of range"));
+        }
+        let value = match pr.read_u8()? {
+            0 => crate::preprocess::PatchValue::Num(pr.read_f64()?),
+            1 => crate::preprocess::PatchValue::Str(
+                std::str::from_utf8(pr.read_len_prefixed()?)
+                    .map_err(|_| DsError::Corrupt("patch not utf-8"))?
+                    .to_owned(),
+            ),
+            _ => return Err(DsError::Corrupt("bad patch tag")),
+        };
+        patches.push(crate::preprocess::Patch { col, row, value });
+    }
+
+    // ---- scatter back to original order and build the table -----------------
+    let mut named = Vec::with_capacity(ncols);
+    for ((name, plan), out) in names.into_iter().zip(&plans).zip(out_cols) {
+        let column = match (plan, out) {
+            (ColPlan::Numeric { .. } | ColPlan::NumericRaw { .. }, OutCol::Num(v)) => {
+                let mut orig = vec![0.0f64; n];
+                for (pos, &o) in storage_to_original.iter().enumerate() {
+                    orig[o] = v[pos];
+                }
+                Column::Num(orig)
+            }
+            (_, OutCol::Str(v)) => {
+                let mut orig = vec![String::new(); n];
+                for (pos, &o) in storage_to_original.iter().enumerate() {
+                    orig[o] = v[pos].clone();
+                }
+                Column::Cat(orig)
+            }
+            _ => return Err(DsError::Corrupt("column kind mismatch")),
+        };
+        debug_assert_eq!(
+            column.ty(),
+            match plan {
+                ColPlan::Numeric { .. } | ColPlan::NumericRaw { .. } => ColumnType::Numeric,
+                _ => ColumnType::Categorical,
+            }
+        );
+        named.push((name, column));
+    }
+    // Apply patches last (positions are original row indexes).
+    for p in &patches {
+        match (&mut named[p.col].1, &p.value) {
+            (Column::Num(v), crate::preprocess::PatchValue::Num(x)) => v[p.row] = *x,
+            (Column::Cat(v), crate::preprocess::PatchValue::Str(x)) => {
+                v[p.row] = x.clone();
+            }
+            _ => return Err(DsError::Corrupt("patch type mismatch")),
+        }
+    }
+    Ok(Table::from_columns(named)?)
+}
+
+/// A sentinel that can never collide with dictionary contents because the
+/// rare pass replaces it before the table is built (dictionary values are
+/// user data, so the sentinel is an internal `\u{0}`-prefixed marker and
+/// any residue is an error surfaced by the rare-stream length check).
+const RARE_SENTINEL: &str = "\u{0}__DS_RARE__";
+
+enum OutCol {
+    Num(Vec<f64>),
+    Str(Vec<String>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_table::gen;
+
+    fn fast_cfg(error: f64) -> DsConfig {
+        DsConfig {
+            error_threshold: error,
+            max_epochs: 8,
+            code_size: 2,
+            ..Default::default()
+        }
+    }
+
+    fn assert_within_error(original: &Table, restored: &Table, error: f64) {
+        assert_eq!(original.schema(), restored.schema());
+        assert_eq!(original.nrows(), restored.nrows());
+        for (a, b) in original.columns().iter().zip(restored.columns()) {
+            match (a, b) {
+                (Column::Cat(x), Column::Cat(y)) => assert_eq!(x, y),
+                (Column::Num(x), Column::Num(y)) => {
+                    let min = x.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let bound = error * (max - min) * (1.0 + 1e-7) + 1e-9;
+                    for (u, v) in x.iter().zip(y) {
+                        assert!(
+                            (u - v).abs() <= bound,
+                            "numeric error {} exceeds bound {bound}",
+                            (u - v).abs()
+                        );
+                    }
+                }
+                _ => panic!("column type changed"),
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_numeric_dataset() {
+        let t = gen::corel_like(300, 1);
+        let archive = compress(&t, &fast_cfg(0.10)).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_within_error(&t, &restored, 0.10);
+        assert!(archive.size() < t.raw_size());
+    }
+
+    #[test]
+    fn roundtrip_categorical_dataset_exact() {
+        let t = gen::census_like(300, 2);
+        let archive = compress(&t, &fast_cfg(0.0)).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_eq!(t, restored);
+    }
+
+    #[test]
+    fn roundtrip_mixed_dataset_with_binary_columns() {
+        let t = gen::forest_like(250, 3);
+        let archive = compress(&t, &fast_cfg(0.05)).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_within_error(&t, &restored, 0.05);
+    }
+
+    #[test]
+    fn roundtrip_with_high_cardinality_fallback_and_rare_streams() {
+        let mut cfg = fast_cfg(0.10);
+        cfg.max_train_card = 16; // force OTHER classes on criteo cats
+        let t = gen::criteo_like(300, 4);
+        let archive = compress(&t, &cfg).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_within_error(&t, &restored, 0.10);
+    }
+
+    #[test]
+    fn roundtrip_multiple_experts() {
+        let mut cfg = fast_cfg(0.10);
+        cfg.n_experts = 3;
+        let t = gen::monitor_like(400, 5);
+        let archive = compress(&t, &cfg).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_within_error(&t, &restored, 0.10);
+    }
+
+    #[test]
+    fn roundtrip_no_quantization_ablation() {
+        let mut cfg = fast_cfg(0.10);
+        cfg.quantize_numerics = false;
+        let t = gen::monitor_like(250, 6);
+        let archive = compress(&t, &cfg).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_within_error(&t, &restored, 0.10);
+    }
+
+    #[test]
+    fn roundtrip_linear_ablation() {
+        let mut cfg = fast_cfg(0.10);
+        cfg.linear_single_layer = true;
+        let t = gen::corel_like(200, 7);
+        let archive = compress(&t, &cfg).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_within_error(&t, &restored, 0.10);
+    }
+
+    #[test]
+    fn order_free_returns_grouped_rows() {
+        let mut cfg = fast_cfg(0.10);
+        cfg.order_free = true;
+        cfg.n_experts = 2;
+        let t = gen::monitor_like(200, 8);
+        let archive = compress(&t, &cfg).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_eq!(restored.nrows(), t.nrows());
+        assert_eq!(restored.schema(), t.schema());
+        // Multisets of each column must match even though order may not.
+        for (a, b) in t.columns().iter().zip(restored.columns()) {
+            let (a, b) = (a.as_num().unwrap(), b.as_num().unwrap());
+            let mut xs: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let mut ys: Vec<u64> = b.iter().map(|v| (v.round()).to_bits()).collect();
+            xs.sort_unstable();
+            ys.sort_unstable();
+            // With a 10% threshold values are bucket midpoints, so exact
+            // multiset equality does not hold; just sanity-check counts.
+            assert_eq!(xs.len(), ys.len());
+        }
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = gen::corel_like(0, 9);
+        let archive = compress(&t, &fast_cfg(0.10)).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_eq!(restored.nrows(), 0);
+        assert_eq!(restored.schema(), t.schema());
+    }
+
+    #[test]
+    fn sample_training_still_covers_full_table() {
+        let mut cfg = fast_cfg(0.10);
+        cfg.sample_frac = 0.2;
+        let t = gen::monitor_like(500, 10);
+        let archive = compress(&t, &cfg).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_within_error(&t, &restored, 0.10);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_size() {
+        let t = gen::monitor_like(300, 11);
+        let archive = compress(&t, &fast_cfg(0.05)).unwrap();
+        assert_eq!(archive.breakdown().total(), archive.size());
+        assert!(archive.breakdown().decoder > 0);
+        assert!(archive.breakdown().codes > 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let t = gen::corel_like(50, 12);
+        let mut cfg = fast_cfg(0.1);
+        cfg.sample_frac = 0.0;
+        assert!(compress(&t, &cfg).is_err());
+        let mut cfg = fast_cfg(0.1);
+        cfg.per_column_errors = Some(vec![0.1; 2]);
+        assert!(compress(&t, &cfg).is_err());
+        let mut cfg = fast_cfg(0.1);
+        cfg.code_bits_candidates = vec![40];
+        assert!(compress(&t, &cfg).is_err());
+    }
+
+    #[test]
+    fn corrupt_archives_error_not_panic() {
+        let t = gen::monitor_like(120, 13);
+        let archive = compress(&t, &fast_cfg(0.10)).unwrap();
+        let bytes = archive.as_bytes().to_vec();
+        assert!(decompress(&DsArchive::from_bytes(bytes[1..].to_vec())).is_err());
+        for cut in [5, 30, bytes.len() / 2, bytes.len() - 2] {
+            let _ = decompress(&DsArchive::from_bytes(bytes[..cut].to_vec()));
+        }
+        for i in (0..bytes.len()).step_by(131) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            let _ = decompress(&DsArchive::from_bytes(bad)); // no panic
+        }
+    }
+
+    #[test]
+    fn deterministic_compression() {
+        let t = gen::corel_like(150, 14);
+        let a = compress(&t, &fast_cfg(0.10)).unwrap();
+        let b = compress(&t, &fast_cfg(0.10)).unwrap();
+        assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+}

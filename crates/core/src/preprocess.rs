@@ -1,0 +1,743 @@
+//! Preprocessing (§4): converts a table into model-ready matrices.
+//!
+//! Per column:
+//!
+//! * **Categorical** (§4.1) — dictionary-encoded. Columns whose cardinality
+//!   approaches the row count (unique strings, keys) are *excluded from the
+//!   model* and fall back to plain columnar compression. Skewed wide
+//!   columns are clipped for training: only the most frequent values keep
+//!   their own class, the tail shares an OTHER class, and exact tail values
+//!   ride a side stream ("the small additional overhead associated with
+//!   mispredicting infrequent values is offset by the substantial reduction
+//!   in model size").
+//! * **Binary** — two-valued categoricals become single-node heads with the
+//!   XOR failure encoding downstream.
+//! * **Numeric** (§4.2) — min-max scaled to [0,1] and quantized to bucket
+//!   midpoints under the column's error threshold. With quantization
+//!   disabled (the Fig. 7 ablation) the raw scaled value feeds the model
+//!   and failures are stored as continuous deltas.
+
+use crate::{DsError, Result};
+use ds_codec::dict::Dictionary;
+use ds_codec::quant::Quantizer;
+use ds_codec::{ByteReader, ByteWriter};
+use ds_nn::autoencoder::Head;
+use ds_nn::Mat;
+use ds_table::{Column, Table};
+use std::collections::HashMap;
+
+/// How one original column participates in the pipeline.
+#[derive(Debug, Clone)]
+pub enum ColPlan {
+    /// Quantized numeric column (model-visible, 1 node).
+    Numeric {
+        /// Fitted quantizer (Exact when the threshold is 0).
+        quantizer: Quantizer,
+        /// Min of the column at fit time (for scaling).
+        min: f64,
+        /// Max of the column at fit time.
+        max: f64,
+    },
+    /// Unquantized numeric column — the "no quantization" ablation. The
+    /// error threshold is still honoured at materialization time.
+    NumericRaw {
+        /// Min of the column at fit time.
+        min: f64,
+        /// Max of the column at fit time.
+        max: f64,
+        /// Error threshold (fraction of range).
+        error: f64,
+    },
+    /// Two-valued categorical (model-visible, 1 node, XOR failures).
+    Binary {
+        /// Value dictionary (exactly 2 entries; 1 entry degenerates fine).
+        dict: Dictionary,
+    },
+    /// Categorical (model-visible via the shared softmax head).
+    Cat {
+        /// Full value dictionary.
+        dict: Dictionary,
+        /// Number of model classes (≤ dict len; the last class is OTHER
+        /// when smaller).
+        model_card: usize,
+        /// Model class → global dictionary code for the non-OTHER classes
+        /// (length `model_card` when no OTHER, `model_card - 1` with).
+        class_to_code: Vec<u32>,
+    },
+    /// Bypasses the model entirely; stored via the columnar fallback.
+    Fallback,
+}
+
+impl ColPlan {
+    /// The model head this plan contributes, if any.
+    pub fn head(&self) -> Option<Head> {
+        match self {
+            ColPlan::Numeric { .. } | ColPlan::NumericRaw { .. } => Some(Head::Numeric),
+            ColPlan::Binary { .. } => Some(Head::Binary),
+            ColPlan::Cat { model_card, .. } => Some(Head::Categorical { card: *model_card }),
+            ColPlan::Fallback => None,
+        }
+    }
+
+    /// True when this plan has an OTHER class for clipped tail values.
+    pub fn has_other_class(&self) -> bool {
+        match self {
+            ColPlan::Cat {
+                dict, model_card, ..
+            } => *model_card < dict.len(),
+            _ => false,
+        }
+    }
+
+    /// Serializes the plan.
+    pub fn write_to(&self, w: &mut ByteWriter) {
+        match self {
+            ColPlan::Numeric {
+                quantizer,
+                min,
+                max,
+            } => {
+                w.write_u8(0);
+                quantizer.write_to(w);
+                w.write_f64(*min);
+                w.write_f64(*max);
+            }
+            ColPlan::NumericRaw { min, max, error } => {
+                w.write_u8(1);
+                w.write_f64(*min);
+                w.write_f64(*max);
+                w.write_f64(*error);
+            }
+            ColPlan::Binary { dict } => {
+                w.write_u8(2);
+                dict.write_to(w);
+            }
+            ColPlan::Cat {
+                dict,
+                model_card,
+                class_to_code,
+            } => {
+                w.write_u8(3);
+                dict.write_to(w);
+                w.write_varint(*model_card as u64);
+                w.write_varint(class_to_code.len() as u64);
+                for &c in class_to_code {
+                    w.write_varint(u64::from(c));
+                }
+            }
+            ColPlan::Fallback => w.write_u8(4),
+        }
+    }
+
+    /// Reads a plan written by [`ColPlan::write_to`].
+    pub fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(match r.read_u8()? {
+            0 => ColPlan::Numeric {
+                quantizer: Quantizer::read_from(r)?,
+                min: r.read_f64()?,
+                max: r.read_f64()?,
+            },
+            1 => ColPlan::NumericRaw {
+                min: r.read_f64()?,
+                max: r.read_f64()?,
+                error: r.read_f64()?,
+            },
+            2 => ColPlan::Binary {
+                dict: Dictionary::read_from(r)?,
+            },
+            3 => {
+                let dict = Dictionary::read_from(r)?;
+                let model_card = r.read_varint()? as usize;
+                let n = r.read_varint()? as usize;
+                if n > dict.len().max(1) {
+                    return Err(DsError::Corrupt("class map larger than dictionary"));
+                }
+                let mut class_to_code = Vec::with_capacity(n);
+                for _ in 0..n {
+                    class_to_code.push(r.read_varint()? as u32);
+                }
+                ColPlan::Cat {
+                    dict,
+                    model_card,
+                    class_to_code,
+                }
+            }
+            4 => ColPlan::Fallback,
+            _ => return Err(DsError::Corrupt("unknown column plan tag")),
+        })
+    }
+}
+
+/// Everything the trainer and materializer need about a preprocessed table.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Per original column.
+    pub plans: Vec<ColPlan>,
+    /// Original column index of each model-visible column, in model order.
+    pub model_cols: Vec<usize>,
+    /// Heads aligned with `model_cols`.
+    pub heads: Vec<Head>,
+    /// Model input matrix, `nrows × model_cols.len()`, all values in [0,1].
+    pub x: Mat,
+    /// Training targets for categorical heads (model-class codes, clamped
+    /// to OTHER), aligned with the categorical heads in model order.
+    pub cat_targets: Vec<Vec<u32>>,
+    /// Per original column: the discretized "true" codes used by
+    /// materialization (bucket indexes / dict codes / bits). `None` for
+    /// fallback and raw-numeric columns.
+    pub true_codes: Vec<Option<Vec<u32>>>,
+}
+
+/// Preprocessing knobs (a subset of [`crate::DsConfig`]).
+#[derive(Debug, Clone)]
+pub struct PreprocessOptions {
+    /// Per-column relative error bound for numeric columns.
+    pub error_thresholds: Vec<f64>,
+    /// Categorical columns with `distinct/rows` above this (and more than
+    /// 64 distinct values) bypass the model.
+    pub high_card_ratio: f64,
+    /// Maximum model classes per categorical column (skew clipping).
+    pub max_train_card: usize,
+    /// Fig. 7 ablation: disable quantization.
+    pub quantize_numerics: bool,
+}
+
+/// Runs preprocessing over a table.
+pub fn preprocess(table: &Table, opts: &PreprocessOptions) -> Result<Preprocessed> {
+    if opts.error_thresholds.len() != table.ncols() {
+        return Err(DsError::InvalidConfig(
+            "one error threshold per column required",
+        ));
+    }
+    if opts.max_train_card < 3 {
+        return Err(DsError::InvalidConfig("max_train_card must be >= 3"));
+    }
+    let n = table.nrows();
+
+    let mut plans = Vec::with_capacity(table.ncols());
+    let mut true_codes: Vec<Option<Vec<u32>>> = Vec::with_capacity(table.ncols());
+
+    for (i, col) in table.columns().iter().enumerate() {
+        match col {
+            Column::Num(values) => {
+                let error = opts.error_thresholds[i];
+                if !(0.0..=1.0).contains(&error) {
+                    return Err(DsError::InvalidConfig("error threshold not in [0,1]"));
+                }
+                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let (min, max) = if values.is_empty() { (0.0, 0.0) } else { (min, max) };
+                if opts.quantize_numerics {
+                    let quantizer = Quantizer::fit(values, error)?;
+                    true_codes.push(Some(quantizer.encode_column(values)));
+                    plans.push(ColPlan::Numeric {
+                        quantizer,
+                        min,
+                        max,
+                    });
+                } else {
+                    true_codes.push(None);
+                    plans.push(ColPlan::NumericRaw { min, max, error });
+                }
+            }
+            Column::Cat(values) => {
+                let (dict, codes) = Dictionary::encode_column(values);
+                let distinct = dict.len();
+                let too_wide = n > 0
+                    && distinct > 64
+                    && distinct as f64 > opts.high_card_ratio * n as f64;
+                if too_wide {
+                    plans.push(ColPlan::Fallback);
+                    true_codes.push(None);
+                } else if distinct <= 2 {
+                    plans.push(ColPlan::Binary { dict });
+                    true_codes.push(Some(codes));
+                } else if distinct <= opts.max_train_card {
+                    let class_to_code = (0..distinct as u32).collect();
+                    plans.push(ColPlan::Cat {
+                        dict,
+                        model_card: distinct,
+                        class_to_code,
+                    });
+                    true_codes.push(Some(codes));
+                } else {
+                    // Skew clipping: top (max_train_card - 1) values keep a
+                    // class; everything else shares OTHER.
+                    let mut freq: HashMap<u32, u64> = HashMap::new();
+                    for &c in &codes {
+                        *freq.entry(c).or_default() += 1;
+                    }
+                    let mut by_freq: Vec<(u32, u64)> = freq.into_iter().collect();
+                    // Sort by (count desc, code asc) for determinism.
+                    by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    let keep = opts.max_train_card - 1;
+                    let class_to_code: Vec<u32> =
+                        by_freq.iter().take(keep).map(|&(c, _)| c).collect();
+                    plans.push(ColPlan::Cat {
+                        dict,
+                        model_card: opts.max_train_card,
+                        class_to_code,
+                    });
+                    true_codes.push(Some(codes));
+                }
+            }
+        }
+    }
+
+    // Model-visible columns and heads.
+    let mut model_cols = Vec::new();
+    let mut heads = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        if let Some(h) = plan.head() {
+            model_cols.push(i);
+            heads.push(h);
+        }
+    }
+    if model_cols.is_empty() && table.ncols() > 0 {
+        // Entirely fallback table: legal, the pipeline skips the model.
+    }
+
+    // Build the input matrix and categorical targets.
+    let mut x = Mat::zeros(n, model_cols.len());
+    let mut cat_targets: Vec<Vec<u32>> = Vec::new();
+    for (slot, &i) in model_cols.iter().enumerate() {
+        match (&plans[i], table.column(i).expect("valid index")) {
+            (
+                ColPlan::Numeric {
+                    quantizer,
+                    min,
+                    max,
+                },
+                Column::Num(_),
+            ) => {
+                let codes = true_codes[i].as_ref().expect("numeric has codes");
+                let span = (max - min).max(f64::MIN_POSITIVE);
+                for (r, &code) in codes.iter().enumerate() {
+                    let mid = quantizer.value_of(code);
+                    x.set(r, slot, (((mid - min) / span).clamp(0.0, 1.0)) as f32);
+                }
+            }
+            (ColPlan::NumericRaw { min, max, .. }, Column::Num(values)) => {
+                let span = (max - min).max(f64::MIN_POSITIVE);
+                for (r, &v) in values.iter().enumerate() {
+                    x.set(r, slot, (((v - min) / span).clamp(0.0, 1.0)) as f32);
+                }
+            }
+            (ColPlan::Binary { .. }, Column::Cat(_)) => {
+                let codes = true_codes[i].as_ref().expect("binary has codes");
+                for (r, &code) in codes.iter().enumerate() {
+                    x.set(r, slot, code as f32);
+                }
+            }
+            (
+                ColPlan::Cat {
+                    model_card,
+                    class_to_code,
+                    ..
+                },
+                Column::Cat(_),
+            ) => {
+                let codes = true_codes[i].as_ref().expect("cat has codes");
+                // global code → model class (OTHER = model_card - 1).
+                let mut code_to_class: HashMap<u32, u32> = HashMap::new();
+                for (class, &code) in class_to_code.iter().enumerate() {
+                    code_to_class.insert(code, class as u32);
+                }
+                let other = (*model_card - 1) as u32;
+                let has_other = class_to_code.len() < *model_card;
+                let mut targets = Vec::with_capacity(n);
+                let denom = (*model_card - 1).max(1) as f32;
+                for (r, &code) in codes.iter().enumerate() {
+                    let class = match code_to_class.get(&code) {
+                        Some(&c) => c,
+                        None if has_other => other,
+                        // Without an OTHER class every code is mapped.
+                        None => unreachable!("full class map covers all codes"),
+                    };
+                    targets.push(class);
+                    x.set(r, slot, class as f32 / denom);
+                }
+                cat_targets.push(targets);
+            }
+            _ => unreachable!("plan/column type mismatch is prevented at construction"),
+        }
+    }
+
+    Ok(Preprocessed {
+        plans,
+        model_cols,
+        heads,
+        x,
+        cat_targets,
+        true_codes,
+    })
+}
+
+/// A cell that the fitted plans cannot represent (unseen categorical
+/// value, numeric outside the fitted quantizer's error envelope). Patches
+/// are stored verbatim in the archive and applied after reconstruction —
+/// the mechanism behind the streaming scenario (§3), where batches arrive
+/// after the model was fitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Patch {
+    /// Original column index.
+    pub col: usize,
+    /// Original row index.
+    pub row: usize,
+    /// Exact replacement value.
+    pub value: PatchValue,
+}
+
+/// Patch payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatchValue {
+    /// Exact numeric value.
+    Num(f64),
+    /// Exact string value.
+    Str(String),
+}
+
+/// Applies *fitted* plans to a new table (same schema), producing model
+/// inputs plus patches for every cell the plans cannot represent.
+///
+/// Unlike [`preprocess`], nothing is re-fitted: dictionaries, quantizers
+/// and scaling ranges come from the plans. This is the encoder the
+/// streaming scenario pushes to clients.
+pub fn apply_plans(table: &Table, plans: &[ColPlan]) -> Result<(Preprocessed, Vec<Patch>)> {
+    if plans.len() != table.ncols() {
+        return Err(DsError::InvalidConfig("plan arity mismatch"));
+    }
+    for (i, plan) in plans.iter().enumerate() {
+        let col = table.column(i).expect("arity checked");
+        let ok = matches!(
+            (plan, col),
+            (ColPlan::Numeric { .. } | ColPlan::NumericRaw { .. }, Column::Num(_))
+                | (
+                    ColPlan::Binary { .. } | ColPlan::Cat { .. } | ColPlan::Fallback,
+                    Column::Cat(_)
+                )
+        );
+        if !ok {
+            return Err(DsError::InvalidConfig("plan/column type mismatch"));
+        }
+    }
+    let n = table.nrows();
+    let mut patches = Vec::new();
+    let mut true_codes: Vec<Option<Vec<u32>>> = Vec::with_capacity(plans.len());
+    let mut model_cols = Vec::new();
+    let mut heads = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        if let Some(h) = plan.head() {
+            model_cols.push(i);
+            heads.push(h);
+        }
+        match (plan, table.column(i).expect("arity checked")) {
+            (ColPlan::Numeric { quantizer, .. }, Column::Num(values)) => {
+                let tol = quantizer.max_abs_error() * (1.0 + 1e-9) + 1e-12;
+                let codes = values
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &v)| {
+                        let idx = quantizer.index_of(v);
+                        if (quantizer.value_of(idx) - v).abs() > tol {
+                            patches.push(Patch {
+                                col: i,
+                                row: r,
+                                value: PatchValue::Num(v),
+                            });
+                        }
+                        idx
+                    })
+                    .collect();
+                true_codes.push(Some(codes));
+            }
+            (ColPlan::NumericRaw { .. }, Column::Num(_)) => {
+                // Raw numeric failures store exact deltas; nothing to patch.
+                true_codes.push(None);
+            }
+            (ColPlan::Binary { dict }, Column::Cat(values)) => {
+                let codes = values
+                    .iter()
+                    .enumerate()
+                    .map(|(r, v)| match dict.code_of(v) {
+                        Some(c) => c,
+                        None => {
+                            patches.push(Patch {
+                                col: i,
+                                row: r,
+                                value: PatchValue::Str(v.clone()),
+                            });
+                            0
+                        }
+                    })
+                    .collect();
+                true_codes.push(Some(codes));
+            }
+            (ColPlan::Cat { dict, .. }, Column::Cat(values)) => {
+                let codes = values
+                    .iter()
+                    .enumerate()
+                    .map(|(r, v)| match dict.code_of(v) {
+                        Some(c) => c,
+                        None => {
+                            patches.push(Patch {
+                                col: i,
+                                row: r,
+                                value: PatchValue::Str(v.clone()),
+                            });
+                            0
+                        }
+                    })
+                    .collect();
+                true_codes.push(Some(codes));
+            }
+            (ColPlan::Fallback, Column::Cat(_)) => true_codes.push(None),
+            _ => unreachable!("type agreement checked above"),
+        }
+    }
+
+    // Build x / cat_targets exactly as `preprocess` does, from the codes.
+    let mut x = ds_nn::Mat::zeros(n, model_cols.len());
+    let mut cat_targets: Vec<Vec<u32>> = Vec::new();
+    for (slot, &i) in model_cols.iter().enumerate() {
+        match (&plans[i], table.column(i).expect("arity checked")) {
+            (
+                ColPlan::Numeric {
+                    quantizer,
+                    min,
+                    max,
+                },
+                Column::Num(_),
+            ) => {
+                let codes = true_codes[i].as_ref().expect("numeric has codes");
+                let span = (max - min).max(f64::MIN_POSITIVE);
+                for (r, &code) in codes.iter().enumerate() {
+                    let mid = quantizer.value_of(code);
+                    x.set(r, slot, (((mid - min) / span).clamp(0.0, 1.0)) as f32);
+                }
+            }
+            (ColPlan::NumericRaw { min, max, .. }, Column::Num(values)) => {
+                let span = (max - min).max(f64::MIN_POSITIVE);
+                for (r, &v) in values.iter().enumerate() {
+                    x.set(r, slot, (((v - min) / span).clamp(0.0, 1.0)) as f32);
+                }
+            }
+            (ColPlan::Binary { .. }, Column::Cat(_)) => {
+                let codes = true_codes[i].as_ref().expect("binary has codes");
+                for (r, &code) in codes.iter().enumerate() {
+                    x.set(r, slot, (code.min(1)) as f32);
+                }
+            }
+            (
+                ColPlan::Cat {
+                    model_card,
+                    class_to_code,
+                    ..
+                },
+                Column::Cat(_),
+            ) => {
+                let codes = true_codes[i].as_ref().expect("cat has codes");
+                let denom = (*model_card - 1).max(1) as f32;
+                let mut targets = Vec::with_capacity(n);
+                for (r, &code) in codes.iter().enumerate() {
+                    let class = class_of_code(class_to_code, *model_card, code);
+                    targets.push(class);
+                    x.set(r, slot, class as f32 / denom);
+                }
+                cat_targets.push(targets);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    Ok((
+        Preprocessed {
+            plans: plans.to_vec(),
+            model_cols,
+            heads,
+            x,
+            cat_targets,
+            true_codes,
+        },
+        patches,
+    ))
+}
+
+/// Maps a global dictionary code to its model class under a Cat plan.
+pub fn class_of_code(class_to_code: &[u32], model_card: usize, code: u32) -> u32 {
+    match class_to_code.iter().position(|&c| c == code) {
+        Some(class) => class as u32,
+        None => (model_card - 1) as u32, // OTHER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_table::gen;
+
+    fn opts(ncols: usize, error: f64) -> PreprocessOptions {
+        PreprocessOptions {
+            error_thresholds: vec![error; ncols],
+            high_card_ratio: 0.5,
+            max_train_card: 64,
+            quantize_numerics: true,
+        }
+    }
+
+    #[test]
+    fn numeric_inputs_scaled_to_unit_interval() {
+        let t = gen::monitor_like(200, 1);
+        let p = preprocess(&t, &opts(t.ncols(), 0.05)).unwrap();
+        assert_eq!(p.x.cols(), 17);
+        for &v in p.x.data() {
+            assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+        }
+        // All columns are model-visible numerics.
+        assert_eq!(p.heads.len(), 17);
+        assert!(p.heads.iter().all(|h| matches!(h, Head::Numeric)));
+        assert!(p.cat_targets.is_empty());
+    }
+
+    #[test]
+    fn binary_columns_become_binary_heads() {
+        let t = gen::forest_like(150, 2);
+        let p = preprocess(&t, &opts(t.ncols(), 0.1)).unwrap();
+        let binary_heads = p.heads.iter().filter(|h| matches!(h, Head::Binary)).count();
+        // 4 wilderness + 40 soil one-hot columns are binary.
+        assert_eq!(binary_heads, 44);
+        let cat_heads = p
+            .heads
+            .iter()
+            .filter(|h| matches!(h, Head::Categorical { .. }))
+            .count();
+        assert_eq!(cat_heads, 1); // cover type
+        assert_eq!(p.cat_targets.len(), 1);
+    }
+
+    #[test]
+    fn high_cardinality_columns_fall_back() {
+        let t = gen::criteo_like(400, 3);
+        let p = preprocess(&t, &opts(t.ncols(), 0.1)).unwrap();
+        let fallbacks = p
+            .plans
+            .iter()
+            .filter(|p| matches!(p, ColPlan::Fallback))
+            .count();
+        assert_eq!(fallbacks, 2, "the two hash columns must fall back");
+        // Fallback columns contribute no head.
+        assert_eq!(p.heads.len(), t.ncols() - 2);
+    }
+
+    #[test]
+    fn skew_clipping_creates_other_class() {
+        // One categorical column with 100 distinct skewed values.
+        let values: Vec<String> = (0..2000)
+            .map(|i| format!("v{}", if i % 3 == 0 { i % 100 } else { i % 5 }))
+            .collect();
+        let t = ds_table::Table::from_columns(vec![(
+            "c".into(),
+            ds_table::Column::Cat(values),
+        )])
+        .unwrap();
+        let mut o = opts(1, 0.0);
+        o.max_train_card = 16;
+        let p = preprocess(&t, &o).unwrap();
+        match &p.plans[0] {
+            ColPlan::Cat {
+                dict,
+                model_card,
+                class_to_code,
+            } => {
+                assert_eq!(*model_card, 16);
+                assert_eq!(class_to_code.len(), 15);
+                assert!(dict.len() > 16);
+                assert!(p.plans[0].has_other_class());
+            }
+            other => panic!("wrong plan {other:?}"),
+        }
+        // Targets stay within model_card.
+        assert!(p.cat_targets[0].iter().all(|&c| c < 16));
+        // The frequent values map to themselves (head classes), and some
+        // rows land in OTHER.
+        assert!(p.cat_targets[0].iter().any(|&c| c == 15));
+    }
+
+    #[test]
+    fn quantization_codes_respect_error_bound() {
+        let t = gen::corel_like(300, 5);
+        let p = preprocess(&t, &opts(t.ncols(), 0.10)).unwrap();
+        for (i, plan) in p.plans.iter().enumerate() {
+            if let ColPlan::Numeric { quantizer, .. } = plan {
+                let original = t.column(i).unwrap().as_num().unwrap();
+                let codes = p.true_codes[i].as_ref().unwrap();
+                for (&v, &c) in original.iter().zip(codes) {
+                    let rec = quantizer.value_of(c);
+                    assert!((rec - v).abs() <= quantizer.max_abs_error() + 1e-12);
+                }
+            } else {
+                panic!("corel is all numeric");
+            }
+        }
+    }
+
+    #[test]
+    fn no_quantization_option_keeps_raw_values() {
+        let t = gen::monitor_like(100, 7);
+        let mut o = opts(t.ncols(), 0.10);
+        o.quantize_numerics = false;
+        let p = preprocess(&t, &o).unwrap();
+        assert!(p
+            .plans
+            .iter()
+            .all(|pl| matches!(pl, ColPlan::NumericRaw { .. })));
+        assert!(p.true_codes.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn plan_serialization_roundtrip() {
+        let t = gen::criteo_like(300, 11);
+        let mut o = opts(t.ncols(), 0.05);
+        o.max_train_card = 32;
+        let p = preprocess(&t, &o).unwrap();
+        for plan in &p.plans {
+            let mut w = ByteWriter::new();
+            plan.write_to(&mut w);
+            let bytes = w.into_vec();
+            let mut r = ByteReader::new(&bytes);
+            let restored = ColPlan::read_from(&mut r).unwrap();
+            // Compare via re-serialization (ColPlan has no PartialEq since
+            // Quantizer holds floats compared bitwise there).
+            let mut w2 = ByteWriter::new();
+            restored.write_to(&mut w2);
+            assert_eq!(w2.as_slice(), bytes.as_slice());
+        }
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let t = gen::corel_like(10, 1);
+        assert!(preprocess(
+            &t,
+            &PreprocessOptions {
+                error_thresholds: vec![0.1; 3], // wrong arity
+                high_card_ratio: 0.5,
+                max_train_card: 64,
+                quantize_numerics: true,
+            }
+        )
+        .is_err());
+        let mut o = opts(t.ncols(), 0.1);
+        o.max_train_card = 2;
+        assert!(preprocess(&t, &o).is_err());
+        let o = opts(t.ncols(), 1.5);
+        assert!(preprocess(&t, &o).is_err());
+    }
+
+    #[test]
+    fn class_of_code_maps_other() {
+        let map = vec![10u32, 20, 30];
+        assert_eq!(class_of_code(&map, 4, 20), 1);
+        assert_eq!(class_of_code(&map, 4, 99), 3); // OTHER
+    }
+}

@@ -1,0 +1,275 @@
+//! Hyperparameter tuning (§5.4, Fig. 5): Bayesian optimization over the
+//! (code size × number of experts) grid with increasing sample sizes.
+//!
+//! The driver follows the paper's `tune()` pseudocode: for each candidate
+//! sample size, run `minimize()` (expected-improvement GP search from
+//! [`ds_bayesopt`]) with the *compression of the sample* as the expensive
+//! objective; then compress an independent second sample with the chosen
+//! hyperparameters and accept when the normalized size difference is
+//! within `eps` — a proxy for "the model trained on the sample will
+//! provide similar performance on the full dataset". If no sample size
+//! converges, the configuration from the largest sample wins.
+
+use crate::pipeline::{compress, DsConfig};
+use crate::Result;
+use ds_table::Table;
+
+/// Tuning parameters mirroring the arguments of the paper's `tune()`.
+#[derive(Debug, Clone)]
+pub struct TuneConfig {
+    /// Increasing candidate sample sizes (rows), e.g. `[1000, 5000, 20000]`.
+    pub samples: Vec<usize>,
+    /// Candidate code sizes.
+    pub codes: Vec<usize>,
+    /// Candidate expert counts.
+    pub experts: Vec<usize>,
+    /// Convergence threshold on `|size(y2) − size(y1)| / raw_size`.
+    pub eps: f64,
+    /// Objective-evaluation budget per sample size.
+    pub budget: usize,
+    /// Base configuration (error thresholds, epochs, seeds…); `code_size`
+    /// and `n_experts` are overwritten by the search.
+    pub base: DsConfig,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig {
+            samples: vec![1000, 4000, 16000],
+            codes: vec![1, 2, 4],
+            experts: vec![1, 2, 4],
+            eps: 0.01,
+            budget: 8,
+            base: DsConfig::default(),
+        }
+    }
+}
+
+/// One hyperparameter trial, for convergence plots (Fig. 9).
+#[derive(Debug, Clone)]
+pub struct TuneTrial {
+    /// Code size tried.
+    pub code_size: usize,
+    /// Expert count tried.
+    pub n_experts: usize,
+    /// Compression ratio achieved on the tuning sample (compressed/raw).
+    pub ratio: f64,
+}
+
+/// Outcome of a [`tune`] run.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Chosen configuration (base + best hyperparameters).
+    pub config: DsConfig,
+    /// All trials, in evaluation order (across all sample sizes).
+    pub trials: Vec<TuneTrial>,
+    /// Sample size at which the search accepted (rows); `None` when the
+    /// largest sample was used without meeting `eps`.
+    pub converged_at: Option<usize>,
+}
+
+/// Runs the Fig. 5 tuning procedure and returns the chosen configuration.
+pub fn tune(table: &Table, cfg: &TuneConfig) -> Result<TuneOutcome> {
+    let grid: Vec<Vec<f64>> = cfg
+        .codes
+        .iter()
+        .flat_map(|&c| cfg.experts.iter().map(move |&e| vec![c as f64, e as f64]))
+        .collect();
+    if grid.is_empty() {
+        return Err(crate::DsError::InvalidConfig("empty hyperparameter grid"));
+    }
+    let raw_size = table.raw_size().max(1) as f64;
+    let mut trials: Vec<TuneTrial> = Vec::new();
+
+    let mut best_from_largest: Option<(usize, usize)> = None;
+    for (si, &s) in cfg.samples.iter().enumerate() {
+        let full = s >= table.nrows();
+        let x1 = if full {
+            table.clone()
+        } else {
+            table.sample(s, cfg.base.seed.wrapping_add(1000 + si as u64))
+        };
+        let x1_raw = x1.raw_size().max(1) as f64;
+
+        // minimize(train(x1, error), codes, experts)
+        let mut local: Vec<TuneTrial> = Vec::new();
+        let result = ds_bayesopt::minimize(
+            &grid,
+            |_, point| {
+                let mut c = cfg.base.clone();
+                c.code_size = point[0] as usize;
+                c.n_experts = point[1] as usize;
+                match compress(&x1, &c) {
+                    Ok(archive) => {
+                        let ratio = archive.size() as f64 / x1_raw;
+                        local.push(TuneTrial {
+                            code_size: c.code_size,
+                            n_experts: c.n_experts,
+                            ratio,
+                        });
+                        archive.size() as f64
+                    }
+                    // A failing configuration is simply a terrible one.
+                    Err(_) => {
+                        local.push(TuneTrial {
+                            code_size: c.code_size,
+                            n_experts: c.n_experts,
+                            ratio: f64::INFINITY,
+                        });
+                        f64::INFINITY
+                    }
+                }
+            },
+            cfg.budget,
+            cfg.base.seed.wrapping_add(77),
+        )?;
+        let y1_size = result.best_value;
+        let best_point = &grid[result.best];
+        let (code_size, n_experts) = (best_point[0] as usize, best_point[1] as usize);
+        trials.extend(local);
+        best_from_largest = Some((code_size, n_experts));
+
+        // Model trained on the full data: return immediately (Fig. 5).
+        if full {
+            let mut config = cfg.base.clone();
+            config.code_size = code_size;
+            config.n_experts = n_experts;
+            return Ok(TuneOutcome {
+                config,
+                trials,
+                converged_at: Some(table.nrows()),
+            });
+        }
+
+        // Cross-validate on an independent sample.
+        let x2 = table.sample(s, cfg.base.seed.wrapping_add(2000 + si as u64));
+        let mut c = cfg.base.clone();
+        c.code_size = code_size;
+        c.n_experts = n_experts;
+        let y2_size = compress(&x2, &c)?.size() as f64;
+        if (y2_size - y1_size).abs() / raw_size < cfg.eps {
+            let mut config = cfg.base.clone();
+            config.code_size = code_size;
+            config.n_experts = n_experts;
+            return Ok(TuneOutcome {
+                config,
+                trials,
+                converged_at: Some(s),
+            });
+        }
+    }
+
+    // No sample size converged: keep the configuration from the largest.
+    let (code_size, n_experts) =
+        best_from_largest.ok_or(crate::DsError::InvalidConfig("no sample sizes"))?;
+    let mut config = cfg.base.clone();
+    config.code_size = code_size;
+    config.n_experts = n_experts;
+    Ok(TuneOutcome {
+        config,
+        trials,
+        converged_at: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_table::gen;
+
+    fn fast_base() -> DsConfig {
+        DsConfig {
+            error_threshold: 0.10,
+            max_epochs: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tune_returns_a_grid_member_and_trials() {
+        let t = gen::corel_like(400, 1);
+        let cfg = TuneConfig {
+            samples: vec![150],
+            codes: vec![1, 2],
+            experts: vec![1, 2],
+            eps: 1.0, // accept immediately after the first sample
+            budget: 3,
+            base: fast_base(),
+        };
+        let outcome = tune(&t, &cfg).unwrap();
+        assert!(cfg.codes.contains(&outcome.config.code_size));
+        assert!(cfg.experts.contains(&outcome.config.n_experts));
+        assert_eq!(outcome.trials.len(), 3);
+        assert_eq!(outcome.converged_at, Some(150));
+        // Trials record finite ratios.
+        assert!(outcome.trials.iter().all(|t| t.ratio.is_finite()));
+    }
+
+    #[test]
+    fn oversized_sample_uses_full_data_path() {
+        let t = gen::corel_like(120, 2);
+        let cfg = TuneConfig {
+            samples: vec![10_000], // > nrows → full-data branch
+            codes: vec![1],
+            experts: vec![1],
+            eps: 0.001,
+            budget: 1,
+            base: fast_base(),
+        };
+        let outcome = tune(&t, &cfg).unwrap();
+        assert_eq!(outcome.converged_at, Some(120));
+    }
+
+    #[test]
+    fn unconverged_run_returns_largest_sample_choice() {
+        let t = gen::monitor_like(600, 3);
+        let cfg = TuneConfig {
+            samples: vec![50, 100],
+            codes: vec![1, 2],
+            experts: vec![1],
+            eps: 0.0, // impossible to satisfy
+            budget: 2,
+            base: fast_base(),
+        };
+        let outcome = tune(&t, &cfg).unwrap();
+        assert_eq!(outcome.converged_at, None);
+        assert!(cfg.codes.contains(&outcome.config.code_size));
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let t = gen::corel_like(50, 4);
+        let cfg = TuneConfig {
+            codes: vec![],
+            ..TuneConfig::default()
+        };
+        assert!(tune(&t, &cfg).is_err());
+    }
+
+    #[test]
+    fn trials_feed_convergence_curves() {
+        // Best-so-far over trials must be non-increasing — the Fig. 9 series.
+        let t = gen::corel_like(300, 5);
+        let cfg = TuneConfig {
+            samples: vec![120],
+            codes: vec![1, 2, 4],
+            experts: vec![1, 2],
+            eps: 1.0,
+            budget: 5,
+            base: fast_base(),
+        };
+        let outcome = tune(&t, &cfg).unwrap();
+        let mut best = f64::INFINITY;
+        let series: Vec<f64> = outcome
+            .trials
+            .iter()
+            .map(|t| {
+                best = best.min(t.ratio);
+                best
+            })
+            .collect();
+        for w in series.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+}

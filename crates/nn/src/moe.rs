@@ -1,0 +1,594 @@
+//! Sparsely-gated mixture of experts (§5.2–§5.3 of the paper).
+//!
+//! A *gate* network assigns each tuple to the expert (autoencoder) best
+//! suited to it. Training is end-to-end: every batch is fed to all experts
+//! concurrently; the total loss is the gate-weighted sum Σₑ gₑ(x)·Lₑ(x),
+//! so backpropagated errors update both the responsible experts (scaled by
+//! their gate probability) and the gate itself, which "might choose to
+//! reassign the tuple to a different expert" (§5.3). At inference the gate
+//! routes hard: each tuple goes to its argmax expert only.
+
+use crate::adam::{AdamConfig, AdamState};
+use crate::autoencoder::{Autoencoder, ModelSpec};
+use crate::dense::{Activation, Dense};
+use crate::mat::Mat;
+use crate::{NnError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters for the mixture.
+#[derive(Debug, Clone)]
+pub struct MoeConfig {
+    /// Number of experts — hyperparameter #2 of §5.4.
+    pub n_experts: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Maximum training epochs.
+    pub max_epochs: usize,
+    /// Stop when the relative loss improvement over an epoch falls below
+    /// this (the paper's "until convergence").
+    pub tol: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Multiplicative per-epoch learning-rate decay (1.0 = constant).
+    pub lr_decay: f32,
+    /// RNG seed (weights, shuffling).
+    pub seed: u64,
+}
+
+impl Default for MoeConfig {
+    fn default() -> Self {
+        MoeConfig {
+            n_experts: 1,
+            batch_size: 128,
+            max_epochs: 60,
+            tol: 1e-3,
+            lr: 2e-3,
+            lr_decay: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean gate-weighted loss after each epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Number of epochs actually run.
+    pub epochs_run: usize,
+}
+
+/// The gate network: input → hidden(ReLU) → expert logits → softmax.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    l1: Dense,
+    l2: Dense,
+}
+
+impl Gate {
+    fn new(input_dim: usize, n_experts: usize, rng: &mut StdRng) -> Self {
+        let h = (input_dim * 2).max(4);
+        Gate {
+            l1: Dense::xavier(input_dim, h, Activation::Relu, rng),
+            l2: Dense::xavier(h, n_experts, Activation::Identity, rng),
+        }
+    }
+
+    /// Softmax expert probabilities for a batch (B × E).
+    pub fn probabilities(&self, x: &Mat) -> Mat {
+        let h = self.l1.forward(x);
+        let logits = self.l2.forward(&h);
+        softmax_rows(&logits)
+    }
+
+    /// Hard argmax assignment per tuple.
+    pub fn assign(&self, x: &Mat) -> Vec<usize> {
+        let g = self.probabilities(x);
+        (0..g.rows())
+            .map(|r| {
+                let row = g.row(r);
+                (0..row.len())
+                    .max_by(|&a, &b| row[a].total_cmp(&row[b]))
+                    .expect("at least one expert")
+            })
+            .collect()
+    }
+
+    /// One gradient step: given per-tuple per-expert losses `l` (B × E) and
+    /// the already-computed probabilities `g`, minimize Σ gₑ·Lₑ.
+    fn train_step(
+        &mut self,
+        x: &Mat,
+        g: &Mat,
+        losses: &Mat,
+        states: &mut (AdamState, AdamState),
+        cfg: &AdamConfig,
+    ) {
+        let (b, e) = (g.rows(), g.cols());
+        // d(Σ g·L)/d logits = g ⊙ (L − Σ g·L) per row (softmax Jacobian).
+        let mut dlogits = Mat::zeros(b, e);
+        for r in 0..b {
+            let mut mean = 0.0;
+            for c in 0..e {
+                mean += g.get(r, c) * losses.get(r, c);
+            }
+            for c in 0..e {
+                dlogits.set(r, c, g.get(r, c) * (losses.get(r, c) - mean));
+            }
+        }
+        let h = self.l1.forward(x);
+        let logits = self.l2.forward(&h);
+        let (dh, g2) = self.l2.backward(&h, &logits, dlogits);
+        let (_, g1) = self.l1.backward(x, &h, dh);
+        states.0.step(&mut self.l1, &g1, cfg);
+        states.1.step(&mut self.l2, &g2, cfg);
+    }
+}
+
+/// A trained mixture of expert autoencoders (a single expert degenerates
+/// to a plain autoencoder with no gate).
+#[derive(Debug, Clone)]
+pub struct MoeAutoencoder {
+    experts: Vec<Autoencoder>,
+    gate: Option<Gate>,
+}
+
+impl MoeAutoencoder {
+    /// Trains the mixture end-to-end on `x` (rows already preprocessed to
+    /// [0,1]) with `cat_targets` (per categorical head, dictionary codes).
+    pub fn train(
+        spec: &ModelSpec,
+        x: &Mat,
+        cat_targets: &[Vec<u32>],
+        cfg: &MoeConfig,
+    ) -> Result<(Self, TrainReport)> {
+        if cfg.n_experts == 0 {
+            return Err(NnError::InvalidSpec("need at least one expert"));
+        }
+        if x.rows() == 0 {
+            return Err(NnError::InvalidSpec("empty training set"));
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut experts: Vec<Autoencoder> = (0..cfg.n_experts)
+            .map(|_| Autoencoder::new(spec.clone(), &mut rng))
+            .collect::<Result<_>>()?;
+        let mut gate = if cfg.n_experts > 1 {
+            Some(Gate::new(spec.input_dim(), cfg.n_experts, &mut rng))
+        } else {
+            None
+        };
+
+        let mut adam_cfg = AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        };
+        let mut expert_states: Vec<Vec<AdamState>> = experts
+            .iter()
+            .map(|e| e.layers().iter().map(|l| AdamState::for_layer(l)).collect())
+            .collect();
+        let mut gate_states = gate
+            .as_ref()
+            .map(|g| (AdamState::for_layer(&g.l1), AdamState::for_layer(&g.l2)));
+
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut report = TrainReport::default();
+        let mut prev_loss = f32::MAX;
+        let mut stall_epochs = 0usize;
+
+        for epoch in 0..cfg.max_epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            for chunk in order.chunks(cfg.batch_size) {
+                let xb = x.take_rows(chunk);
+                let cat_b: Vec<Vec<u32>> = cat_targets
+                    .iter()
+                    .map(|t| chunk.iter().map(|&i| t[i]).collect())
+                    .collect();
+
+                let g = match &gate {
+                    Some(gate) => gate.probabilities(&xb),
+                    None => Mat::from_vec(xb.rows(), 1, vec![1.0; xb.rows()]),
+                };
+
+                // All experts see the batch (the gate masks via weights).
+                // The gate weights are normalized to unit mean per expert:
+                // otherwise a near-uniform gate scales every expert's
+                // gradient by ~1/E and the mixture trains E× slower than a
+                // single model (gradient dilution).
+                let expert_weights: Vec<Vec<f32>> = (0..experts.len())
+                    .map(|e| {
+                        let mut weights: Vec<f32> =
+                            (0..xb.rows()).map(|r| g.get(r, e)).collect();
+                        let mean: f32 = weights.iter().sum::<f32>() / weights.len() as f32;
+                        if mean > 1e-6 {
+                            let inv = 1.0 / mean;
+                            for w in &mut weights {
+                                *w *= inv;
+                            }
+                        }
+                        weights
+                    })
+                    .collect();
+                // Experts run one thread each when cores are available;
+                // sequentially on a single-core host (thread spawn per
+                // batch would otherwise dominate).
+                let parallel = experts.len() > 1
+                    && std::thread::available_parallelism()
+                        .map(|p| p.get() > 1)
+                        .unwrap_or(false);
+                let results: Vec<Result<(Vec<crate::dense::DenseGrad>, Vec<f32>)>> = if parallel {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = experts
+                            .iter()
+                            .zip(&expert_weights)
+                            .map(|(expert, weights)| {
+                                let xb = &xb;
+                                let cat_b = &cat_b;
+                                scope.spawn(move || {
+                                    expert.train_pass(xb, cat_b, Some(weights))
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("expert thread must not panic"))
+                            .collect()
+                    })
+                } else {
+                    experts
+                        .iter()
+                        .zip(&expert_weights)
+                        .map(|(expert, weights)| expert.train_pass(&xb, &cat_b, Some(weights)))
+                        .collect()
+                };
+
+                let mut loss_mat = Mat::zeros(xb.rows(), experts.len());
+                for (e, res) in results.into_iter().enumerate() {
+                    let (mut grads, losses) = res?;
+                    for (r, &l) in losses.iter().enumerate() {
+                        loss_mat.set(r, e, l);
+                        epoch_loss += f64::from(g.get(r, e) * l);
+                    }
+                    clip_grads(&mut grads, 5.0 * xb.rows() as f32);
+                    let mut layers = experts[e].layers_mut();
+                    for ((layer, grad), st) in layers
+                        .iter_mut()
+                        .zip(&grads)
+                        .zip(expert_states[e].iter_mut())
+                    {
+                        st.step(layer, grad, &adam_cfg);
+                    }
+                }
+
+                if let (Some(gate), Some(states)) = (gate.as_mut(), gate_states.as_mut()) {
+                    gate.train_step(&xb, &g, &loss_mat, states, &adam_cfg);
+                }
+            }
+
+            adam_cfg.lr *= cfg.lr_decay;
+            let mean_loss = (epoch_loss / n as f64) as f32;
+            report.epoch_losses.push(mean_loss);
+            report.epochs_run = epoch + 1;
+            // Convergence: stop only when the best loss has not improved
+            // by the tolerance for a whole window of epochs — per-epoch
+            // deltas are too noisy (shuffling, gate shifts) to judge from
+            // consecutive pairs.
+            if mean_loss < prev_loss - cfg.tol * prev_loss.abs() {
+                prev_loss = mean_loss;
+                stall_epochs = 0;
+            } else {
+                stall_epochs += 1;
+                if stall_epochs >= 12 {
+                    break;
+                }
+            }
+        }
+
+        Ok((MoeAutoencoder { experts, gate }, report))
+    }
+
+    /// Number of experts.
+    pub fn n_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Borrow the experts.
+    pub fn experts(&self) -> &[Autoencoder] {
+        &self.experts
+    }
+
+    /// Consumes the mixture, yielding its experts (used to assemble a
+    /// per-cluster mixture from independently trained models).
+    pub fn into_experts(self) -> Vec<Autoencoder> {
+        self.experts
+    }
+
+    /// Zeroes the low `bits` mantissa bits of every weight (bf16-style
+    /// truncation at `bits = 16`). Called once after training, *before*
+    /// materialization, so compressor and decompressor see identical
+    /// weights — and the exported stream halves under the final gzip pass
+    /// because every second byte pair is zero. The paper leaves neural
+    /// weight compression as future work (§6.1); truncation is the
+    /// mildest form and costs a negligible accuracy change.
+    pub fn truncate_weights(&mut self, bits: u32) {
+        debug_assert!(bits < 24, "would destroy the exponent");
+        let mask = u32::MAX << bits;
+        for expert in &mut self.experts {
+            for layer in expert.layers_mut() {
+                for w in layer.w.data_mut() {
+                    *w = f32::from_bits(w.to_bits() & mask);
+                }
+                for b in &mut layer.b {
+                    *b = f32::from_bits(b.to_bits() & mask);
+                }
+            }
+        }
+    }
+
+    /// Hard expert assignment per tuple (all tuples map to 0 with a single
+    /// expert).
+    pub fn assign(&self, x: &Mat) -> Vec<usize> {
+        match &self.gate {
+            Some(g) => g.assign(x),
+            None => vec![0; x.rows()],
+        }
+    }
+
+    /// Assigns each tuple to "the model with the highest accuracy for
+    /// each tuple" (§5.2) by measuring the actual reconstruction loss
+    /// under every expert. The learned gate approximates this during
+    /// training; at materialization the mapping is stored explicitly, so
+    /// the exact assignment is both available and strictly better.
+    pub fn assign_by_loss(&self, x: &Mat, cat_targets: &[Vec<u32>]) -> Result<Vec<usize>> {
+        if self.experts.len() == 1 {
+            return Ok(vec![0; x.rows()]);
+        }
+        let mut best = vec![0usize; x.rows()];
+        let mut best_loss = vec![f32::INFINITY; x.rows()];
+        for (e, expert) in self.experts.iter().enumerate() {
+            let losses = expert.loss_per_tuple(x, cat_targets)?;
+            for (r, &l) in losses.iter().enumerate() {
+                if l < best_loss[r] {
+                    best_loss[r] = l;
+                    best[r] = e;
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Encodes rows with the given expert.
+    pub fn encode(&self, expert: usize, x: &Mat) -> Result<Mat> {
+        self.experts
+            .get(expert)
+            .ok_or(NnError::InvalidSpec("expert index out of range"))?
+            .encode(x)
+    }
+
+    /// Decodes codes with the given expert.
+    pub fn decode(&self, expert: usize, codes: &Mat) -> Result<crate::autoencoder::DecodedBatch> {
+        self.experts
+            .get(expert)
+            .ok_or(NnError::InvalidSpec("expert index out of range"))?
+            .decode(codes)
+    }
+
+    /// Builds a mixture directly from pre-trained experts with no gate.
+    ///
+    /// Two callers: weight deserialization (decompression does not need the
+    /// gate — expert membership is materialized, §6.4), and the k-means
+    /// comparator of §7.4.2, which trains one autoencoder per cluster and
+    /// routes by cluster assignment instead of a learned gate.
+    pub fn from_experts(experts: Vec<Autoencoder>) -> Self {
+        MoeAutoencoder {
+            experts,
+            gate: None,
+        }
+    }
+}
+
+/// Scales all gradients down when their global L2 norm exceeds `max_norm`
+/// — small models with softmax heads occasionally produce a pathological
+/// batch that would otherwise kick the weights into a dead regime.
+fn clip_grads(grads: &mut [crate::dense::DenseGrad], max_norm: f32) {
+    let mut sq = 0.0f64;
+    for g in grads.iter() {
+        for &v in g.dw.data() {
+            sq += f64::from(v) * f64::from(v);
+        }
+        for &v in &g.db {
+            sq += f64::from(v) * f64::from(v);
+        }
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for v in g.dw.data_mut() {
+                *v *= scale;
+            }
+            for v in &mut g.db {
+                *v *= scale;
+            }
+        }
+    }
+}
+
+fn softmax_rows(logits: &Mat) -> Mat {
+    let mut out = Mat::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out.set(r, c, e);
+            sum += e;
+        }
+        for c in 0..row.len() {
+            out.set(r, c, out.get(r, c) / sum);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoencoder::Head;
+    use rand::Rng;
+
+    /// Two well-separated linear regimes (the Fig. 4 motivating example):
+    /// a 2-expert mixture should reconstruct both better than it could with
+    /// the same budget forced through one tiny expert.
+    fn two_regime_data(n: usize, seed: u64) -> (Mat, Vec<Vec<u32>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Mat::zeros(n, 3);
+        for r in 0..n {
+            let t: f32 = rng.gen();
+            if r % 2 == 0 {
+                // Regime A: y rises with t, z near 0.
+                x.set(r, 0, t);
+                x.set(r, 1, 0.8 * t + 0.1);
+                x.set(r, 2, 0.05);
+            } else {
+                // Regime B: y falls with t, z near 1.
+                x.set(r, 0, t);
+                x.set(r, 1, 0.9 - 0.8 * t);
+                x.set(r, 2, 0.95);
+            }
+        }
+        (x, vec![])
+    }
+
+    #[test]
+    fn single_expert_training_converges() {
+        let (x, cats) = two_regime_data(256, 1);
+        let spec = ModelSpec::with_defaults(vec![Head::Numeric; 3], 2);
+        let cfg = MoeConfig {
+            n_experts: 1,
+            max_epochs: 40,
+            seed: 1,
+            ..Default::default()
+        };
+        let (model, report) = MoeAutoencoder::train(&spec, &x, &cats, &cfg).unwrap();
+        assert!(report.epochs_run >= 2);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss must decrease: {first} → {last}");
+        assert_eq!(model.n_experts(), 1);
+        assert!(model.assign(&x).iter().all(|&e| e == 0));
+    }
+
+    #[test]
+    fn multi_expert_reduces_loss_and_specializes() {
+        let (x, cats) = two_regime_data(512, 2);
+        let spec = ModelSpec::with_defaults(vec![Head::Numeric; 3], 1);
+        let cfg = MoeConfig {
+            n_experts: 2,
+            max_epochs: 80,
+            tol: 0.0, // run all epochs
+            seed: 3,
+            ..Default::default()
+        };
+        let (model, report) = MoeAutoencoder::train(&spec, &x, &cats, &cfg).unwrap();
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < report.epoch_losses[0] * 0.8);
+        // The gate should use both experts for this bimodal data.
+        let assign = model.assign(&x);
+        let ones = assign.iter().filter(|&&e| e == 1).count();
+        assert!(
+            ones > assign.len() / 10 && ones < assign.len() * 9 / 10,
+            "gate collapsed: {ones}/{} to expert 1",
+            assign.len()
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_shapes() {
+        let (x, cats) = two_regime_data(64, 4);
+        let spec = ModelSpec::with_defaults(vec![Head::Numeric; 3], 2);
+        let cfg = MoeConfig {
+            n_experts: 2,
+            max_epochs: 3,
+            seed: 4,
+            ..Default::default()
+        };
+        let (model, _) = MoeAutoencoder::train(&spec, &x, &cats, &cfg).unwrap();
+        let codes = model.encode(1, &x).unwrap();
+        assert_eq!((codes.rows(), codes.cols()), (64, 2));
+        let dec = model.decode(1, &codes).unwrap();
+        assert_eq!(dec.simple.cols(), 3);
+        assert!(model.encode(5, &x).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (x, cats) = two_regime_data(8, 5);
+        let spec = ModelSpec::with_defaults(vec![Head::Numeric; 3], 2);
+        let cfg = MoeConfig {
+            n_experts: 0,
+            ..Default::default()
+        };
+        assert!(MoeAutoencoder::train(&spec, &x, &cats, &cfg).is_err());
+        let cfg = MoeConfig::default();
+        let empty = Mat::zeros(0, 3);
+        assert!(MoeAutoencoder::train(&spec, &empty, &cats, &cfg).is_err());
+    }
+
+    #[test]
+    fn convergence_tolerance_stops_early() {
+        let (x, cats) = two_regime_data(128, 6);
+        let spec = ModelSpec::with_defaults(vec![Head::Numeric; 3], 2);
+        let cfg = MoeConfig {
+            n_experts: 1,
+            max_epochs: 200,
+            tol: 0.5, // absurdly lax: stop almost immediately
+            seed: 7,
+            ..Default::default()
+        };
+        let (_, report) = MoeAutoencoder::train(&spec, &x, &cats, &cfg).unwrap();
+        assert!(
+            report.epochs_run < 20,
+            "should stop early, ran {}",
+            report.epochs_run
+        );
+    }
+
+    #[test]
+    fn mixed_type_training_with_categoricals() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 128;
+        let mut x = Mat::zeros(n, 3);
+        let mut cat = vec![0u32; n];
+        for r in 0..n {
+            let v: f32 = rng.gen();
+            x.set(r, 0, v);
+            let c = (v * 3.999) as u32;
+            cat[r] = c;
+            x.set(r, 1, c as f32 / 3.0);
+            x.set(r, 2, if v > 0.5 { 1.0 } else { 0.0 });
+        }
+        let spec = ModelSpec::with_defaults(
+            vec![
+                Head::Numeric,
+                Head::Categorical { card: 4 },
+                Head::Binary,
+            ],
+            2,
+        );
+        let cfg = MoeConfig {
+            n_experts: 2,
+            max_epochs: 30,
+            seed: 9,
+            ..Default::default()
+        };
+        let (model, report) = MoeAutoencoder::train(&spec, &x, &[cat], &cfg).unwrap();
+        assert!(*report.epoch_losses.last().unwrap() < report.epoch_losses[0]);
+        let assign = model.assign(&x);
+        assert_eq!(assign.len(), n);
+    }
+}

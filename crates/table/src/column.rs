@@ -1,0 +1,143 @@
+//! Column storage.
+
+use crate::ColumnType;
+
+/// A single column of data, stored contiguously by type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Categorical values as strings.
+    Cat(Vec<String>),
+    /// Numeric values as `f64` (integers are represented exactly up to
+    /// 2^53, far beyond anything the generators or CSVs produce).
+    Num(Vec<f64>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Cat(v) => v.len(),
+            Column::Num(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type tag.
+    pub fn ty(&self) -> ColumnType {
+        match self {
+            Column::Cat(_) => ColumnType::Categorical,
+            Column::Num(_) => ColumnType::Numeric,
+        }
+    }
+
+    /// Borrows the categorical payload, if this is a categorical column.
+    pub fn as_cat(&self) -> Option<&[String]> {
+        match self {
+            Column::Cat(v) => Some(v),
+            Column::Num(_) => None,
+        }
+    }
+
+    /// Borrows the numeric payload, if this is a numeric column.
+    pub fn as_num(&self) -> Option<&[f64]> {
+        match self {
+            Column::Num(v) => Some(v),
+            Column::Cat(_) => None,
+        }
+    }
+
+    /// Number of distinct values (exact; hashes the whole column).
+    pub fn distinct_count(&self) -> usize {
+        match self {
+            Column::Cat(v) => v
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            Column::Num(v) => v
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+        }
+    }
+
+    /// Renders the cell at `row` the way the CSV writer would.
+    pub fn format_cell(&self, row: usize) -> String {
+        match self {
+            Column::Cat(v) => v[row].clone(),
+            Column::Num(v) => format_number(v[row]),
+        }
+    }
+
+    /// Keeps only the rows at `indexes` (in the given order).
+    pub fn take(&self, indexes: &[usize]) -> Column {
+        match self {
+            Column::Cat(v) => Column::Cat(indexes.iter().map(|&i| v[i].clone()).collect()),
+            Column::Num(v) => Column::Num(indexes.iter().map(|&i| v[i]).collect()),
+        }
+    }
+}
+
+/// Canonical textual form for numeric cells: integers print without a
+/// decimal point, everything else with up to 6 significant fractional
+/// digits, trailing zeros trimmed. Both the CSV writer and the raw-size
+/// accounting use this, so "raw bytes" is well-defined.
+pub fn format_number(v: f64) -> String {
+    if !v.is_finite() {
+        return v.to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let s = format!("{v:.6}");
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    trimmed.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors() {
+        let c = Column::Cat(vec!["a".into(), "b".into()]);
+        assert_eq!(c.ty(), ColumnType::Categorical);
+        assert!(c.as_cat().is_some());
+        assert!(c.as_num().is_none());
+        let n = Column::Num(vec![1.0, 2.0, 2.0]);
+        assert_eq!(n.ty(), ColumnType::Numeric);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.distinct_count(), 2);
+    }
+
+    #[test]
+    fn number_formatting_is_compact_and_stable() {
+        assert_eq!(format_number(42.0), "42");
+        assert_eq!(format_number(-17.0), "-17");
+        assert_eq!(format_number(0.5), "0.5");
+        assert_eq!(format_number(0.123456789), "0.123457"); // 6 digits, rounded
+        assert_eq!(format_number(1.25), "1.25");
+        assert_eq!(format_number(0.0), "0");
+        assert_eq!(format_number(-0.0), "0"); // -0 truncates to integer 0
+    }
+
+    #[test]
+    fn take_reorders_and_subsets() {
+        let c = Column::Num(vec![10.0, 20.0, 30.0]);
+        assert_eq!(c.take(&[2, 0]), Column::Num(vec![30.0, 10.0]));
+        let c = Column::Cat(vec!["x".into(), "y".into()]);
+        assert_eq!(c.take(&[1, 1]), Column::Cat(vec!["y".into(), "y".into()]));
+    }
+
+    #[test]
+    fn format_cell_matches_type() {
+        let c = Column::Num(vec![1.5]);
+        assert_eq!(c.format_cell(0), "1.5");
+        let c = Column::Cat(vec!["hello".into()]);
+        assert_eq!(c.format_cell(0), "hello");
+    }
+}

@@ -1,0 +1,372 @@
+//! Minimal RFC-4180-style CSV reader/writer.
+//!
+//! Handles quoting (fields containing commas, quotes, or newlines are
+//! wrapped in double quotes with internal quotes doubled). The writer's
+//! output length is exactly what [`crate::Table::raw_size`] reports.
+
+use crate::{Column, ColumnType, Result, Schema, Table, TableError};
+
+/// Length of `field` as the writer would emit it (with quoting).
+pub fn escaped_len(field: &str) -> usize {
+    if needs_quoting(field) {
+        // Opening and closing quote plus one extra byte per internal quote.
+        2 + field.len() + field.bytes().filter(|&b| b == b'"').count()
+    } else {
+        field.len()
+    }
+}
+
+fn needs_quoting(field: &str) -> bool {
+    field
+        .bytes()
+        .any(|b| b == b',' || b == b'"' || b == b'\n' || b == b'\r')
+}
+
+fn write_field(out: &mut String, field: &str) {
+    if needs_quoting(field) {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serializes a table to CSV (header row + data rows, `\n` line endings).
+pub fn write_csv(table: &Table) -> String {
+    let mut out = String::with_capacity(table.raw_size());
+    for (i, f) in table.schema().fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, &f.name);
+    }
+    out.push('\n');
+    for r in 0..table.nrows() {
+        for (i, c) in table.columns().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let cell = c.format_cell(r);
+            write_field(&mut out, &cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits one logical CSV record starting at `pos`; returns the fields and
+/// the byte offset just past the record's newline.
+fn parse_record(data: &str, pos: usize, line_no: usize) -> Result<(Vec<String>, usize)> {
+    let bytes = data.as_bytes();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut i = pos;
+    let mut in_quotes = false;
+    loop {
+        if i >= bytes.len() {
+            if in_quotes {
+                return Err(TableError::Csv {
+                    line: line_no,
+                    what: "unterminated quoted field",
+                });
+            }
+            fields.push(std::mem::take(&mut field));
+            return Ok((fields, i));
+        }
+        let b = bytes[i];
+        if in_quotes {
+            if b == b'"' {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                    field.push('"');
+                    i += 2;
+                } else {
+                    in_quotes = false;
+                    i += 1;
+                }
+            } else {
+                // Preserve multi-byte UTF-8 by appending the full char.
+                let ch = data[i..].chars().next().expect("in-bounds char");
+                field.push(ch);
+                i += ch.len_utf8();
+            }
+        } else {
+            match b {
+                b'"' if field.is_empty() => {
+                    in_quotes = true;
+                    i += 1;
+                }
+                b',' => {
+                    fields.push(std::mem::take(&mut field));
+                    i += 1;
+                }
+                b'\r' => {
+                    i += 1; // tolerate CRLF
+                }
+                b'\n' => {
+                    fields.push(std::mem::take(&mut field));
+                    return Ok((fields, i + 1));
+                }
+                _ => {
+                    let ch = data[i..].chars().next().expect("in-bounds char");
+                    field.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Parses CSV text inferring the schema: a column is numeric when every
+/// cell parses as a finite number (and the column is non-empty), else
+/// categorical. Header row required.
+pub fn read_csv_infer(data: &str) -> Result<Table> {
+    let (header, mut pos) = parse_record(data, 0, 1)?;
+    if header.iter().any(String::is_empty) {
+        return Err(TableError::Csv {
+            line: 1,
+            what: "empty column name in header",
+        });
+    }
+    let ncols = header.len();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); ncols];
+    let mut line_no = 2usize;
+    while pos < data.len() {
+        let (fields, next) = parse_record(data, pos, line_no)?;
+        pos = next;
+        if fields.len() == 1 && fields[0].is_empty() && pos >= data.len() {
+            break;
+        }
+        if fields.len() != ncols {
+            return Err(TableError::Csv {
+                line: line_no,
+                what: "wrong field count",
+            });
+        }
+        for (col, value) in fields.into_iter().enumerate() {
+            cells[col].push(value);
+        }
+        line_no += 1;
+    }
+
+    let named = header
+        .into_iter()
+        .zip(cells)
+        .map(|(name, values)| {
+            let numeric: Option<Vec<f64>> = if values.is_empty() {
+                None
+            } else {
+                values
+                    .iter()
+                    .map(|v| v.trim().parse::<f64>().ok().filter(|x| x.is_finite()))
+                    .collect()
+            };
+            let column = match numeric {
+                Some(nums) => Column::Num(nums),
+                None => Column::Cat(values),
+            };
+            (name, column)
+        })
+        .collect();
+    Table::from_columns(named)
+}
+
+/// Parses CSV text into a [`Table`] under an explicit schema (header row
+/// required; column order must match the schema).
+pub fn read_csv(data: &str, schema: Schema) -> Result<Table> {
+    let (header, mut pos) = parse_record(data, 0, 1)?;
+    if header.len() != schema.len() {
+        return Err(TableError::Csv {
+            line: 1,
+            what: "header arity does not match schema",
+        });
+    }
+    for (h, f) in header.iter().zip(schema.fields()) {
+        if h != &f.name {
+            return Err(TableError::Csv {
+                line: 1,
+                what: "header name does not match schema",
+            });
+        }
+    }
+
+    let mut cats: Vec<Vec<String>> = Vec::new();
+    let mut nums: Vec<Vec<f64>> = Vec::new();
+    let mut slot: Vec<(ColumnType, usize)> = Vec::with_capacity(schema.len());
+    for f in schema.fields() {
+        match f.ty {
+            ColumnType::Categorical => {
+                slot.push((ColumnType::Categorical, cats.len()));
+                cats.push(Vec::new());
+            }
+            ColumnType::Numeric => {
+                slot.push((ColumnType::Numeric, nums.len()));
+                nums.push(Vec::new());
+            }
+        }
+    }
+
+    let mut line_no = 2usize;
+    let mut row = 0usize;
+    while pos < data.len() {
+        let (fields, next) = parse_record(data, pos, line_no)?;
+        pos = next;
+        // A trailing newline yields one empty phantom record; skip it.
+        if fields.len() == 1 && fields[0].is_empty() && pos >= data.len() {
+            break;
+        }
+        if fields.len() != schema.len() {
+            return Err(TableError::Csv {
+                line: line_no,
+                what: "wrong field count",
+            });
+        }
+        for (col, value) in fields.into_iter().enumerate() {
+            match slot[col] {
+                (ColumnType::Categorical, k) => cats[k].push(value),
+                (ColumnType::Numeric, k) => {
+                    let parsed = value.trim().parse::<f64>().map_err(|_| TableError::Parse {
+                        row,
+                        col,
+                        what: "not a number",
+                    })?;
+                    nums[k].push(parsed);
+                }
+            }
+        }
+        line_no += 1;
+        row += 1;
+    }
+
+    let mut cats = cats.into_iter();
+    let mut nums = nums.into_iter();
+    let columns = schema
+        .fields()
+        .iter()
+        .map(|f| match f.ty {
+            ColumnType::Categorical => Column::Cat(cats.next().expect("slot count matches")),
+            ColumnType::Numeric => Column::Num(nums.next().expect("slot count matches")),
+        })
+        .collect();
+    Table::new(schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::categorical("name"), Field::numeric("score")]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = Table::from_columns(vec![
+            (
+                "name".into(),
+                Column::Cat(vec!["alice".into(), "bob".into()]),
+            ),
+            ("score".into(), Column::Num(vec![1.5, -2.0])),
+        ])
+        .unwrap();
+        let csv = write_csv(&t);
+        assert_eq!(csv, "name,score\nalice,1.5\nbob,-2\n");
+        assert_eq!(csv.len(), t.raw_size());
+        let back = read_csv(&csv, t.schema().clone()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        let tricky = vec![
+            "has,comma".to_string(),
+            "has \"quotes\"".to_string(),
+            "has\nnewline".to_string(),
+            "plain".to_string(),
+            String::new(),
+        ];
+        let t = Table::from_columns(vec![
+            ("name".into(), Column::Cat(tricky.clone())),
+            ("score".into(), Column::Num(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+        ])
+        .unwrap();
+        let csv = write_csv(&t);
+        assert_eq!(csv.len(), t.raw_size());
+        let back = read_csv(&csv, t.schema().clone()).unwrap();
+        assert_eq!(back.column(0).unwrap().as_cat().unwrap(), &tricky[..]);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let back = read_csv("name,score\r\nx,1\r\ny,2\r\n", schema()).unwrap();
+        assert_eq!(back.nrows(), 2);
+    }
+
+    #[test]
+    fn structural_errors_reported_with_lines() {
+        assert!(matches!(
+            read_csv("name,score\nonly_one_field\n", schema()),
+            Err(TableError::Csv { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_csv("wrong,header\nx,1\n", schema()),
+            Err(TableError::Csv { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_csv("name,score\n\"unterminated,1\n", schema()),
+            Err(TableError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn numeric_parse_errors_located() {
+        assert!(matches!(
+            read_csv("name,score\nx,notanumber\n", schema()),
+            Err(TableError::Parse {
+                row: 0,
+                col: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let back = read_csv("name,score\nx,1", schema()).unwrap();
+        assert_eq!(back.nrows(), 1);
+    }
+
+    #[test]
+    fn schema_inference() {
+        let t = read_csv_infer("name,score,count\nalice,1.5,3\nbob,-2,4\n").unwrap();
+        assert_eq!(t.type_counts(), (1, 2));
+        assert_eq!(t.column_by_name("score").unwrap().as_num().unwrap(), &[1.5, -2.0]);
+        // A single non-numeric cell makes the column categorical.
+        let t = read_csv_infer("a,b\n1,x\n2,3\n").unwrap();
+        assert_eq!(t.type_counts(), (1, 1));
+        // Empty table: zero rows, all columns categorical by convention.
+        let t = read_csv_infer("a,b\n").unwrap();
+        assert_eq!(t.nrows(), 0);
+        assert_eq!(t.type_counts(), (2, 0));
+    }
+
+    #[test]
+    fn inference_rejects_blank_headers() {
+        assert!(read_csv_infer(",b\n1,2\n").is_err());
+    }
+
+    #[test]
+    fn escaped_len_matches_writer() {
+        for s in ["plain", "a,b", "q\"q", "nl\nnl", "", "ünïcödé, too"] {
+            let mut out = String::new();
+            write_field(&mut out, s);
+            assert_eq!(out.len(), escaped_len(s), "field {s:?}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The [`Table`] type: a schema plus equal-length columns.
+
+use crate::{Column, ColumnType, Field, Result, Schema, TableError};
+
+/// An immutable columnar table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Builds a table, validating schema arity, column types, and lengths.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(TableError::SchemaMismatch);
+        }
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if f.ty != c.ty() {
+                return Err(TableError::SchemaMismatch);
+            }
+        }
+        let nrows = columns.first().map(Column::len).unwrap_or(0);
+        for c in &columns {
+            if c.len() != nrows {
+                return Err(TableError::RaggedColumns {
+                    expected: nrows,
+                    found: c.len(),
+                });
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            nrows,
+        })
+    }
+
+    /// Builds a table from `(name, column)` pairs, inferring the schema.
+    pub fn from_columns(named: Vec<(String, Column)>) -> Result<Self> {
+        let fields = named
+            .iter()
+            .map(|(name, col)| Field::new(name.clone(), col.ty()))
+            .collect();
+        let schema = Schema::new(fields)?;
+        let columns = named.into_iter().map(|(_, c)| c).collect();
+        Table::new(schema, columns)
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at index `idx`.
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| TableError::NoSuchColumn(name.to_owned()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Raw size in bytes: the length of the table's CSV rendering
+    /// (header + cells + separators). This is the denominator of every
+    /// compression ratio reported in the evaluation, matching the paper's
+    /// "size of the original dataset".
+    pub fn raw_size(&self) -> usize {
+        let header: usize = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.len() + 1) // name + comma/newline
+            .sum();
+        let mut body = 0usize;
+        for c in &self.columns {
+            match c {
+                Column::Cat(v) => {
+                    for s in v {
+                        body += crate::csv::escaped_len(s) + 1;
+                    }
+                }
+                Column::Num(v) => {
+                    for &x in v {
+                        body += crate::column::format_number(x).len() + 1;
+                    }
+                }
+            }
+        }
+        header + body
+    }
+
+    /// A new table containing the rows at `indexes`, in order.
+    pub fn take(&self, indexes: &[usize]) -> Table {
+        let columns = self.columns.iter().map(|c| c.take(indexes)).collect();
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            nrows: indexes.len(),
+        }
+    }
+
+    /// A seeded uniform random sample of `size` rows (without replacement;
+    /// clamped to the table size). Mirrors the paper's `sample(x, s)`.
+    pub fn sample(&self, size: usize, seed: u64) -> Table {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.nrows).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(size.min(self.nrows));
+        self.take(&idx)
+    }
+
+    /// Renders one row as owned cell strings (test/debug aid).
+    pub fn row(&self, r: usize) -> Vec<String> {
+        self.columns.iter().map(|c| c.format_cell(r)).collect()
+    }
+
+    /// Summary counts matching Table 1 of the paper: (categorical, numeric).
+    pub fn type_counts(&self) -> (usize, usize) {
+        let cat = self
+            .schema
+            .fields()
+            .iter()
+            .filter(|f| f.ty == ColumnType::Categorical)
+            .count();
+        (cat, self.schema.len() - cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_table() -> Table {
+        Table::from_columns(vec![
+            ("city".into(), Column::Cat(vec!["NYC".into(), "LA".into()])),
+            ("pop".into(), Column::Num(vec![8.4, 3.9])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths_and_types() {
+        let t = small_table();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.type_counts(), (1, 1));
+
+        let ragged = Table::from_columns(vec![
+            ("a".into(), Column::Num(vec![1.0])),
+            ("b".into(), Column::Num(vec![1.0, 2.0])),
+        ]);
+        assert!(matches!(ragged, Err(TableError::RaggedColumns { .. })));
+
+        let schema = Schema::new(vec![Field::categorical("a")]).unwrap();
+        let wrong_type = Table::new(schema, vec![Column::Num(vec![1.0])]);
+        assert!(matches!(wrong_type, Err(TableError::SchemaMismatch)));
+    }
+
+    #[test]
+    fn column_by_name() {
+        let t = small_table();
+        assert!(t.column_by_name("city").is_ok());
+        assert!(matches!(
+            t.column_by_name("nope"),
+            Err(TableError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn raw_size_counts_csv_bytes() {
+        let t = small_table();
+        // header: "city,pop\n" = 9; rows: "NYC,8.4\n" = 8, "LA,3.9\n" = 7.
+        assert_eq!(t.raw_size(), 9 + 8 + 7);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_bounded() {
+        let t = Table::from_columns(vec![(
+            "x".into(),
+            Column::Num((0..100).map(f64::from).collect()),
+        )])
+        .unwrap();
+        let a = t.sample(10, 7);
+        let b = t.sample(10, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.nrows(), 10);
+        // Requesting more rows than exist clamps.
+        assert_eq!(t.sample(1000, 7).nrows(), 100);
+        // Different seed, (almost surely) different selection.
+        let c = t.sample(10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn take_preserves_schema() {
+        let t = small_table();
+        let sub = t.take(&[1]);
+        assert_eq!(sub.nrows(), 1);
+        assert_eq!(sub.row(0), vec!["LA".to_string(), "3.9".to_string()]);
+        assert_eq!(sub.schema(), t.schema());
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: compress a table, inspect the archive, decompress, verify.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ds_core::{compress, decompress, DsConfig};
+use ds_table::gen;
+
+fn main() {
+    // A Monitor-like telemetry table: 17 correlated numeric channels.
+    let table = gen::monitor_like(5_000, 42);
+    println!(
+        "dataset: {} rows × {} columns, {} bytes raw (CSV)",
+        table.nrows(),
+        table.ncols(),
+        table.raw_size()
+    );
+
+    // Compress with a 5% per-column error guarantee.
+    let cfg = DsConfig {
+        error_threshold: 0.05,
+        code_size: 4,
+        n_experts: 2,
+        max_epochs: 60,
+        ..Default::default()
+    };
+    let archive = compress(&table, &cfg).expect("compression succeeds");
+    let b = archive.breakdown();
+    println!(
+        "compressed: {} bytes ({:.2}% of raw)",
+        archive.size(),
+        100.0 * archive.size() as f64 / table.raw_size() as f64
+    );
+    println!(
+        "  decoder {:>7} B | codes {:>7} B | failures {:>7} B | metadata {:>6} B",
+        b.decoder, b.codes, b.failures, b.metadata
+    );
+
+    // Decompress and verify the error contract.
+    let restored = decompress(&archive).expect("decompression succeeds");
+    assert_eq!(restored.nrows(), table.nrows());
+    let mut worst_rel = 0.0f64;
+    for (a, b) in table.columns().iter().zip(restored.columns()) {
+        let (x, y) = (a.as_num().unwrap(), b.as_num().unwrap());
+        let min = x.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let range = (max - min).max(f64::MIN_POSITIVE);
+        for (u, v) in x.iter().zip(y) {
+            worst_rel = worst_rel.max((u - v).abs() / range);
+        }
+    }
+    println!("worst relative reconstruction error: {:.4} (bound 0.05)", worst_rel);
+    assert!(worst_rel <= 0.05 + 1e-9);
+    println!("roundtrip verified: every value within the guaranteed bound");
+}

@@ -1,0 +1,64 @@
+//! Batch-archival scenario (§3 of the paper): long-term storage of machine
+//! telemetry under different error budgets, with the archive written to
+//! and restored from disk.
+//!
+//! ```text
+//! cargo run --release --example sensor_archival
+//! ```
+
+use ds_core::{compress, decompress, DsArchive, DsConfig};
+use ds_table::gen;
+
+fn main() {
+    let table = gen::monitor_like(10_000, 7);
+    let raw = table.raw_size();
+    println!("telemetry: {} rows, {} bytes raw\n", table.nrows(), raw);
+    println!("{:>7}  {:>12}  {:>8}  {:>22}", "err", "compressed", "ratio", "decoder/codes/failures");
+
+    let mut best: Option<(f64, Vec<u8>)> = None;
+    for error in [0.005, 0.01, 0.05, 0.10] {
+        let cfg = DsConfig {
+            error_threshold: error,
+            code_size: 4,
+            n_experts: 3,
+            max_epochs: 80,
+            ..Default::default()
+        };
+        let archive = compress(&table, &cfg).expect("compression succeeds");
+        let b = archive.breakdown();
+        println!(
+            "{:>6.1}%  {:>12}  {:>7.2}%  {:>6}/{:>6}/{:>8}",
+            error * 100.0,
+            archive.size(),
+            100.0 * archive.size() as f64 / raw as f64,
+            b.decoder,
+            b.codes,
+            b.failures
+        );
+        if error == 0.05 {
+            best = Some((error, archive.as_bytes().to_vec()));
+        }
+    }
+
+    // Persist the 5% archive and restore it from disk — the archival loop.
+    let (error, bytes) = best.expect("5% run recorded");
+    let path = std::env::temp_dir().join("monitor_archive.dsqz");
+    std::fs::write(&path, &bytes).expect("archive written");
+    println!("\nwrote {} bytes to {}", bytes.len(), path.display());
+
+    let loaded = DsArchive::from_bytes(std::fs::read(&path).expect("archive read"));
+    let restored = decompress(&loaded).expect("archive decodes");
+    assert_eq!(restored.nrows(), table.nrows());
+
+    // Downstream analytics on the lossy copy: aggregate drift is bounded.
+    let power = table.column_by_name("power").unwrap().as_num().unwrap();
+    let power_restored = restored.column_by_name("power").unwrap().as_num().unwrap();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "mean(power): original {:.2} vs archived {:.2} (error budget {:.0}%)",
+        mean(power),
+        mean(power_restored),
+        error * 100.0
+    );
+    let _ = std::fs::remove_file(&path);
+}

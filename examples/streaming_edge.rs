@@ -1,0 +1,76 @@
+//! Streaming-archival scenario (§3): a fleet of vehicles/sensors ships
+//! message batches. Hyperparameters are tuned once up front ("the cost of
+//! hyperparameter tuning is incurred only once"), one model is trained on
+//! the calibration window, and then "the encoder half of the model can
+//! even be pushed to the clients": every arriving batch is compressed
+//! with the *same* fitted model via `compress_batch` — no retraining.
+//! Cells the fitted plans cannot represent (drift) come back exactly via
+//! patches, and the patch volume tells you when to retrain.
+//!
+//! ```text
+//! cargo run --release --example streaming_edge
+//! ```
+
+use ds_core::{decompress, tune, TrainedCompressor, TuneConfig};
+use ds_table::gen;
+
+fn main() {
+    // Tune on an initial calibration window.
+    let calibration = gen::monitor_like(4_000, 100);
+    let tune_cfg = TuneConfig {
+        samples: vec![1_500],
+        codes: vec![2, 4],
+        experts: vec![1, 2, 3],
+        eps: 0.05,
+        budget: 5,
+        base: ds_core::DsConfig {
+            error_threshold: 0.05,
+            max_epochs: 40,
+            ..Default::default()
+        },
+    };
+    let t0 = std::time::Instant::now();
+    let outcome = tune(&calibration, &tune_cfg).expect("tuning runs");
+    println!(
+        "tuned once in {:.1?}: code_size={} experts={} ({} trials, converged at {:?} rows)",
+        t0.elapsed(),
+        outcome.config.code_size,
+        outcome.config.n_experts,
+        outcome.trials.len(),
+        outcome.converged_at
+    );
+
+    // Train ONE model on the calibration window; push its encoder to the
+    // edge; compress five arriving batches without retraining.
+    let mut cfg = outcome.config;
+    cfg.max_epochs = 60;
+    let t0 = std::time::Instant::now();
+    let compressor = TrainedCompressor::train(&calibration, &cfg).expect("trains once");
+    println!("trained once in {:.1?}\n", t0.elapsed());
+
+    let mut total_raw = 0usize;
+    let mut total_compressed = 0usize;
+    for window in 0..5u64 {
+        let batch = gen::monitor_like(3_000, 200 + window);
+        let t0 = std::time::Instant::now();
+        let archive = compressor.compress_batch(&batch).expect("window compresses");
+        let encode_time = t0.elapsed();
+        let restored = decompress(&archive).expect("window decodes");
+        assert_eq!(restored.nrows(), batch.nrows());
+        total_raw += batch.raw_size();
+        total_compressed += archive.size();
+        println!(
+            "window {window}: {:>8} B -> {:>7} B ({:.2}%) in {:.0?} (no retraining)",
+            batch.raw_size(),
+            archive.size(),
+            100.0 * archive.size() as f64 / batch.raw_size() as f64,
+            encode_time
+        );
+    }
+    println!(
+        "\nstream total: {} B -> {} B ({:.2}%)",
+        total_raw,
+        total_compressed,
+        100.0 * total_compressed as f64 / total_raw as f64
+    );
+}

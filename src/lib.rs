@@ -1,0 +1,11 @@
+//! Umbrella crate for the DeepSqueeze reproduction workspace.
+//!
+//! Re-exports the member crates so integration tests and examples can use a
+//! single dependency root. See the individual crates for the real APIs.
+
+pub use ds_bayesopt as bayesopt;
+pub use ds_codec as codec;
+pub use ds_core as core;
+pub use ds_nn as nn;
+pub use ds_squish as squish;
+pub use ds_table as table;

@@ -1,0 +1,129 @@
+//! Property-based integration tests: randomly generated tables (random
+//! schemas, random contents) must satisfy the reconstruction contracts of
+//! both semantic compressors, and corrupt archives must never panic.
+
+use ds_core::{compress, decompress, DsArchive, DsConfig};
+use ds_squish::{
+    compress as squish_compress, decompress as squish_decompress, SquishArchive, SquishConfig,
+};
+use ds_table::{Column, Table};
+use proptest::prelude::*;
+
+/// Strategy: a small random table with 1–6 columns mixing categoricals
+/// (small alphabets) and numerics (varied magnitudes), 1–80 rows.
+fn arb_table() -> impl Strategy<Value = Table> {
+    let ncols = 1usize..=6;
+    let nrows = 1usize..=80;
+    (ncols, nrows).prop_flat_map(|(ncols, nrows)| {
+        let col = prop_oneof![
+            // Categorical with alphabet <= 6.
+            prop::collection::vec(0u8..6, nrows..=nrows)
+                .prop_map(|v| Column::Cat(v.into_iter().map(|c| format!("c{c}")).collect())),
+            // Numeric in a random magnitude band.
+            (any::<bool>(), prop::collection::vec(-1000.0f64..1000.0, nrows..=nrows)).prop_map(
+                |(int, v)| {
+                    let vals = v
+                        .into_iter()
+                        .map(|x| if int { x.round() } else { (x * 100.0).round() / 100.0 })
+                        .collect();
+                    Column::Num(vals)
+                }
+            ),
+        ];
+        prop::collection::vec(col, ncols..=ncols).prop_map(|cols| {
+            let named = cols
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (format!("col{i}"), c))
+                .collect();
+            Table::from_columns(named).expect("equal lengths by construction")
+        })
+    })
+}
+
+fn check_contract(original: &Table, restored: &Table, error: f64) {
+    assert_eq!(original.nrows(), restored.nrows());
+    for (a, b) in original.columns().iter().zip(restored.columns()) {
+        match (a, b) {
+            (Column::Cat(x), Column::Cat(y)) => assert_eq!(x, y),
+            (Column::Num(x), Column::Num(y)) => {
+                let min = x.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let bound = error * (max - min) * (1.0 + 1e-7) + 1e-9;
+                for (u, v) in x.iter().zip(y) {
+                    assert!((u - v).abs() <= bound, "|{u} - {v}| > {bound}");
+                }
+            }
+            _ => panic!("column type changed"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn deepsqueeze_contract_on_random_tables(table in arb_table(), lossy in any::<bool>()) {
+        let error = if lossy { 0.10 } else { 0.0 };
+        let cfg = DsConfig {
+            error_threshold: error,
+            code_size: 2,
+            max_epochs: 3,
+            ..Default::default()
+        };
+        let archive = compress(&table, &cfg).expect("random table compresses");
+        let restored = decompress(&archive).expect("decodes");
+        check_contract(&table, &restored, error);
+    }
+
+    #[test]
+    fn squish_contract_on_random_tables(table in arb_table(), lossy in any::<bool>()) {
+        let error = if lossy { 0.10 } else { 0.0 };
+        let cfg = SquishConfig { error_threshold: error, ..Default::default() };
+        let archive = squish_compress(&table, &cfg).expect("random table compresses");
+        let restored = squish_decompress(&archive).expect("decodes");
+        check_contract(&table, &restored, error);
+    }
+
+    #[test]
+    fn corrupt_archives_never_panic(
+        table in arb_table(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let cfg = DsConfig { error_threshold: 0.1, max_epochs: 2, ..Default::default() };
+        let bytes = compress(&table, &cfg).expect("compresses").as_bytes().to_vec();
+        let mut bad = bytes.clone();
+        for (idx, mask) in flips {
+            let i = idx.index(bad.len());
+            bad[i] ^= mask | 1;
+        }
+        let _ = decompress(&DsArchive::from_bytes(bad)); // must not panic
+        // Truncations too.
+        let _ = decompress(&DsArchive::from_bytes(bytes[..bytes.len() / 2].to_vec()));
+    }
+
+    #[test]
+    fn corrupt_squish_archives_never_panic(
+        table in arb_table(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let cfg = SquishConfig { error_threshold: 0.1, ..Default::default() };
+        let bytes = squish_compress(&table, &cfg).expect("compresses").as_bytes().to_vec();
+        let mut bad = bytes.clone();
+        for (idx, mask) in flips {
+            let i = idx.index(bad.len());
+            bad[i] ^= mask | 1;
+        }
+        let _ = squish_decompress(&SquishArchive::from_bytes(bad));
+        let _ = squish_decompress(&SquishArchive::from_bytes(bytes[..bytes.len() / 3].to_vec()));
+    }
+
+    #[test]
+    fn csv_roundtrip_on_random_tables(table in arb_table()) {
+        let csv = ds_table::csv::write_csv(&table);
+        prop_assert_eq!(csv.len(), table.raw_size());
+        let back = ds_table::csv::read_csv(&csv, table.schema().clone()).expect("parses");
+        // Numeric formatting is canonical, so values roundtrip through text.
+        check_contract(&table, &back, 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Robustness regressions: decode-limit enforcement (allocation-abort
+//! class of bugs), weight-truncation consistency, and inspect/decompress
+//! agreement.
+
+use ds_core::{compress, decompress, inspect, DsArchive, DsConfig};
+use ds_table::gen::Dataset;
+
+/// A corrupt RLE stream claiming 2^60 elements must error, not abort the
+/// process (regression for the allocation-abort found by proptests).
+#[test]
+fn absurd_rle_claims_are_rejected() {
+    use ds_codec::{rle, ByteWriter};
+    let mut w = ByteWriter::new();
+    w.write_varint(1u64 << 60); // claimed element count
+    w.write_varint(7); // value
+    w.write_varint(1u64 << 60); // one gigantic run
+    let err = rle::decode(w.as_slice()).unwrap_err();
+    assert!(matches!(err, ds_codec::CodecError::Corrupt(_)));
+}
+
+#[test]
+fn absurd_gzlike_lengths_are_rejected_cheaply() {
+    use ds_codec::{gzlike, ByteWriter};
+    // Header claiming an enormous raw length followed by garbage: must
+    // return an error without attempting the allocation.
+    let mut w = ByteWriter::new();
+    w.write_varint(1u64 << 62);
+    w.write_bytes(&[0u8; 64]);
+    assert!(gzlike::decompress(w.as_slice()).is_err());
+}
+
+/// bf16 weight truncation must leave compressor and decompressor
+/// bit-identical: decompressing must reproduce exactly what the
+/// materializer predicted (no drift in failure patching).
+#[test]
+fn weight_truncation_is_roundtrip_consistent() {
+    let t = Dataset::Monitor.generate(600, 91);
+    for bits in [0u32, 8, 16] {
+        let cfg = DsConfig {
+            error_threshold: 0.10,
+            max_epochs: 6,
+            weight_truncate_bits: bits,
+            ..Default::default()
+        };
+        let archive = compress(&t, &cfg).expect("compresses");
+        let restored = decompress(&archive).expect("decodes");
+        // The error contract must hold regardless of truncation level.
+        for (a, b) in t.columns().iter().zip(restored.columns()) {
+            let (x, y) = (a.as_num().unwrap(), b.as_num().unwrap());
+            let min = x.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let bound = 0.10 * (max - min) * (1.0 + 1e-7) + 1e-9;
+            for (u, v) in x.iter().zip(y) {
+                assert!((u - v).abs() <= bound, "bits={bits}");
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_shrinks_the_decoder() {
+    let t = Dataset::Census.generate(800, 93);
+    let size_with = |bits: u32| {
+        compress(
+            &t,
+            &DsConfig {
+                max_epochs: 4,
+                weight_truncate_bits: bits,
+                ..Default::default()
+            },
+        )
+        .expect("compresses")
+        .breakdown()
+        .decoder
+    };
+    let full = size_with(0);
+    let bf16 = size_with(16);
+    assert!(
+        bf16 * 3 < full * 2,
+        "bf16 decoder {bf16} should be well under f32 decoder {full}"
+    );
+}
+
+#[test]
+fn inspect_agrees_with_decompression_on_every_dataset() {
+    for d in Dataset::ALL {
+        let error = if d.supports_lossy() { 0.05 } else { 0.0 };
+        let t = d.generate(250, 97);
+        let cfg = DsConfig {
+            error_threshold: error,
+            max_epochs: 3,
+            n_experts: 2,
+            ..Default::default()
+        };
+        let archive = compress(&t, &cfg).expect("compresses");
+        let info = inspect(&archive).expect("inspects");
+        let restored = decompress(&archive).expect("decodes");
+        assert_eq!(info.nrows, restored.nrows(), "{}", d.name());
+        assert_eq!(info.columns.len(), restored.ncols(), "{}", d.name());
+        for ((name, _), field) in info.columns.iter().zip(restored.schema().fields()) {
+            assert_eq!(name, &field.name);
+        }
+    }
+}
+
+#[test]
+fn archives_reject_version_skew() {
+    let t = Dataset::Corel.generate(100, 99);
+    let cfg = DsConfig {
+        error_threshold: 0.1,
+        max_epochs: 2,
+        ..Default::default()
+    };
+    let mut bytes = compress(&t, &cfg).expect("compresses").as_bytes().to_vec();
+    bytes[4] = 99; // version byte
+    assert!(decompress(&DsArchive::from_bytes(bytes.clone())).is_err());
+    assert!(inspect(&DsArchive::from_bytes(bytes)).is_err());
+}

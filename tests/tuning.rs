@@ -1,0 +1,83 @@
+//! Integration tests of the Fig. 5 tuning loop against the real pipeline.
+
+use ds_core::{compress, tune, DsConfig, TuneConfig};
+use ds_table::gen;
+
+fn base(error: f64, epochs: usize) -> DsConfig {
+    DsConfig {
+        error_threshold: error,
+        max_epochs: epochs,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tuned_configuration_is_no_worse_than_the_grid_median() {
+    // The point of tuning: the chosen configuration should be at least as
+    // good as a typical untuned grid point.
+    let t = gen::corel_like(1_200, 31);
+    let raw = t.raw_size() as f64;
+    let codes = vec![1usize, 2, 4];
+    let experts = vec![1usize, 2];
+    let cfg = TuneConfig {
+        samples: vec![600],
+        codes: codes.clone(),
+        experts: experts.clone(),
+        eps: 1.0,
+        budget: 5,
+        base: base(0.10, 12),
+    };
+    let outcome = tune(&t, &cfg).expect("tuning runs");
+    let mut tuned = base(0.10, 12);
+    tuned.code_size = outcome.config.code_size;
+    tuned.n_experts = outcome.config.n_experts;
+    let tuned_ratio = compress(&t, &tuned).expect("compresses").size() as f64 / raw;
+
+    // Evaluate the full grid directly for the comparison.
+    let mut ratios = Vec::new();
+    for &k in &codes {
+        for &e in &experts {
+            let mut c = base(0.10, 12);
+            c.code_size = k;
+            c.n_experts = e;
+            ratios.push(compress(&t, &c).expect("compresses").size() as f64 / raw);
+        }
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ratios.len() / 2];
+    assert!(
+        tuned_ratio <= median * 1.02,
+        "tuned {tuned_ratio:.4} worse than grid median {median:.4}"
+    );
+}
+
+#[test]
+fn increasing_sample_schedule_is_respected() {
+    let t = gen::monitor_like(2_000, 37);
+    let cfg = TuneConfig {
+        samples: vec![200, 800],
+        codes: vec![2],
+        experts: vec![1],
+        eps: 1e-6, // first sample will not satisfy this
+        budget: 1,
+        base: base(0.10, 6),
+    };
+    let outcome = tune(&t, &cfg).expect("tuning runs");
+    // Two sample rounds → two trials recorded (budget 1 each).
+    assert_eq!(outcome.trials.len(), 2);
+}
+
+#[test]
+fn tuning_works_on_categorical_only_tables() {
+    let t = gen::census_like(600, 41);
+    let cfg = TuneConfig {
+        samples: vec![300],
+        codes: vec![2, 4],
+        experts: vec![1],
+        eps: 1.0,
+        budget: 3,
+        base: base(0.0, 6),
+    };
+    let outcome = tune(&t, &cfg).expect("tuning runs");
+    assert!(outcome.trials.iter().all(|tr| tr.ratio.is_finite()));
+}
