@@ -182,7 +182,12 @@ mod tests {
 
     #[test]
     fn multidimensional_inputs() {
-        let xs = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ];
         // Centre the plane z = x + y so the zero-mean prior holds
         // (minimize() standardizes observations before fitting, too).
         let ys = vec![-1.0, 0.0, 0.0, 1.0];

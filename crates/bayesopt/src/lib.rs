@@ -129,11 +129,13 @@ pub fn minimize(
 
     while history.len() < budget {
         // Fit a GP to standardized observations.
-        let xs: Vec<Vec<f64>> = history.iter().map(|t| points[t.candidate].clone()).collect();
+        let xs: Vec<Vec<f64>> = history
+            .iter()
+            .map(|t| points[t.candidate].clone())
+            .collect();
         let raw_ys: Vec<f64> = history.iter().map(|t| t.value).collect();
         let mean = raw_ys.iter().sum::<f64>() / raw_ys.len() as f64;
-        let std = (raw_ys.iter().map(|y| (y - mean).powi(2)).sum::<f64>()
-            / raw_ys.len() as f64)
+        let std = (raw_ys.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / raw_ys.len() as f64)
             .sqrt()
             .max(1e-12);
         let ys: Vec<f64> = raw_ys.iter().map(|y| (y - mean) / std).collect();

@@ -92,7 +92,9 @@ fn bench_parq(c: &mut Criterion) {
 
 fn bench_rangecoder(c: &mut Criterion) {
     use ds_codec::rangecoder::{AdaptiveModel, RangeDecoder, RangeEncoder};
-    let symbols: Vec<usize> = (0..100_000).map(|i| if i % 9 == 0 { i % 16 } else { 0 }).collect();
+    let symbols: Vec<usize> = (0..100_000)
+        .map(|i| if i % 9 == 0 { i % 16 } else { 0 })
+        .collect();
     let mut group = c.benchmark_group("rangecoder");
     group.throughput(Throughput::Elements(symbols.len() as u64));
     group.warm_up_time(std::time::Duration::from_millis(500));

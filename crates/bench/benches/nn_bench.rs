@@ -112,5 +112,10 @@ fn bench_moe_epoch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward_backward, bench_encode_decode, bench_moe_epoch);
+criterion_group!(
+    benches,
+    bench_forward_backward,
+    bench_encode_decode,
+    bench_moe_epoch
+);
 criterion_main!(benches);

@@ -38,7 +38,10 @@ pub fn to_parq_columns(table: &Table) -> Vec<(String, parq::ParqColumn)> {
 /// Compressed size of the table under the Parquet-like container.
 pub fn parquet_size(table: &Table) -> usize {
     let cols = to_parq_columns(table);
-    parq::write_table(&cols).expect("well-formed columns").0.len()
+    parq::write_table(&cols)
+        .expect("well-formed columns")
+        .0
+        .len()
 }
 
 /// Roundtrips the parquet path, returning the compressed size.

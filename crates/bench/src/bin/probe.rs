@@ -11,7 +11,10 @@ use ds_table::gen;
 
 fn main() {
     let ds = std::env::var("D").unwrap_or_else(|_| "corel".into());
-    let rows: usize = std::env::var("ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(3000);
+    let rows: usize = std::env::var("ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3000);
     let t = match ds.as_str() {
         "corel" => gen::corel_like(rows, 42),
         "census" => gen::census_like(rows, 42),
@@ -22,15 +25,34 @@ fn main() {
     let err = if ds == "census" { 0.0 } else { 0.10 };
     let cfg = DsConfig {
         error_threshold: err,
-        code_size: std::env::var("K").ok().and_then(|v| v.parse().ok()).unwrap_or(2),
-        n_experts: std::env::var("E").ok().and_then(|v| v.parse().ok()).unwrap_or(1),
-        max_epochs: std::env::var("EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(60),
-        lr: std::env::var("LR").ok().and_then(|v| v.parse().ok()).unwrap_or(2e-3),
-        lr_decay: std::env::var("DECAY").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0),
-        code_bits_candidates: std::env::var("BITS").ok()
+        code_size: std::env::var("K")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2),
+        n_experts: std::env::var("E")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+        max_epochs: std::env::var("EPOCHS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60),
+        lr: std::env::var("LR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2e-3),
+        lr_decay: std::env::var("DECAY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0),
+        code_bits_candidates: std::env::var("BITS")
+            .ok()
             .map(|v| v.split(',').map(|b| b.parse().unwrap()).collect())
             .unwrap_or_else(|| vec![4, 8, 16]),
-        tol: std::env::var("TOL").ok().and_then(|v| v.parse().ok()).unwrap_or(1e-3),
+        tol: std::env::var("TOL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1e-3),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -39,20 +61,30 @@ fn main() {
     let losses = &tc.report.epoch_losses;
     println!("epochs run: {}", tc.report.epochs_run);
     for (i, l) in losses.iter().enumerate() {
-        if i % 5 == 0 || i == losses.len() - 1 { println!("  epoch {i}: {l:.5}"); }
+        if i % 5 == 0 || i == losses.len() - 1 {
+            println!("  epoch {i}: {l:.5}");
+        }
     }
     let a = tc.materialize(&t).unwrap();
     let b = a.breakdown();
     let raw = t.raw_size();
-    println!("ratio {:.2}% fail={:.2}% code={:.2}% dec={:.2}%",
-        100.0*a.size() as f64/raw as f64, 100.0*b.failures as f64/raw as f64,
-        100.0*b.codes as f64/raw as f64, 100.0*b.decoder as f64/raw as f64);
+    println!(
+        "ratio {:.2}% fail={:.2}% code={:.2}% dec={:.2}%",
+        100.0 * a.size() as f64 / raw as f64,
+        100.0 * b.failures as f64 / raw as f64,
+        100.0 * b.codes as f64 / raw as f64,
+        100.0 * b.decoder as f64 / raw as f64
+    );
     if std::env::var("FSTATS").is_ok() {
         let mut stats: Vec<_> = a.failure_stats().to_vec();
         stats.sort_by_key(|(_, b)| std::cmp::Reverse(*b));
         for (name, bytes) in stats.iter().take(12) {
             let idx: usize = name.parse().unwrap_or(0);
-            let col = t.schema().field(idx).map(|f| f.name.clone()).unwrap_or_default();
+            let col = t
+                .schema()
+                .field(idx)
+                .map(|f| f.name.clone())
+                .unwrap_or_default();
             println!("  col {idx:>3} {col:<12} {bytes:>8} B");
         }
     }

@@ -48,8 +48,15 @@ pub fn fig6(rc: &RunConfig) -> ResultTable {
     let mut t = ResultTable::new(
         "Fig. 6: compression ratios (% of raw; smaller is better)",
         &[
-            "Dataset", "Err%", "gzip", "Parquet", "Squish", "DeepSqueeze", "DS-fail",
-            "DS-codes", "DS-decoder",
+            "Dataset",
+            "Err%",
+            "gzip",
+            "Parquet",
+            "Squish",
+            "DeepSqueeze",
+            "DS-fail",
+            "DS-codes",
+            "DS-decoder",
         ],
     );
     for d in Dataset::ALL {
@@ -180,7 +187,11 @@ pub fn fig7(rc: &RunConfig) -> ResultTable {
     let mut t = ResultTable::new(
         "Fig. 7: optimization ablations (compression ratio %, 10% error)",
         &[
-            "Dataset", "1-layer linear", "No quantization", "Single expert", "DeepSqueeze",
+            "Dataset",
+            "1-layer linear",
+            "No quantization",
+            "Single expert",
+            "DeepSqueeze",
         ],
     );
     for d in Dataset::ALL {
@@ -258,7 +269,14 @@ pub fn fig8(rc: &RunConfig) -> ResultTable {
 pub fn fig9(rc: &RunConfig) -> ResultTable {
     let mut t = ResultTable::new(
         "Fig. 9: tuning convergence (best-so-far ratio % per trial)",
-        &["Dataset", "Trial", "Ratio", "BestSoFar", "CodeSize", "Experts"],
+        &[
+            "Dataset",
+            "Trial",
+            "Ratio",
+            "BestSoFar",
+            "CodeSize",
+            "Experts",
+        ],
     );
     for d in Dataset::ALL {
         let table = dataset_table(d, rc);
@@ -406,7 +424,11 @@ pub fn run_all() {
         let table = f(&rc);
         table.print();
         match table.write_csv(name) {
-            Ok(path) => println!("[{name}] wrote {} ({:.1?})\n", path.display(), start.elapsed()),
+            Ok(path) => println!(
+                "[{name}] wrote {} ({:.1?})\n",
+                path.display(),
+                start.elapsed()
+            ),
             Err(e) => println!("[{name}] CSV write failed: {e}\n"),
         }
     }

@@ -49,9 +49,7 @@ impl RunConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(1.0);
-        let epochs = std::env::var("DS_EPOCHS")
-            .ok()
-            .and_then(|v| v.parse().ok());
+        let epochs = std::env::var("DS_EPOCHS").ok().and_then(|v| v.parse().ok());
         RunConfig {
             scale,
             epochs,

@@ -4,7 +4,9 @@
 //! so each value needs only `ceil(log2(max+1))` bits. This is the "plain"
 //! compact representation the [`crate::parq`] container falls back on.
 
-use crate::{bitstream::BitReader, bitstream::BitWriter, ByteReader, ByteWriter, CodecError, Result};
+use crate::{
+    bitstream::BitReader, bitstream::BitWriter, ByteReader, ByteWriter, CodecError, Result,
+};
 
 /// Minimum bits needed to represent `max_value` (at least 1).
 pub fn width_for(max_value: u64) -> u32 {
@@ -29,7 +31,11 @@ pub fn encode_with_width(values: &[u64], width: u32) -> Vec<u8> {
     header.write_varint(values.len() as u64);
     header.write_u8(width as u8);
     let mut bits = BitWriter::new();
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     for &v in values {
         debug_assert!(v <= mask, "value wider than pack width");
         bits.write_bits(v & mask, width);

@@ -34,7 +34,11 @@ impl BitWriter {
             let last = self.buf.len() - 1;
             let free = 8 - self.bit_pos;
             let take = free.min(n as u8);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             self.buf[last] |= ((v & mask) as u8) << self.bit_pos;
             v >>= take;
             n -= u32::from(take);

@@ -232,7 +232,7 @@ mod tests {
 
     #[test]
     fn roundtrip_binary_patterns() {
-        let data: Vec<u8> = (0..60_000u32).map(|i| (i * i >> 5) as u8).collect();
+        let data: Vec<u8> = (0..60_000u32).map(|i| ((i * i) >> 5) as u8).collect();
         roundtrip(&data);
         let runs: Vec<u8> = (0..100).flat_map(|i| vec![i as u8; 300]).collect();
         roundtrip(&runs);
@@ -263,7 +263,7 @@ mod tests {
             }
             data.extend_from_slice(&chunk);
             // Filler of varying size to vary the match distance.
-            data.extend(std::iter::repeat(0xAB).take(rep * 31));
+            data.extend(std::iter::repeat_n(0xAB, rep * 31));
             data.extend_from_slice(&chunk); // the far copy
         }
         roundtrip(&data);

@@ -364,7 +364,12 @@ mod tests {
         let enc = encode_bytes(&data);
         assert_eq!(decode_bytes(&enc).unwrap(), data);
         // Highly skewed input must compress well below 8 bits/symbol.
-        assert!(enc.len() < data.len() / 4, "enc {} raw {}", enc.len(), data.len());
+        assert!(
+            enc.len() < data.len() / 4,
+            "enc {} raw {}",
+            enc.len(),
+            data.len()
+        );
     }
 
     #[test]
@@ -400,10 +405,7 @@ mod tests {
             b = c;
         }
         let book = CodeBook::from_frequencies(&freqs).unwrap();
-        assert!(book
-            .lengths()
-            .iter()
-            .all(|&l| u32::from(l) <= MAX_CODE_LEN));
+        assert!(book.lengths().iter().all(|&l| u32::from(l) <= MAX_CODE_LEN));
         // The resulting code must still be decodable.
         let symbols: Vec<u16> = (0..64u16).collect();
         let mut bits = BitWriter::new();

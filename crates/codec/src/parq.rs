@@ -90,7 +90,9 @@ fn decode_u32_arith(payload: &[u8]) -> Result<Vec<u32>> {
         return Err(CodecError::Corrupt("parq: bad arith alphabet"));
     }
     if n > crate::MAX_DECODE_ELEMS {
-        return Err(CodecError::Corrupt("parq: arith count exceeds decode limit"));
+        return Err(CodecError::Corrupt(
+            "parq: arith count exceeds decode limit",
+        ));
     }
     let stream = r.read_len_prefixed()?;
     let mut model = AdaptiveModel::new(alphabet as usize)?;
@@ -185,7 +187,11 @@ fn encode_f64_dict(values: &[f64]) -> Option<Vec<u8>> {
     }
     let codes: Vec<u32> = values
         .iter()
-        .map(|v| distinct.binary_search(&v.to_bits()).expect("built from values") as u32)
+        .map(|v| {
+            distinct
+                .binary_search(&v.to_bits())
+                .expect("built from values") as u32
+        })
         .collect();
     let (tag, payload) = encode_u32_best(&codes);
     w.write_u8(tag);
@@ -247,113 +253,209 @@ pub struct ColumnStats {
     pub bytes: usize,
 }
 
+/// Encodes one named column into a self-contained byte section.
+///
+/// Each section carries its own name, type tag, mode bytes and
+/// len-prefixed payload, so sections can be produced independently (and
+/// in parallel) and concatenated in column order — the result is
+/// byte-identical to a sequential single-writer encode.
+fn encode_column_section(name: &str, col: &ParqColumn) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.write_len_prefixed(name.as_bytes());
+    match col {
+        ParqColumn::U32(values) => {
+            w.write_u8(0);
+            let (tag, payload) = encode_u32_best(values);
+            let (flag, payload) = entropy_stage(payload);
+            w.write_u8(tag);
+            w.write_u8(flag);
+            w.write_len_prefixed(&payload);
+        }
+        ParqColumn::I64(values) => {
+            w.write_u8(1);
+            // Two candidates: delta coding (monotone-ish series) and
+            // direct zigzag reuse of the u32 encodings (failure-delta
+            // streams are mostly zeros — delta coding those *doubles*
+            // the nonzero count). The u32 path needs every zigzagged
+            // value to fit 32 bits.
+            let delta_payload = delta::encode_i64(values);
+            let zz: Option<Vec<u32>> = values
+                .iter()
+                .map(|&v| u32::try_from(crate::varint::zigzag(v)).ok())
+                .collect();
+            let direct = zz.map(|codes| encode_u32_best(&codes));
+            match direct {
+                Some((tag, payload)) if payload.len() < delta_payload.len() => {
+                    let (flag, payload) = entropy_stage(payload);
+                    w.write_u8(2 + flag); // 2 = zigzag raw, 3 = zigzag+gz
+                    w.write_u8(tag);
+                    w.write_len_prefixed(&payload);
+                }
+                _ => {
+                    let (flag, payload) = entropy_stage(delta_payload);
+                    w.write_u8(flag); // 0 = delta raw, 1 = delta+gz
+                    w.write_len_prefixed(&payload);
+                }
+            }
+        }
+        ParqColumn::F64(values) => {
+            w.write_u8(2);
+            // Two candidate layouts, smaller wins:
+            //  (a) XOR-with-previous raw bits (Gorilla-style) — good
+            //      for slowly varying series;
+            //  (b) value dictionary + u32 codes — real tabular floats
+            //      are frequently low-cardinality (quantized sensors,
+            //      currencies), where 64-bit storage is pure waste.
+            let mut raw = ByteWriter::with_capacity(values.len() * 8);
+            let mut prev = 0u64;
+            for &v in values {
+                let bits = v.to_bits();
+                raw.write_u64(bits ^ prev);
+                prev = bits;
+            }
+            let xor_payload = raw.into_vec();
+
+            let dict_payload = encode_f64_dict(values);
+            match dict_payload {
+                Some(dp) if dp.len() < xor_payload.len() => {
+                    let (flag, payload) = entropy_stage(dp);
+                    w.write_u8(2 + flag); // 2 = dict raw, 3 = dict+gz
+                    w.write_len_prefixed(&payload);
+                }
+                _ => {
+                    let (flag, payload) = entropy_stage(xor_payload);
+                    w.write_u8(flag); // 0 = xor raw, 1 = xor+gz
+                    w.write_len_prefixed(&payload);
+                }
+            }
+        }
+        ParqColumn::Str(values) => {
+            w.write_u8(3);
+            let (dict, codes) = Dictionary::encode_column(values);
+            let mut inner = ByteWriter::new();
+            dict.write_to(&mut inner);
+            let (tag, payload) = encode_u32_best(&codes);
+            inner.write_u8(tag);
+            inner.write_len_prefixed(&payload);
+            let (flag, payload) = entropy_stage(inner.into_vec());
+            w.write_u8(flag);
+            w.write_len_prefixed(&payload);
+        }
+    }
+    w.into_vec()
+}
+
 /// Serializes named columns into a parq container.
 ///
 /// All columns must have equal length; returns per-column stats alongside
-/// the bytes.
+/// the bytes. Columns encode in parallel (each into its own buffer) and
+/// concatenate in declaration order, so the container bytes do not depend
+/// on the thread count.
 pub fn write_table(columns: &[(String, ParqColumn)]) -> Result<(Vec<u8>, Vec<ColumnStats>)> {
     let nrows = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
     if columns.iter().any(|(_, c)| c.len() != nrows) {
         return Err(CodecError::InvalidParameter("parq: ragged columns"));
     }
+    let sections: Vec<Vec<u8>> = ds_exec::parallel_map(columns.len(), |i| {
+        let (name, col) = &columns[i];
+        encode_column_section(name, col)
+    });
+
     let mut w = ByteWriter::new();
     w.write_bytes(MAGIC);
     w.write_varint(columns.len() as u64);
     w.write_varint(nrows as u64);
-
     let mut stats = Vec::with_capacity(columns.len());
-    for (name, col) in columns {
-        let before = w.len();
-        w.write_len_prefixed(name.as_bytes());
-        match col {
-            ParqColumn::U32(values) => {
-                w.write_u8(0);
-                let (tag, payload) = encode_u32_best(values);
-                let (flag, payload) = entropy_stage(payload);
-                w.write_u8(tag);
-                w.write_u8(flag);
-                w.write_len_prefixed(&payload);
-            }
-            ParqColumn::I64(values) => {
-                w.write_u8(1);
-                // Two candidates: delta coding (monotone-ish series) and
-                // direct zigzag reuse of the u32 encodings (failure-delta
-                // streams are mostly zeros — delta coding those *doubles*
-                // the nonzero count). The u32 path needs every zigzagged
-                // value to fit 32 bits.
-                let delta_payload = delta::encode_i64(values);
-                let zz: Option<Vec<u32>> = values
-                    .iter()
-                    .map(|&v| u32::try_from(crate::varint::zigzag(v)).ok())
-                    .collect();
-                let direct = zz.map(|codes| encode_u32_best(&codes));
-                match direct {
-                    Some((tag, payload)) if payload.len() < delta_payload.len() => {
-                        let (flag, payload) = entropy_stage(payload);
-                        w.write_u8(2 + flag); // 2 = zigzag raw, 3 = zigzag+gz
-                        w.write_u8(tag);
-                        w.write_len_prefixed(&payload);
-                    }
-                    _ => {
-                        let (flag, payload) = entropy_stage(delta_payload);
-                        w.write_u8(flag); // 0 = delta raw, 1 = delta+gz
-                        w.write_len_prefixed(&payload);
-                    }
-                }
-            }
-            ParqColumn::F64(values) => {
-                w.write_u8(2);
-                // Two candidate layouts, smaller wins:
-                //  (a) XOR-with-previous raw bits (Gorilla-style) — good
-                //      for slowly varying series;
-                //  (b) value dictionary + u32 codes — real tabular floats
-                //      are frequently low-cardinality (quantized sensors,
-                //      currencies), where 64-bit storage is pure waste.
-                let mut raw = ByteWriter::with_capacity(values.len() * 8);
-                let mut prev = 0u64;
-                for &v in values {
-                    let bits = v.to_bits();
-                    raw.write_u64(bits ^ prev);
-                    prev = bits;
-                }
-                let xor_payload = raw.into_vec();
-
-                let dict_payload = encode_f64_dict(values);
-                match dict_payload {
-                    Some(dp) if dp.len() < xor_payload.len() => {
-                        let (flag, payload) = entropy_stage(dp);
-                        w.write_u8(2 + flag); // 2 = dict raw, 3 = dict+gz
-                        w.write_len_prefixed(&payload);
-                    }
-                    _ => {
-                        let (flag, payload) = entropy_stage(xor_payload);
-                        w.write_u8(flag); // 0 = xor raw, 1 = xor+gz
-                        w.write_len_prefixed(&payload);
-                    }
-                }
-            }
-            ParqColumn::Str(values) => {
-                w.write_u8(3);
-                let (dict, codes) = Dictionary::encode_column(values);
-                let mut inner = ByteWriter::new();
-                dict.write_to(&mut inner);
-                let (tag, payload) = encode_u32_best(&codes);
-                inner.write_u8(tag);
-                inner.write_len_prefixed(&payload);
-                let (flag, payload) = entropy_stage(inner.into_vec());
-                w.write_u8(flag);
-                w.write_len_prefixed(&payload);
-            }
-        }
+    for ((name, _), section) in columns.iter().zip(&sections) {
+        w.write_bytes(section);
         stats.push(ColumnStats {
             name: name.clone(),
-            bytes: w.len() - before,
+            bytes: section.len(),
         });
     }
     Ok((w.into_vec(), stats))
 }
 
+/// Header fields of one column plus a borrowed slice of its (still
+/// encoded) payload, produced by the cheap sequential scan phase of
+/// [`read_table`].
+struct ColumnSection<'a> {
+    name: String,
+    type_tag: u8,
+    /// mode byte for i64/f64, entropy flag for u32/str.
+    mode: u8,
+    /// inner encoding tag (u32 always; i64 only in zigzag mode).
+    tag: u8,
+    payload: &'a [u8],
+}
+
+/// Decodes one column section (the expensive phase; runs in parallel).
+fn decode_column_section(sec: &ColumnSection<'_>, nrows: usize) -> Result<ParqColumn> {
+    match sec.type_tag {
+        0 => {
+            let payload = un_entropy(sec.mode, sec.payload)?;
+            let values = decode_u32_best(sec.tag, &payload)?;
+            if values.len() != nrows {
+                return Err(CodecError::Corrupt("parq: row count mismatch"));
+            }
+            Ok(ParqColumn::U32(values))
+        }
+        1 => {
+            let values = if sec.mode >= 2 {
+                let payload = un_entropy(sec.mode & 1, sec.payload)?;
+                decode_u32_best(sec.tag, &payload)?
+                    .into_iter()
+                    .map(|c| crate::varint::unzigzag(u64::from(c)))
+                    .collect()
+            } else {
+                let payload = un_entropy(sec.mode & 1, sec.payload)?;
+                delta::decode_i64(&payload)?
+            };
+            if values.len() != nrows {
+                return Err(CodecError::Corrupt("parq: row count mismatch"));
+            }
+            Ok(ParqColumn::I64(values))
+        }
+        2 => {
+            let payload = un_entropy(sec.mode & 1, sec.payload)?;
+            let values = if sec.mode >= 2 {
+                decode_f64_dict(&payload, nrows)?
+            } else {
+                if payload.len() != nrows * 8 {
+                    return Err(CodecError::Corrupt("parq: f64 payload size"));
+                }
+                let mut inner = ByteReader::new(&payload);
+                let mut values = Vec::with_capacity(nrows);
+                let mut prev = 0u64;
+                for _ in 0..nrows {
+                    let bits = inner.read_u64()? ^ prev;
+                    values.push(f64::from_bits(bits));
+                    prev = bits;
+                }
+                values
+            };
+            Ok(ParqColumn::F64(values))
+        }
+        3 => {
+            let payload = un_entropy(sec.mode, sec.payload)?;
+            let mut inner = ByteReader::new(&payload);
+            let dict = Dictionary::read_from(&mut inner)?;
+            let tag = inner.read_u8()?;
+            let codes = decode_u32_best(tag, inner.read_len_prefixed()?)?;
+            if codes.len() != nrows {
+                return Err(CodecError::Corrupt("parq: row count mismatch"));
+            }
+            Ok(ParqColumn::Str(dict.decode_column(&codes)?))
+        }
+        _ => Err(CodecError::Corrupt("parq: unknown column type")),
+    }
+}
+
 /// Reads a container produced by [`write_table`].
+///
+/// A sequential scan slices each column's len-prefixed payload, then the
+/// payloads decode in parallel; results are collected in column order so
+/// output (and the first error surfaced) is deterministic.
 pub fn read_table(bytes: &[u8]) -> Result<Vec<(String, ParqColumn)>> {
     let mut r = ByteReader::new(bytes);
     if r.read_bytes(4)? != MAGIC {
@@ -364,85 +466,53 @@ pub fn read_table(bytes: &[u8]) -> Result<Vec<(String, ParqColumn)>> {
     if ncols > 1_000_000 {
         return Err(CodecError::Corrupt("parq: implausible column count"));
     }
-    let mut out = Vec::with_capacity(ncols);
+    let mut sections = Vec::with_capacity(ncols.min(1 << 16));
     for _ in 0..ncols {
         let name = std::str::from_utf8(r.read_len_prefixed()?)
             .map_err(|_| CodecError::Corrupt("parq: column name not utf-8"))?
             .to_owned();
         let type_tag = r.read_u8()?;
-        let col = match type_tag {
+        let (mode, tag) = match type_tag {
             0 => {
                 let tag = r.read_u8()?;
                 let flag = r.read_u8()?;
-                let payload = un_entropy(flag, r.read_len_prefixed()?)?;
-                let values = decode_u32_best(tag, &payload)?;
-                if values.len() != nrows {
-                    return Err(CodecError::Corrupt("parq: row count mismatch"));
-                }
-                ParqColumn::U32(values)
+                (flag, tag)
             }
             1 => {
                 let mode = r.read_u8()?;
                 if mode > 3 {
                     return Err(CodecError::Corrupt("parq: bad i64 mode"));
                 }
-                let values = if mode >= 2 {
-                    let tag = r.read_u8()?;
-                    let payload = un_entropy(mode & 1, r.read_len_prefixed()?)?;
-                    decode_u32_best(tag, &payload)?
-                        .into_iter()
-                        .map(|c| crate::varint::unzigzag(u64::from(c)))
-                        .collect()
-                } else {
-                    let payload = un_entropy(mode & 1, r.read_len_prefixed()?)?;
-                    delta::decode_i64(&payload)?
-                };
-                if values.len() != nrows {
-                    return Err(CodecError::Corrupt("parq: row count mismatch"));
-                }
-                ParqColumn::I64(values)
+                let tag = if mode >= 2 { r.read_u8()? } else { 0 };
+                (mode, tag)
             }
             2 => {
                 let mode = r.read_u8()?;
                 if mode > 3 {
                     return Err(CodecError::Corrupt("parq: bad f64 mode"));
                 }
-                let payload = un_entropy(mode & 1, r.read_len_prefixed()?)?;
-                let values = if mode >= 2 {
-                    decode_f64_dict(&payload, nrows)?
-                } else {
-                    if payload.len() != nrows * 8 {
-                        return Err(CodecError::Corrupt("parq: f64 payload size"));
-                    }
-                    let mut inner = ByteReader::new(&payload);
-                    let mut values = Vec::with_capacity(nrows);
-                    let mut prev = 0u64;
-                    for _ in 0..nrows {
-                        let bits = inner.read_u64()? ^ prev;
-                        values.push(f64::from_bits(bits));
-                        prev = bits;
-                    }
-                    values
-                };
-                ParqColumn::F64(values)
+                (mode, 0)
             }
-            3 => {
-                let flag = r.read_u8()?;
-                let payload = un_entropy(flag, r.read_len_prefixed()?)?;
-                let mut inner = ByteReader::new(&payload);
-                let dict = Dictionary::read_from(&mut inner)?;
-                let tag = inner.read_u8()?;
-                let codes = decode_u32_best(tag, inner.read_len_prefixed()?)?;
-                if codes.len() != nrows {
-                    return Err(CodecError::Corrupt("parq: row count mismatch"));
-                }
-                ParqColumn::Str(dict.decode_column(&codes)?)
-            }
+            3 => (r.read_u8()?, 0),
             _ => return Err(CodecError::Corrupt("parq: unknown column type")),
         };
-        out.push((name, col));
+        let payload = r.read_len_prefixed()?;
+        sections.push(ColumnSection {
+            name,
+            type_tag,
+            mode,
+            tag,
+            payload,
+        });
     }
-    Ok(out)
+    let decoded: Vec<Result<ParqColumn>> = ds_exec::parallel_map(sections.len(), |i| {
+        decode_column_section(&sections[i], nrows)
+    });
+    sections
+        .into_iter()
+        .zip(decoded)
+        .map(|(sec, col)| col.map(|c| (sec.name, c)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -492,7 +562,11 @@ mod tests {
     fn constant_column_compresses_to_almost_nothing() {
         let cols = named(vec![ParqColumn::U32(vec![9; 100_000])]);
         let (bytes, _) = write_table(&cols).unwrap();
-        assert!(bytes.len() < 64, "constant col should be tiny: {}", bytes.len());
+        assert!(
+            bytes.len() < 64,
+            "constant col should be tiny: {}",
+            bytes.len()
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ impl Quantizer {
     /// on NaN input or negative error.
     pub fn fit(values: &[f64], error: f64) -> Result<Self> {
         if !(0.0..=1.0).contains(&error) {
-            return Err(CodecError::InvalidParameter("quantizer: error not in [0,1]"));
+            return Err(CodecError::InvalidParameter(
+                "quantizer: error not in [0,1]",
+            ));
         }
         if values.iter().any(|v| v.is_nan()) {
             return Err(CodecError::InvalidParameter("quantizer: NaN input"));
@@ -140,9 +142,7 @@ impl Quantizer {
     /// The worst-case absolute reconstruction error this quantizer allows.
     pub fn max_abs_error(&self) -> f64 {
         match self {
-            Quantizer::Uniform { min, max, buckets } => {
-                (max - min) / (2.0 * f64::from(*buckets))
-            }
+            Quantizer::Uniform { min, max, buckets } => (max - min) / (2.0 * f64::from(*buckets)),
             Quantizer::Exact { .. } => 0.0,
         }
     }
@@ -208,7 +208,9 @@ mod tests {
     #[test]
     fn error_bound_holds_for_all_inputs() {
         for error in [0.005, 0.01, 0.05, 0.10, 0.25] {
-            let values: Vec<f64> = (0..1000).map(|i| (f64::from(i) * 0.77).sin() * 42.0).collect();
+            let values: Vec<f64> = (0..1000)
+                .map(|i| (f64::from(i) * 0.77).sin() * 42.0)
+                .collect();
             let q = Quantizer::fit(&values, error).unwrap();
             let range = 84.0; // sin * 42 spans [-42, 42]
             for &v in &values {

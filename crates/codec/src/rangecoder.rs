@@ -73,8 +73,8 @@ impl RangeEncoder {
     fn shift_low(&mut self) {
         if (self.low as u32) < 0xFF00_0000 || (self.low >> 32) != 0 {
             let carry = (self.low >> 32) as u8; // 0 or 1
-            // The very first pushed byte is the initial cache (0); the
-            // decoder skips it, keeping both sides byte-aligned (as in LZMA).
+                                                // The very first pushed byte is the initial cache (0); the
+                                                // decoder skips it, keeping both sides byte-aligned (as in LZMA).
             self.out.push(self.cache.wrapping_add(carry));
             for _ in 0..self.pending {
                 self.out.push(0xFFu8.wrapping_add(carry));

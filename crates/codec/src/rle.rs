@@ -34,7 +34,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
     // against the input size — only against the crate-wide decode ceiling
     // (a single run may resize straight to `n`).
     if n > crate::MAX_DECODE_ELEMS {
-        return Err(CodecError::Corrupt("rle: element count exceeds decode limit"));
+        return Err(CodecError::Corrupt(
+            "rle: element count exceeds decode limit",
+        ));
     }
     let mut out = Vec::with_capacity(n.min(1 << 20));
     while out.len() < n {

@@ -74,19 +74,15 @@ impl Container {
     fn iter(&self) -> Box<dyn Iterator<Item = u16> + '_> {
         match self {
             Container::Array(v) => Box::new(v.iter().copied()),
-            Container::Bitmap(b) => Box::new(
-                b.iter()
-                    .enumerate()
-                    .flat_map(|(w, &word)| {
-                        (0..64).filter_map(move |bit| {
-                            if word >> bit & 1 == 1 {
-                                Some((w * 64 + bit) as u16)
-                            } else {
-                                None
-                            }
-                        })
-                    }),
-            ),
+            Container::Bitmap(b) => Box::new(b.iter().enumerate().flat_map(|(w, &word)| {
+                (0..64).filter_map(move |bit| {
+                    if word >> bit & 1 == 1 {
+                        Some((w * 64 + bit) as u16)
+                    } else {
+                        None
+                    }
+                })
+            })),
         }
     }
 }
@@ -148,7 +144,8 @@ impl RoaringBitmap {
     /// Iterates set values in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.chunks.iter().flat_map(|&(high, ref c)| {
-            c.iter().map(move |low| (u32::from(high) << 16) | u32::from(low))
+            c.iter()
+                .map(move |low| (u32::from(high) << 16) | u32::from(low))
         })
     }
 
@@ -319,7 +316,11 @@ mod tests {
         let bits: Vec<u32> = (0..50_000).map(|i| u32::from(i % 997 == 0)).collect();
         let enc = RoaringBitmap::encode_bit_stream(&bits);
         assert_eq!(RoaringBitmap::decode_bit_stream(&enc).unwrap(), bits);
-        assert!(enc.len() < 300, "sparse failures must stay tiny: {}", enc.len());
+        assert!(
+            enc.len() < 300,
+            "sparse failures must stay tiny: {}",
+            enc.len()
+        );
         // All-zero stream costs almost nothing.
         let zeros = vec![0u32; 10_000];
         let enc = RoaringBitmap::encode_bit_stream(&zeros);

@@ -106,7 +106,17 @@ mod tests {
 
     #[test]
     fn signed_roundtrip_boundaries() {
-        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::MAX,
+            i64::MIN,
+            1 << 40,
+            -(1 << 40),
+        ] {
             let mut w = ByteWriter::new();
             write_i64(&mut w, v);
             let bytes = w.into_vec();

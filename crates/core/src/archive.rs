@@ -184,7 +184,10 @@ mod tests {
         assert_eq!(info.n_experts, 2);
         assert_eq!(info.code_size, 3);
         assert!(info.code_bits >= 4);
-        assert!(info.columns.iter().all(|(_, k)| *k == "numeric (quantized)"));
+        assert!(info
+            .columns
+            .iter()
+            .all(|(_, k)| *k == "numeric (quantized)"));
     }
 
     #[test]

@@ -180,10 +180,7 @@ pub fn compress_kmeans(table: &Table, cfg: &DsConfig) -> Result<DsArchive> {
     tc.materialize_with_assignments(table, &assignments)
 }
 
-fn cfg_preprocess(
-    cfg: &DsConfig,
-    table: &Table,
-) -> Result<crate::preprocess::PreprocessOptions> {
+fn cfg_preprocess(cfg: &DsConfig, table: &Table) -> Result<crate::preprocess::PreprocessOptions> {
     let error_thresholds = match &cfg.per_column_errors {
         Some(v) => {
             if v.len() != table.ncols() {

@@ -253,11 +253,7 @@ pub fn dequantize_codes_for_test(
 }
 
 /// Rebuilds the approximate (dequantized) code matrix for one expert.
-pub(crate) fn dequantize_codes(
-    qcols: &[Vec<u32>],
-    ranges: &[(f32, f32)],
-    bits: u8,
-) -> Mat {
+pub(crate) fn dequantize_codes(qcols: &[Vec<u32>], ranges: &[(f32, f32)], bits: u8) -> Mat {
     let k = qcols.len();
     let rows = qcols.first().map(Vec::len).unwrap_or(0);
     let levels = ((1u64 << bits) - 1) as f32;
@@ -319,10 +315,89 @@ pub(crate) enum FailureCol {
     Raw(Vec<String>),
 }
 
+/// Fills one column's failure buffer for one expert's rows. Infallible by
+/// construction: every fallible lookup is resolved by the caller before
+/// the parallel fan-out, so this can run as a pool task per column.
+#[allow(clippy::too_many_arguments)]
+fn fill_expert_column(
+    plan: &ColPlan,
+    fc: &mut FailureCol,
+    decoded: &DecodedBatch,
+    rows: &[usize],
+    storage_to_original: &[usize],
+    truth: Option<&[u32]>,
+    raw_values: Option<&[f64]>,
+    simple_slot: usize,
+    cat_slot: usize,
+) {
+    match plan {
+        ColPlan::Numeric {
+            quantizer,
+            min,
+            max,
+        } => {
+            let truth = truth.expect("numeric has codes");
+            let span = (max - min).max(f64::MIN_POSITIVE);
+            if let FailureCol::NumDelta(buf) = fc {
+                for (b, &pos) in rows.iter().enumerate() {
+                    let orig = storage_to_original[pos];
+                    let p = f64::from(decoded.simple.get(b, simple_slot));
+                    let pred_bucket = quantizer.index_of(min + p * span);
+                    buf[pos] = i64::from(truth[orig]) - i64::from(pred_bucket);
+                }
+            }
+        }
+        ColPlan::NumericRaw { min, max, error } => {
+            let values = raw_values.expect("raw numeric values resolved by caller");
+            let span = (max - min).max(f64::MIN_POSITIVE);
+            let bound = error * (max - min);
+            if let FailureCol::RawDelta(buf) = fc {
+                for (b, &pos) in rows.iter().enumerate() {
+                    let orig = storage_to_original[pos];
+                    let p = f64::from(decoded.simple.get(b, simple_slot));
+                    let pred = min + p * span;
+                    let diff = values[orig] - pred;
+                    buf[pos] = if diff.abs() <= bound { 0.0 } else { diff };
+                }
+            }
+        }
+        ColPlan::Binary { .. } => {
+            let truth = truth.expect("binary has codes");
+            if let FailureCol::Xor(buf) = fc {
+                for (b, &pos) in rows.iter().enumerate() {
+                    let orig = storage_to_original[pos];
+                    let bit = u32::from(decoded.simple.get(b, simple_slot) > 0.5);
+                    buf[pos] = bit ^ truth[orig];
+                }
+            }
+        }
+        ColPlan::Cat {
+            model_card,
+            class_to_code,
+            ..
+        } => {
+            let truth = truth.expect("cat has codes");
+            let probs = &decoded.cat_probs[cat_slot];
+            if let FailureCol::Rank(buf) = fc {
+                for (b, &pos) in rows.iter().enumerate() {
+                    let orig = storage_to_original[pos];
+                    let code = truth[orig];
+                    let class = crate::preprocess::class_of_code(class_to_code, *model_card, code);
+                    buf[pos] = rank_of(probs.row(b), *model_card, class as usize);
+                }
+            }
+        }
+        ColPlan::Fallback => {}
+    }
+}
+
 /// Computes failures for every column given per-expert predictions.
 ///
 /// `decode_expert(e)` must return predictions for expert `e`'s rows in the
-/// order given by `layout.expert_rows[e]`.
+/// order given by `layout.expert_rows[e]`. Per-column fills run on the
+/// shared pool (each column's buffer is an independent task); rare-code
+/// collection stays serial — it is cheap relative to rank computation and
+/// keeps ordering trivially deterministic.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn compute_failures(
     table: &Table,
@@ -383,6 +458,26 @@ pub(crate) fn compute_failures(
         }
     }
 
+    // Resolve every fallible per-column lookup up front so the parallel
+    // fill tasks are infallible.
+    let raw_num: Vec<Option<&[f64]>> = prep
+        .plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            if matches!(plan, ColPlan::NumericRaw { .. }) {
+                table
+                    .column(i)
+                    .expect("plan index valid")
+                    .as_num()
+                    .ok_or(DsError::Corrupt("numeric plan on non-numeric column"))
+                    .map(Some)
+            } else {
+                Ok(None)
+            }
+        })
+        .collect::<Result<_>>()?;
+
     for (e, rows) in layout.expert_rows.iter().enumerate() {
         if rows.is_empty() {
             continue;
@@ -394,83 +489,43 @@ pub(crate) fn compute_failures(
         if decoded.simple.rows() != rows.len() {
             return Err(DsError::Corrupt("prediction batch size mismatch"));
         }
+
+        // One pool task per column; each owns its buffer exclusively.
+        ds_exec::parallel_chunks_mut(&mut per_col, 1, |i, _, cols| {
+            fill_expert_column(
+                &prep.plans[i],
+                &mut cols[0],
+                &decoded,
+                rows,
+                &layout.storage_to_original,
+                prep.true_codes[i].as_deref(),
+                raw_num[i],
+                simple_slot_of[i],
+                cat_slot_of[i],
+            );
+        });
+
+        // Rare (OTHER-class) codes, in column order.
         for (i, plan) in prep.plans.iter().enumerate() {
-            match plan {
-                ColPlan::Numeric {
-                    quantizer,
-                    min,
-                    max,
-                } => {
-                    let slot = simple_slot_of[i];
-                    let truth = prep.true_codes[i].as_ref().expect("numeric has codes");
-                    let span = (max - min).max(f64::MIN_POSITIVE);
-                    if let FailureCol::NumDelta(buf) = &mut per_col[i] {
-                        for (b, &pos) in rows.iter().enumerate() {
-                            let orig = layout.storage_to_original[pos];
-                            let p = f64::from(decoded.simple.get(b, slot));
-                            let pred_bucket = quantizer.index_of(min + p * span);
-                            buf[pos] =
-                                i64::from(truth[orig]) - i64::from(pred_bucket);
-                        }
+            if let ColPlan::Cat {
+                model_card,
+                class_to_code,
+                ..
+            } = plan
+            {
+                if class_to_code.len() >= *model_card {
+                    continue;
+                }
+                let truth = prep.true_codes[i].as_ref().expect("cat has codes");
+                let other = (*model_card - 1) as u32;
+                for &pos in rows {
+                    let orig = layout.storage_to_original[pos];
+                    let code = truth[orig];
+                    let class = crate::preprocess::class_of_code(class_to_code, *model_card, code);
+                    if class == other {
+                        rare.push((i, pos, code));
                     }
                 }
-                ColPlan::NumericRaw { min, max, error } => {
-                    let slot = simple_slot_of[i];
-                    let values = table
-                        .column(i)
-                        .expect("plan index valid")
-                        .as_num()
-                        .ok_or(DsError::Corrupt("numeric plan on non-numeric column"))?;
-                    let span = (max - min).max(f64::MIN_POSITIVE);
-                    let bound = error * (max - min);
-                    if let FailureCol::RawDelta(buf) = &mut per_col[i] {
-                        for (b, &pos) in rows.iter().enumerate() {
-                            let orig = layout.storage_to_original[pos];
-                            let p = f64::from(decoded.simple.get(b, slot));
-                            let pred = min + p * span;
-                            let diff = values[orig] - pred;
-                            buf[pos] = if diff.abs() <= bound { 0.0 } else { diff };
-                        }
-                    }
-                }
-                ColPlan::Binary { .. } => {
-                    let slot = simple_slot_of[i];
-                    let truth = prep.true_codes[i].as_ref().expect("binary has codes");
-                    if let FailureCol::Xor(buf) = &mut per_col[i] {
-                        for (b, &pos) in rows.iter().enumerate() {
-                            let orig = layout.storage_to_original[pos];
-                            let bit = u32::from(decoded.simple.get(b, slot) > 0.5);
-                            buf[pos] = bit ^ truth[orig];
-                        }
-                    }
-                }
-                ColPlan::Cat {
-                    model_card,
-                    class_to_code,
-                    ..
-                } => {
-                    let slot = cat_slot_of[i];
-                    let truth = prep.true_codes[i].as_ref().expect("cat has codes");
-                    let probs = &decoded.cat_probs[slot];
-                    let has_other = class_to_code.len() < *model_card;
-                    let other = (*model_card - 1) as u32;
-                    if let FailureCol::Rank(buf) = &mut per_col[i] {
-                        for (b, &pos) in rows.iter().enumerate() {
-                            let orig = layout.storage_to_original[pos];
-                            let code = truth[orig];
-                            let class = crate::preprocess::class_of_code(
-                                class_to_code,
-                                *model_card,
-                                code,
-                            );
-                            buf[pos] = rank_of(probs.row(b), *model_card, class as usize);
-                            if has_other && class == other {
-                                rare.push((i, pos, code));
-                            }
-                        }
-                    }
-                }
-                ColPlan::Fallback => {}
             }
         }
     }
@@ -541,7 +596,10 @@ pub fn materialize_with_patches(
         return Err(DsError::InvalidConfig("one assignment per row required"));
     }
     if opts.code_bits_candidates.is_empty()
-        || opts.code_bits_candidates.iter().any(|&b| !(1..=32).contains(&b))
+        || opts
+            .code_bits_candidates
+            .iter()
+            .any(|&b| !(1..=32).contains(&b))
     {
         return Err(DsError::InvalidConfig("code bits must be in 1..=32"));
     }
@@ -560,22 +618,31 @@ pub fn materialize_with_patches(
     // ---- per-expert exact codes (f32) -------------------------------------
     let per_expert_codes: Vec<Mat> = if has_model {
         let model = model.expect("has_model");
-        let mut v = Vec::with_capacity(n_experts);
-        for (e, rows) in layout.expert_rows.iter().enumerate() {
-            let orig: Vec<usize> = rows
+        // One pool task per expert (gather + encode); results collected in
+        // expert order so the archive is thread-count independent.
+        ds_exec::parallel_map(n_experts, |e| -> Result<Mat> {
+            let orig: Vec<usize> = layout.expert_rows[e]
                 .iter()
                 .map(|&pos| layout.storage_to_original[pos])
                 .collect();
             let xb = prep.x.take_rows(&orig);
-            v.push(model.encode(e, &xb)?);
-        }
-        v
+            Ok(model.encode(e, &xb)?)
+        })
+        .into_iter()
+        .collect::<Result<_>>()?
     } else {
         Vec::new()
     };
 
     // ---- choose the code width by total (codes + failures) size -----------
-    let mut best: Option<(usize, CodeLayout, Vec<u8>, Vec<u8>, Vec<u8>, Vec<(String, usize)>)> = None;
+    let mut best: Option<(
+        usize,
+        CodeLayout,
+        Vec<u8>,
+        Vec<u8>,
+        Vec<u8>,
+        Vec<(String, usize)>,
+    )> = None;
     for &bits in &opts.code_bits_candidates {
         let (code_layout, quantized) = quantize_codes(&per_expert_codes, bits);
         // Codes blob: k columns in storage order.
@@ -593,7 +660,14 @@ pub fn materialize_with_patches(
 
         let total = codes_blob.len() + failures_blob.len() + rare_blob.len();
         if best.as_ref().is_none_or(|(t, ..)| total < *t) {
-            best = Some((total, code_layout, codes_blob, failures_blob, rare_blob, col_stats));
+            best = Some((
+                total,
+                code_layout,
+                codes_blob,
+                failures_blob,
+                rare_blob,
+                col_stats,
+            ));
         }
         if !has_model {
             break; // width is irrelevant without a model
@@ -799,7 +873,7 @@ mod tests {
         let layout = plan_rows(&assignments, 2, false).unwrap();
         assert_eq!(layout.storage_to_original.len(), 100);
         // Every original row appears exactly once.
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &o in &layout.storage_to_original {
             assert!(!seen[o]);
             seen[o] = true;

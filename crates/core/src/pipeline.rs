@@ -4,9 +4,10 @@ use crate::archive::{DsArchive, MAGIC, VERSION};
 use crate::materialize::{
     class_at_rank, dequantize_codes, materialize, MappingStrategy, MaterializeOptions,
 };
-use crate::preprocess::{preprocess, ColPlan, Preprocessed, PreprocessOptions};
+use crate::preprocess::{preprocess, ColPlan, PreprocessOptions, Preprocessed};
 use crate::{DsError, Result};
 use ds_codec::{delta, gzlike, parq, rle, ByteReader};
+use ds_nn::autoencoder::DecodedBatch;
 use ds_nn::moe::{MoeConfig, TrainReport};
 use ds_nn::{serialize, ModelSpec, MoeAutoencoder};
 use ds_table::{Column, ColumnType, Table};
@@ -93,9 +94,7 @@ impl DsConfig {
         let error_thresholds = match &self.per_column_errors {
             Some(v) => {
                 if v.len() != table.ncols() {
-                    return Err(DsError::InvalidConfig(
-                        "per_column_errors arity mismatch",
-                    ));
+                    return Err(DsError::InvalidConfig("per_column_errors arity mismatch"));
                 }
                 v.clone()
             }
@@ -172,13 +171,10 @@ impl TrainedCompressor {
             } else {
                 (prep.x.clone(), prep.cat_targets.clone())
             };
-            let (mut model, report) =
-                MoeAutoencoder::train(&spec, &x_train, &cat_train, &moe_cfg)?;
+            let (mut model, report) = MoeAutoencoder::train(&spec, &x_train, &cat_train, &moe_cfg)?;
             if cfg.weight_truncate_bits > 0 {
                 if cfg.weight_truncate_bits >= 24 {
-                    return Err(DsError::InvalidConfig(
-                        "weight_truncate_bits must be < 24",
-                    ));
+                    return Err(DsError::InvalidConfig("weight_truncate_bits must be < 24"));
                 }
                 model.truncate_weights(cfg.weight_truncate_bits);
             }
@@ -514,117 +510,25 @@ pub fn decompress(archive: &DsArchive) -> Result<Table> {
             None
         };
 
-        for (i, plan) in plans.iter().enumerate() {
-            match plan {
-                ColPlan::Numeric {
-                    quantizer,
-                    min,
-                    max,
-                } => {
-                    let decoded = decoded.as_ref().ok_or(DsError::Corrupt("missing model"))?;
-                    let slot = simple_slot_of[i];
-                    let deltas = match &failure_cols[i].1 {
-                        parq::ParqColumn::I64(v) => v,
-                        _ => return Err(DsError::Corrupt("numeric failures malformed")),
-                    };
-                    let span = (max - min).max(f64::MIN_POSITIVE);
-                    let card = quantizer.cardinality() as i64;
-                    if let OutCol::Num(buf) = &mut out_cols[i] {
-                        for (b, &pos) in rows.iter().enumerate() {
-                            let p = f64::from(decoded.simple.get(b, slot));
-                            let pred_bucket = quantizer.index_of(min + p * span) as i64;
-                            let bucket = (pred_bucket + deltas[pos]).clamp(0, card - 1);
-                            buf[pos] = quantizer.value_of(bucket as u32);
-                        }
-                    }
-                }
-                ColPlan::NumericRaw { min, max, .. } => {
-                    let decoded = decoded.as_ref().ok_or(DsError::Corrupt("missing model"))?;
-                    let slot = simple_slot_of[i];
-                    let deltas = match &failure_cols[i].1 {
-                        parq::ParqColumn::F64(v) => v,
-                        _ => return Err(DsError::Corrupt("raw failures malformed")),
-                    };
-                    let span = (max - min).max(f64::MIN_POSITIVE);
-                    if let OutCol::Num(buf) = &mut out_cols[i] {
-                        for (b, &pos) in rows.iter().enumerate() {
-                            let p = f64::from(decoded.simple.get(b, slot));
-                            let pred = min + p * span;
-                            buf[pos] = pred + deltas[pos];
-                        }
-                    }
-                }
-                ColPlan::Binary { dict } => {
-                    let decoded = decoded.as_ref().ok_or(DsError::Corrupt("missing model"))?;
-                    let slot = simple_slot_of[i];
-                    let xors = match &failure_cols[i].1 {
-                        parq::ParqColumn::U32(v) => v,
-                        _ => return Err(DsError::Corrupt("binary failures malformed")),
-                    };
-                    if let OutCol::Str(buf) = &mut out_cols[i] {
-                        for (b, &pos) in rows.iter().enumerate() {
-                            let bit = u32::from(decoded.simple.get(b, slot) > 0.5) ^ xors[pos];
-                            let value = dict
-                                .value_of(bit)
-                                .or_else(|| dict.value_of(0))
-                                .ok_or(DsError::Corrupt("binary dictionary empty"))?;
-                            buf[pos] = value.to_owned();
-                        }
-                    }
-                }
-                ColPlan::Cat {
-                    dict,
-                    model_card,
-                    class_to_code,
-                } => {
-                    let decoded = decoded.as_ref().ok_or(DsError::Corrupt("missing model"))?;
-                    let slot = cat_slot_of[i];
-                    let ranks = match &failure_cols[i].1 {
-                        parq::ParqColumn::U32(v) => v,
-                        _ => return Err(DsError::Corrupt("categorical failures malformed")),
-                    };
-                    let probs = &decoded.cat_probs[slot];
-                    let has_other = class_to_code.len() < *model_card;
-                    let other = *model_card - 1;
-                    if let OutCol::Str(buf) = &mut out_cols[i] {
-                        for (b, &pos) in rows.iter().enumerate() {
-                            let class = class_at_rank(probs.row(b), *model_card, ranks[pos])
-                                .ok_or(DsError::Corrupt("rank out of range"))?;
-                            let code = if has_other && class == other {
-                                // OTHER: the exact code comes from the rare
-                                // stream — but rare entries are ordered by
-                                // storage position across experts, so they
-                                // are resolved in a second pass below.
-                                u32::MAX
-                            } else {
-                                class_to_code
-                                    .get(class)
-                                    .copied()
-                                    .ok_or(DsError::Corrupt("class map too short"))?
-                            };
-                            if code == u32::MAX {
-                                buf[pos] = RARE_SENTINEL.to_owned();
-                            } else {
-                                let value = dict
-                                    .value_of(code)
-                                    .ok_or(DsError::Corrupt("code outside dictionary"))?;
-                                buf[pos] = value.to_owned();
-                            }
-                        }
-                    }
-                }
-                ColPlan::Fallback => {
-                    let values = match &failure_cols[i].1 {
-                        parq::ParqColumn::Str(v) => v,
-                        _ => return Err(DsError::Corrupt("fallback column malformed")),
-                    };
-                    if let OutCol::Str(buf) = &mut out_cols[i] {
-                        for &pos in rows {
-                            buf[pos] = values[pos].clone();
-                        }
-                    }
-                }
-            }
+        // One pool task per column: each task owns its output buffer
+        // exclusively and records its own error; errors surface in column
+        // order so failures are thread-count independent too.
+        let mut slots: Vec<(&mut OutCol, Result<()>)> =
+            out_cols.iter_mut().map(|c| (c, Ok(()))).collect();
+        ds_exec::parallel_chunks_mut(&mut slots, 1, |i, _, t| {
+            let (out, res) = &mut t[0];
+            *res = fill_decode_column(
+                &plans[i],
+                out,
+                &failure_cols[i].1,
+                decoded.as_ref(),
+                rows,
+                simple_slot_of[i],
+                cat_slot_of[i],
+            );
+        });
+        for (_, res) in slots {
+            res?;
         }
     }
 
@@ -741,6 +645,127 @@ const RARE_SENTINEL: &str = "\u{0}__DS_RARE__";
 enum OutCol {
     Num(Vec<f64>),
     Str(Vec<String>),
+}
+
+/// Rebuilds one column's cells for one expert's rows from the decoded
+/// predictions and the column's failure stream. Runs as one pool task per
+/// column during decompression.
+fn fill_decode_column(
+    plan: &ColPlan,
+    out: &mut OutCol,
+    failure: &parq::ParqColumn,
+    decoded: Option<&DecodedBatch>,
+    rows: &[usize],
+    simple_slot: usize,
+    cat_slot: usize,
+) -> Result<()> {
+    match plan {
+        ColPlan::Numeric {
+            quantizer,
+            min,
+            max,
+        } => {
+            let decoded = decoded.ok_or(DsError::Corrupt("missing model"))?;
+            let deltas = match failure {
+                parq::ParqColumn::I64(v) => v,
+                _ => return Err(DsError::Corrupt("numeric failures malformed")),
+            };
+            let span = (max - min).max(f64::MIN_POSITIVE);
+            let card = quantizer.cardinality() as i64;
+            if let OutCol::Num(buf) = out {
+                for (b, &pos) in rows.iter().enumerate() {
+                    let p = f64::from(decoded.simple.get(b, simple_slot));
+                    let pred_bucket = quantizer.index_of(min + p * span) as i64;
+                    let bucket = (pred_bucket + deltas[pos]).clamp(0, card - 1);
+                    buf[pos] = quantizer.value_of(bucket as u32);
+                }
+            }
+        }
+        ColPlan::NumericRaw { min, max, .. } => {
+            let decoded = decoded.ok_or(DsError::Corrupt("missing model"))?;
+            let deltas = match failure {
+                parq::ParqColumn::F64(v) => v,
+                _ => return Err(DsError::Corrupt("raw failures malformed")),
+            };
+            let span = (max - min).max(f64::MIN_POSITIVE);
+            if let OutCol::Num(buf) = out {
+                for (b, &pos) in rows.iter().enumerate() {
+                    let p = f64::from(decoded.simple.get(b, simple_slot));
+                    let pred = min + p * span;
+                    buf[pos] = pred + deltas[pos];
+                }
+            }
+        }
+        ColPlan::Binary { dict } => {
+            let decoded = decoded.ok_or(DsError::Corrupt("missing model"))?;
+            let xors = match failure {
+                parq::ParqColumn::U32(v) => v,
+                _ => return Err(DsError::Corrupt("binary failures malformed")),
+            };
+            if let OutCol::Str(buf) = out {
+                for (b, &pos) in rows.iter().enumerate() {
+                    let bit = u32::from(decoded.simple.get(b, simple_slot) > 0.5) ^ xors[pos];
+                    let value = dict
+                        .value_of(bit)
+                        .or_else(|| dict.value_of(0))
+                        .ok_or(DsError::Corrupt("binary dictionary empty"))?;
+                    buf[pos] = value.to_owned();
+                }
+            }
+        }
+        ColPlan::Cat {
+            dict,
+            model_card,
+            class_to_code,
+        } => {
+            let decoded = decoded.ok_or(DsError::Corrupt("missing model"))?;
+            let ranks = match failure {
+                parq::ParqColumn::U32(v) => v,
+                _ => return Err(DsError::Corrupt("categorical failures malformed")),
+            };
+            let probs = &decoded.cat_probs[cat_slot];
+            let has_other = class_to_code.len() < *model_card;
+            let other = *model_card - 1;
+            if let OutCol::Str(buf) = out {
+                for (b, &pos) in rows.iter().enumerate() {
+                    let class = class_at_rank(probs.row(b), *model_card, ranks[pos])
+                        .ok_or(DsError::Corrupt("rank out of range"))?;
+                    let code = if has_other && class == other {
+                        // OTHER: the exact code comes from the rare
+                        // stream — but rare entries are ordered by
+                        // storage position across experts, so they
+                        // are resolved in a second pass below.
+                        u32::MAX
+                    } else {
+                        class_to_code
+                            .get(class)
+                            .copied()
+                            .ok_or(DsError::Corrupt("class map too short"))?
+                    };
+                    if code == u32::MAX {
+                        buf[pos] = RARE_SENTINEL.to_owned();
+                    } else {
+                        let value = dict
+                            .value_of(code)
+                            .ok_or(DsError::Corrupt("code outside dictionary"))?;
+                        buf[pos] = value.to_owned();
+                    }
+                }
+            }
+        }
+        ColPlan::Fallback => {
+            let values = match failure {
+                parq::ParqColumn::Str(v) => v,
+                _ => return Err(DsError::Corrupt("fallback column malformed")),
+            };
+            if let OutCol::Str(buf) = out {
+                for &pos in rows {
+                    buf[pos] = values[pos].clone();
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

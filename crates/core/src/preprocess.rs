@@ -226,7 +226,11 @@ pub fn preprocess(table: &Table, opts: &PreprocessOptions) -> Result<Preprocesse
                 }
                 let min = values.iter().copied().fold(f64::INFINITY, f64::min);
                 let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let (min, max) = if values.is_empty() { (0.0, 0.0) } else { (min, max) };
+                let (min, max) = if values.is_empty() {
+                    (0.0, 0.0)
+                } else {
+                    (min, max)
+                };
                 if opts.quantize_numerics {
                     let quantizer = Quantizer::fit(values, error)?;
                     true_codes.push(Some(quantizer.encode_column(values)));
@@ -243,9 +247,8 @@ pub fn preprocess(table: &Table, opts: &PreprocessOptions) -> Result<Preprocesse
             Column::Cat(values) => {
                 let (dict, codes) = Dictionary::encode_column(values);
                 let distinct = dict.len();
-                let too_wide = n > 0
-                    && distinct > 64
-                    && distinct as f64 > opts.high_card_ratio * n as f64;
+                let too_wide =
+                    n > 0 && distinct > 64 && distinct as f64 > opts.high_card_ratio * n as f64;
                 if too_wide {
                     plans.push(ColPlan::Fallback);
                     true_codes.push(None);
@@ -411,11 +414,13 @@ pub fn apply_plans(table: &Table, plans: &[ColPlan]) -> Result<(Preprocessed, Ve
         let col = table.column(i).expect("arity checked");
         let ok = matches!(
             (plan, col),
-            (ColPlan::Numeric { .. } | ColPlan::NumericRaw { .. }, Column::Num(_))
-                | (
-                    ColPlan::Binary { .. } | ColPlan::Cat { .. } | ColPlan::Fallback,
-                    Column::Cat(_)
-                )
+            (
+                ColPlan::Numeric { .. } | ColPlan::NumericRaw { .. },
+                Column::Num(_)
+            ) | (
+                ColPlan::Binary { .. } | ColPlan::Cat { .. } | ColPlan::Fallback,
+                Column::Cat(_)
+            )
         );
         if !ok {
             return Err(DsError::InvalidConfig("plan/column type mismatch"));
@@ -635,11 +640,8 @@ mod tests {
         let values: Vec<String> = (0..2000)
             .map(|i| format!("v{}", if i % 3 == 0 { i % 100 } else { i % 5 }))
             .collect();
-        let t = ds_table::Table::from_columns(vec![(
-            "c".into(),
-            ds_table::Column::Cat(values),
-        )])
-        .unwrap();
+        let t = ds_table::Table::from_columns(vec![("c".into(), ds_table::Column::Cat(values))])
+            .unwrap();
         let mut o = opts(1, 0.0);
         o.max_train_card = 16;
         let p = preprocess(&t, &o).unwrap();
@@ -660,7 +662,7 @@ mod tests {
         assert!(p.cat_targets[0].iter().all(|&c| c < 16));
         // The frequent values map to themselves (head classes), and some
         // rows land in OTHER.
-        assert!(p.cat_targets[0].iter().any(|&c| c == 15));
+        assert!(p.cat_targets[0].contains(&15));
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! Deterministic data-parallel execution layer (std-only).
+//!
+//! Every hot path in the compressor — matmul row blocks, per-chunk
+//! minibatch gradients, per-column encode/decode — funnels through this
+//! crate. Two properties are load-bearing:
+//!
+//! 1. **Determinism.** Work is split into chunks whose boundaries depend
+//!    only on the problem size, never on the thread count; every output
+//!    element is owned by exactly one task, and any cross-chunk reduction
+//!    happens on the calling thread in ascending chunk order. Results are
+//!    therefore bit-identical for any `DS_THREADS` setting, including 1 —
+//!    required for lossless decompression, where the decoder must
+//!    reproduce the encoder's floats exactly regardless of hardware.
+//! 2. **No silent sequential degradation.** The thread count resolves as
+//!    `DS_THREADS` env var → `available_parallelism()` → an explicit
+//!    default of [`DEFAULT_THREADS`]; an erroring `available_parallelism`
+//!    no longer quietly disables parallelism (it used to in the MoE
+//!    expert dispatch).
+//!
+//! The pool is a single process-wide set of detached worker threads fed
+//! by an injector queue. A parallel call publishes one *batch* (an atomic
+//! task cursor over `n_tasks` closures) and invites up to `limit - 1`
+//! workers; the calling thread participates too, claiming tasks from the
+//! same cursor, so a busy or undersized pool can only slow a call down,
+//! never deadlock it. Nested parallel calls from inside a pool task run
+//! inline (serially) on the worker — chunk boundaries don't change, so
+//! results stay identical; only the scheduling differs.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Fallback worker count when `DS_THREADS` is unset and the OS cannot
+/// report `available_parallelism()`.
+pub const DEFAULT_THREADS: usize = 4;
+
+/// Upper bound on the resolved thread count (defensive clamp for wild
+/// `DS_THREADS` values).
+pub const MAX_THREADS: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Thread-count resolution
+// ---------------------------------------------------------------------------
+
+/// Pure resolution logic, separated for testability: explicit env
+/// override → OS-reported parallelism → [`DEFAULT_THREADS`].
+fn resolve_threads(env: Option<&str>, os_threads: Option<usize>) -> usize {
+    if let Some(v) = env {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+        // An unparsable or zero DS_THREADS falls through to the OS value
+        // rather than silently serializing.
+    }
+    os_threads.unwrap_or(DEFAULT_THREADS).clamp(1, MAX_THREADS)
+}
+
+/// Process-wide thread budget: `DS_THREADS` env var if set, else
+/// `available_parallelism()`, else [`DEFAULT_THREADS`]. Read once and
+/// cached for the lifetime of the process.
+pub fn hardware_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        let env = std::env::var("DS_THREADS").ok();
+        let os = std::thread::available_parallelism().ok().map(|n| n.get());
+        resolve_threads(env.as_deref(), os)
+    })
+}
+
+thread_local! {
+    /// In-process override installed by [`with_thread_limit`].
+    static THREAD_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True while this thread is executing a pool task; nested parallel
+    /// calls then run inline to keep scheduling simple and deadlock-free.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The thread budget for parallel calls issued by the *current* thread:
+/// the innermost [`with_thread_limit`] override, else [`hardware_threads`].
+pub fn effective_threads() -> usize {
+    THREAD_LIMIT
+        .with(Cell::get)
+        .unwrap_or_else(hardware_threads)
+        .clamp(1, MAX_THREADS)
+}
+
+/// Runs `f` with the calling thread's parallelism capped at `limit`
+/// (1 = fully serial). Unlike `DS_THREADS`, this is scoped and
+/// thread-local, so concurrent tests can pin different limits without
+/// racing on process-global environment variables.
+pub fn with_thread_limit<T>(limit: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_LIMIT.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_LIMIT.with(|c| c.replace(Some(limit.clamp(1, MAX_THREADS))));
+    let _restore = Restore(prev);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+/// One parallel call: an atomic cursor over `n_tasks` applications of an
+/// erased closure. The closure lives on the submitting thread's stack;
+/// the raw pointer stays valid because the submitter blocks until
+/// `done == n_tasks`, and workers only dereference it for claimed task
+/// indexes, all of which complete before `done` can reach `n_tasks`.
+struct Batch {
+    run: *const (dyn Fn(usize) + Sync),
+    n_tasks: usize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `run` is only dereferenced while the submitting stack frame is
+// alive (see the struct comment); all other fields are Sync.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// Claims and executes tasks until the cursor is exhausted. Returns
+    /// the number of tasks this thread completed.
+    fn execute(&self) -> usize {
+        let mut ran = 0;
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.n_tasks {
+                return ran;
+            }
+            // SAFETY: idx < n_tasks, so the submitter is still blocked in
+            // `wait` and the closure is alive.
+            let run = unsafe { &*self.run };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(idx)));
+            if let Err(payload) = outcome {
+                let mut slot = self.panic_payload.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            ran += 1;
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n_tasks {
+                let _guard = self.done_lock.lock().unwrap();
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task has completed, then re-raises the first
+    /// captured panic (if any) on the calling thread.
+    fn wait(&self) {
+        if self.done.load(Ordering::Acquire) < self.n_tasks {
+            let mut guard = self.done_lock.lock().unwrap();
+            while self.done.load(Ordering::Acquire) < self.n_tasks {
+                guard = self.done_cv.wait(guard).unwrap();
+            }
+        }
+        let payload = self.panic_payload.lock().unwrap().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    work_cv: Condvar,
+    spawned: Mutex<usize>,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            spawned: Mutex::new(0),
+        })
+    }
+
+    /// Grows the detached worker set to at least `target` threads.
+    fn ensure_workers(&'static self, target: usize) {
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < target {
+            let name = format!("ds-exec-{}", *spawned);
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || self.worker_loop())
+                .expect("spawn ds-exec worker");
+            *spawned += 1;
+        }
+    }
+
+    fn worker_loop(&self) {
+        IN_POOL_TASK.with(|c| c.set(true));
+        loop {
+            let batch = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(batch) = queue.pop_front() {
+                        break batch;
+                    }
+                    queue = self.work_cv.wait(queue).unwrap();
+                }
+            };
+            batch.execute();
+        }
+    }
+
+    /// Publishes `batch` with up to `invites` worker invitations.
+    fn submit(&self, batch: &Arc<Batch>, invites: usize) {
+        {
+            let mut queue = self.queue.lock().unwrap();
+            for _ in 0..invites {
+                queue.push_back(Arc::clone(batch));
+            }
+        }
+        if invites == 1 {
+            self.work_cv.notify_one();
+        } else {
+            self.work_cv.notify_all();
+        }
+    }
+}
+
+/// Dispatches `n_tasks` applications of `f`, inline or via the pool.
+/// Task *results* never depend on which path runs.
+fn run_tasks(n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    let limit = effective_threads();
+    if n_tasks == 1 || limit <= 1 || IN_POOL_TASK.with(Cell::get) {
+        for idx in 0..n_tasks {
+            f(idx);
+        }
+        return;
+    }
+
+    let pool = Pool::global();
+    let invites = limit.min(n_tasks) - 1;
+    pool.ensure_workers(invites);
+    // SAFETY: erases the closure's borrow lifetime. The pointer is only
+    // dereferenced for claimed task indexes, and this frame blocks in
+    // `batch.wait()` until all of them finish, so the closure outlives
+    // every dereference (see the `Batch` doc comment).
+    let run: &(dyn Fn(usize) + Sync + 'static) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &(dyn Fn(usize) + Sync + 'static)>(f)
+    };
+    let batch = Arc::new(Batch {
+        run: run as *const (dyn Fn(usize) + Sync),
+        n_tasks,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        panic_payload: Mutex::new(None),
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+    pool.submit(&batch, invites);
+
+    // Participate: mark this thread as "in a pool task" so any nested
+    // parallel call from inside `f` runs inline instead of re-entering
+    // the pool (which could otherwise self-wait).
+    struct ClearFlag(bool);
+    impl Drop for ClearFlag {
+        fn drop(&mut self) {
+            IN_POOL_TASK.with(|c| c.set(self.0));
+        }
+    }
+    {
+        let prev = IN_POOL_TASK.with(|c| c.replace(true));
+        let _clear = ClearFlag(prev);
+        batch.execute();
+    }
+    batch.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Public parallel primitives
+// ---------------------------------------------------------------------------
+
+/// Runs `f(0..n_tasks)` with each index executed exactly once. Tasks may
+/// run concurrently and in any order; use disjoint outputs per index.
+pub fn parallel_for(n_tasks: usize, f: impl Fn(usize) + Sync) {
+    run_tasks(n_tasks, &f);
+}
+
+/// Cell wrapper making a slot vector shareable across tasks; each task
+/// writes exactly one distinct slot, so there are no data races.
+struct Slot<T>(std::cell::UnsafeCell<Option<T>>);
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Runs `f` for each index and returns the results **in index order**
+/// (independent of execution interleaving).
+pub fn parallel_map<T: Send>(n_tasks: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let slots: Vec<Slot<T>> = (0..n_tasks)
+        .map(|_| Slot(std::cell::UnsafeCell::new(None)))
+        .collect();
+    run_tasks(n_tasks, &|idx| {
+        let value = f(idx);
+        // SAFETY: each idx is claimed by exactly one task, so this slot
+        // has a single writer and no concurrent reader.
+        unsafe { *slots[idx].0.get() = Some(value) };
+    });
+    slots
+        .into_iter()
+        .map(|s| s.0.into_inner().expect("task completed"))
+        .collect()
+}
+
+/// Number of fixed-size chunks covering `n` items.
+pub fn chunk_count(n: usize, chunk: usize) -> usize {
+    n.div_ceil(chunk.max(1))
+}
+
+/// Splits `0..n` into chunks of `chunk` items (last one short) and runs
+/// `f(chunk_index, index_range)` for each. Chunk boundaries depend only
+/// on `n` and `chunk`, never on the thread count.
+pub fn parallel_for_chunks(n: usize, chunk: usize, f: impl Fn(usize, Range<usize>) + Sync) {
+    let chunk = chunk.max(1);
+    run_tasks(chunk_count(n, chunk), &|c| {
+        let start = c * chunk;
+        f(c, start..(start + chunk).min(n));
+    });
+}
+
+/// Chunked variant of [`parallel_map`]: results come back in ascending
+/// chunk order, so order-sensitive reductions stay deterministic.
+pub fn parallel_map_chunks<T: Send>(
+    n: usize,
+    chunk: usize,
+    f: impl Fn(usize, Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    let chunk = chunk.max(1);
+    parallel_map(chunk_count(n, chunk), |c| {
+        let start = c * chunk;
+        f(c, start..(start + chunk).min(n))
+    })
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so edition-2021 precise
+    /// closure capture grabs the Sync wrapper, not the raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Splits `data` into disjoint fixed-size chunks and hands each task
+/// `(chunk_index, start_offset, &mut chunk)`. The chunks partition the
+/// slice, so the aliasing is race-free even though tasks run in parallel.
+pub fn parallel_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    f: impl Fn(usize, usize, &mut [T]) + Sync,
+) {
+    let n = data.len();
+    let chunk = chunk.max(1);
+    let base = SendPtr(data.as_mut_ptr());
+    run_tasks(chunk_count(n, chunk), &|c| {
+        let start = c * chunk;
+        let len = (start + chunk).min(n) - start;
+        // SAFETY: tasks receive disjoint subslices of `data`, which
+        // outlives this call because run_tasks blocks until completion.
+        let part = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        f(c, start, part);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn resolve_threads_priority_order() {
+        // Explicit env var wins.
+        assert_eq!(resolve_threads(Some("6"), Some(2)), 6);
+        assert_eq!(resolve_threads(Some(" 3 "), None), 3);
+        // Bad env values fall through to the OS count, not to 1.
+        assert_eq!(resolve_threads(Some("zero"), Some(8)), 8);
+        assert_eq!(resolve_threads(Some("0"), Some(8)), 8);
+        // OS failure yields the explicit default, not silent serial.
+        assert_eq!(resolve_threads(None, None), DEFAULT_THREADS);
+        assert_eq!(resolve_threads(Some("bad"), None), DEFAULT_THREADS);
+        // Clamped at the ceiling.
+        assert_eq!(resolve_threads(Some("100000"), None), MAX_THREADS);
+    }
+
+    #[test]
+    fn parallel_for_runs_every_index_once() {
+        for limit in [1, 2, 8] {
+            with_thread_limit(limit, || {
+                let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for(counts.len(), |i| {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for limit in [1, 3, 8] {
+            let out = with_thread_limit(limit, || parallel_map(100, |i| i * i));
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_are_thread_independent() {
+        for limit in [1, 2, 8] {
+            let chunks = with_thread_limit(limit, || {
+                parallel_map_chunks(103, 10, |c, r| (c, r.start, r.end))
+            });
+            let expected: Vec<_> = (0..11)
+                .map(|c| (c, c * 10, (c * 10 + 10).min(103)))
+                .collect();
+            assert_eq!(chunks, expected);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_partitions_slice() {
+        for limit in [1, 2, 8] {
+            with_thread_limit(limit, || {
+                let mut data = vec![0u32; 101];
+                parallel_chunks_mut(&mut data, 7, |c, start, part| {
+                    for (k, v) in part.iter_mut().enumerate() {
+                        *v = (start + k) as u32 * 3 + c as u32;
+                    }
+                });
+                for (i, &v) in data.iter().enumerate() {
+                    let c = i / 7;
+                    assert_eq!(v, i as u32 * 3 + c as u32);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_inline_and_complete() {
+        let total = AtomicU64::new(0);
+        with_thread_limit(4, || {
+            parallel_for(8, |i| {
+                // Nested call from (possibly) a pool worker: must not
+                // deadlock and must still cover all indexes.
+                let inner = parallel_map(5, |j| (i * 5 + j) as u64);
+                total.fetch_add(inner.iter().sum::<u64>(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..40).sum::<u64>());
+    }
+
+    #[test]
+    fn with_thread_limit_restores_previous_value() {
+        assert_eq!(THREAD_LIMIT.with(Cell::get), None);
+        with_thread_limit(2, || {
+            assert_eq!(effective_threads(), 2);
+            with_thread_limit(5, || assert_eq!(effective_threads(), 5));
+            assert_eq!(effective_threads(), 2);
+        });
+        assert_eq!(THREAD_LIMIT.with(Cell::get), None);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        for limit in [1, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                with_thread_limit(limit, || {
+                    parallel_for(16, |i| {
+                        if i == 11 {
+                            panic!("task 11 exploded");
+                        }
+                    });
+                });
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(msg.contains("task 11 exploded"), "got: {msg}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let _ = std::panic::catch_unwind(|| {
+            with_thread_limit(4, || parallel_for(8, |_| panic!("boom")));
+        });
+        // Subsequent batches on the same pool still complete.
+        let out = with_thread_limit(4, || parallel_map(64, |i| i + 1));
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[63], 64);
+    }
+
+    #[test]
+    fn zero_and_single_task_edge_cases() {
+        parallel_for(0, |_| panic!("must not run"));
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+        assert_eq!(chunk_count(0, 8), 0);
+        assert_eq!(chunk_count(1, 8), 1);
+        assert_eq!(chunk_count(16, 8), 2);
+        assert_eq!(chunk_count(17, 8), 3);
+        assert_eq!(chunk_count(5, 0), 5); // chunk clamped to 1
+    }
+}

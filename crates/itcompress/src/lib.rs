@@ -158,11 +158,7 @@ fn discretize(table: &Table, error: f64) -> Result<Discretized> {
 /// The iterative core: pick representatives, assign rows to the
 /// most-matching representative, recompute representatives as per-cluster
 /// column modes; repeat.
-fn fit_representatives(
-    disc: &Discretized,
-    n: usize,
-    cfg: &ItConfig,
-) -> (Vec<Vec<u32>>, Vec<u32>) {
+fn fit_representatives(disc: &Discretized, n: usize, cfg: &ItConfig) -> (Vec<Vec<u32>>, Vec<u32>) {
     let ncols = disc.codes.len();
     let k = cfg.representatives.max(1).min(n.max(1));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -182,9 +178,7 @@ fn fit_representatives(
             let mut best = 0usize;
             let mut best_matches = usize::MAX; // sentinel: not set
             for (j, rep) in reps.iter().enumerate() {
-                let matches = (0..ncols)
-                    .filter(|&c| disc.codes[c][r] == rep[c])
-                    .count();
+                let matches = (0..ncols).filter(|&c| disc.codes[c][r] == rep[c]).count();
                 if best_matches == usize::MAX || matches > best_matches {
                     best_matches = matches;
                     best = j;
@@ -293,7 +287,9 @@ pub fn compress(table: &Table, cfg: &ItConfig) -> Result<ItArchive> {
         let (blob, _) = parq::write_table(&[("o".into(), parq::ParqColumn::U32(out.clone()))])?;
         w.write_len_prefixed(&blob);
     }
-    Ok(ItArchive { bytes: w.into_vec() })
+    Ok(ItArchive {
+        bytes: w.into_vec(),
+    })
 }
 
 /// Decompresses an archive (numerics are bucket midpoints within the

@@ -163,4 +163,3 @@ mod tests {
         assert!(step <= cfg.lr * 1.5, "step {step}");
     }
 }
-

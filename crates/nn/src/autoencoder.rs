@@ -820,11 +820,7 @@ mod tests {
         assert_eq!(grads.len(), layers.len());
 
         let total_loss = |model: &Autoencoder| -> f32 {
-            model
-                .loss_per_tuple(&x, &cat_targets)
-                .unwrap()
-                .iter()
-                .sum()
+            model.loss_per_tuple(&x, &cat_targets).unwrap().iter().sum()
         };
 
         let eps = 1e-2f32;
@@ -882,8 +878,11 @@ mod tests {
             lr: 5e-3,
             ..Default::default()
         };
-        let mut states: Vec<AdamState> =
-            ae.layers().iter().map(|l| AdamState::for_layer(l)).collect();
+        let mut states: Vec<AdamState> = ae
+            .layers()
+            .iter()
+            .map(|l| AdamState::for_layer(l))
+            .collect();
         let mut first = 0.0;
         let mut last = 0.0;
         for epoch in 0..2000 {
@@ -909,7 +908,9 @@ mod tests {
         let mut correct = 0;
         for r in 0..b {
             let probs = dec.cat_probs[0].row(r);
-            let argmax = (0..3).max_by(|&a, &c| probs[a].total_cmp(&probs[c])).unwrap();
+            let argmax = (0..3)
+                .max_by(|&a, &c| probs[a].total_cmp(&probs[c]))
+                .unwrap();
             if argmax as u32 == cat[r] {
                 correct += 1;
             }

@@ -33,7 +33,7 @@ pub mod serialize;
 
 pub use autoencoder::{Autoencoder, DecodedBatch, Head, ModelSpec};
 pub use mat::Mat;
-pub use moe::{MoeAutoencoder, MoeConfig, TrainReport};
+pub use moe::{train_pass_data_parallel, MoeAutoencoder, MoeConfig, TrainReport};
 
 /// Errors surfaced by model construction and weight (de)serialization.
 #[derive(Debug, Clone, PartialEq, Eq)]

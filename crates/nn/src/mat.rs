@@ -1,8 +1,27 @@
 //! Row-major `f32` matrices with the operations backpropagation needs.
 //!
-//! The models in this workspace are small (hidden width ≈ 2× the column
-//! count of a table), so a clean cache-friendly `ikj` matmul is plenty; no
-//! BLAS dependency required.
+//! Small products use a clean scalar `ikj` kernel; once `m·k·n` crosses
+//! [`PAR_MIN_ELEMS`], `matmul` / `matmul_t` switch to cache-blocked,
+//! register-tiled kernels whose row ranges fan out over the `ds-exec`
+//! pool. Both paths accumulate every output element strictly in ascending
+//! `p` order, and the kernel choice depends only on the shapes — so
+//! results are bit-identical across any `DS_THREADS` setting (the
+//! determinism contract decompression relies on). No BLAS dependency
+//! required.
+
+/// Product volume (`m·k·n`) below which the scalar kernels run; above it
+/// the blocked kernels dispatch row chunks through `ds-exec`. Chosen so
+/// per-minibatch products (≈ 128×70×40) stay on the low-overhead scalar
+/// path while full-table encode/decode products go wide.
+const PAR_MIN_ELEMS: usize = 1 << 20;
+
+/// Output rows per parallel task. Fixed by the shape alone — never by the
+/// worker count — so chunk boundaries are reproducible everywhere.
+const ROW_CHUNK: usize = 64;
+
+/// Depth (`k`) panel width for the blocked `matmul` kernel: a panel of B
+/// (`KC × n` floats) is streamed repeatedly while it is still cache-hot.
+const KC: usize = 256;
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,6 +29,136 @@ pub struct Mat {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// Blocked/tiled kernel for `out[row0..row0+r] = A[row0..row0+r] · B`.
+///
+/// Loop order is `kb → row-quad → p → j`: for a fixed output row, `p`
+/// ascends within each `kb` panel and panels ascend, so every element is
+/// accumulated in exactly the same order as the scalar `ikj` kernel.
+/// Four output rows share each streamed `B` row (register tiling).
+fn matmul_rows_blocked(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    let r = out_rows.len() / n;
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let mut i = 0;
+        // 4-row micro-kernel.
+        while i + 4 <= r {
+            let quad = &mut out_rows[i * n..(i + 4) * n];
+            let (q0, rest) = quad.split_at_mut(n);
+            let (q1, rest) = rest.split_at_mut(n);
+            let (q2, q3) = rest.split_at_mut(n);
+            let a0 = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            let a1 = &a[(row0 + i + 1) * k..(row0 + i + 2) * k];
+            let a2 = &a[(row0 + i + 2) * k..(row0 + i + 3) * k];
+            let a3 = &a[(row0 + i + 3) * k..(row0 + i + 4) * k];
+            for p in kb..kend {
+                let (c0, c1, c2, c3) = (a0[p], a1[p], a2[p], a3[p]);
+                // Adding a `±0.0 · b` term is an exact no-op for finite
+                // `b`, so this skip cannot change results — it only
+                // exploits ReLU sparsity, like the scalar kernel's skip.
+                if c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                let iter = q0
+                    .iter_mut()
+                    .zip(q1.iter_mut())
+                    .zip(q2.iter_mut())
+                    .zip(q3.iter_mut())
+                    .zip(b_row.iter());
+                for ((((o0, o1), o2), o3), &bv) in iter {
+                    *o0 += c0 * bv;
+                    *o1 += c1 * bv;
+                    *o2 += c2 * bv;
+                    *o3 += c3 * bv;
+                }
+            }
+            i += 4;
+        }
+        // Remainder rows, one at a time.
+        while i < r {
+            let o_row = &mut out_rows[i * n..(i + 1) * n];
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for (p, &c) in a_row.iter().enumerate().take(kend).skip(kb) {
+                if c == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += c * bv;
+                }
+            }
+            i += 1;
+        }
+        kb = kend;
+    }
+}
+
+/// Tiled kernel for `out[row0..row0+r] = A[row0..row0+r] · Bᵀ`.
+///
+/// Each output element is an independent dot product accumulated in
+/// ascending `p` order — identical maths to the scalar row-dot kernel.
+/// Four `B` rows are held per pass so they stay in registers/L1 across
+/// the chunk's `A` rows.
+fn matmul_t_rows_tiled(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    let r = out_rows.len() / n;
+    let mut j = 0;
+    while j + 4 <= n {
+        let b0 = &b[j * k..(j + 1) * k];
+        let b1 = &b[(j + 1) * k..(j + 2) * k];
+        let b2 = &b[(j + 2) * k..(j + 3) * k];
+        let b3 = &b[(j + 3) * k..(j + 4) * k];
+        for i in 0..r {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let iter = a_row
+                .iter()
+                .zip(b0.iter())
+                .zip(b1.iter())
+                .zip(b2.iter())
+                .zip(b3.iter());
+            for ((((&av, &v0), &v1), &v2), &v3) in iter {
+                s0 += av * v0;
+                s1 += av * v1;
+                s2 += av * v2;
+                s3 += av * v3;
+            }
+            let o_row = &mut out_rows[i * n..(i + 1) * n];
+            o_row[j] = s0;
+            o_row[j + 1] = s1;
+            o_row[j + 2] = s2;
+            o_row[j + 3] = s3;
+        }
+        j += 4;
+    }
+    while j < n {
+        let b_row = &b[j * k..(j + 1) * k];
+        for i in 0..r {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out_rows[i * n + j] = acc;
+        }
+        j += 1;
+    }
 }
 
 impl Mat {
@@ -75,23 +224,34 @@ impl Mat {
     }
 
     /// `self · other` (shapes `(m,k) · (k,n) → (m,n)`).
+    ///
+    /// Bit-identical results for every thread setting: the scalar and
+    /// blocked kernels accumulate each element in the same `p` order,
+    /// and which kernel runs depends only on the shapes.
     pub fn matmul(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Mat::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue; // ReLU activations are often sparse
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if m * k * n < PAR_MIN_ELEMS {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let o_row = &mut out.data[i * n..(i + 1) * n];
+                for (p, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue; // ReLU activations are often sparse
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
+            return out;
         }
+        let (a, b) = (&self.data, &other.data);
+        ds_exec::parallel_chunks_mut(&mut out.data, ROW_CHUNK * n, |_, start, out_rows| {
+            matmul_rows_blocked(a, b, k, n, start / n, out_rows);
+        });
         out
     }
 
@@ -119,22 +279,32 @@ impl Mat {
 
     /// `self · otherᵀ` (shapes `(m,k) · (n,k)ᵀ → (m,n)`), used to push
     /// gradients back through a layer.
+    ///
+    /// Every element is an independent `p`-ascending dot product in both
+    /// kernels, so results are bit-identical across thread settings.
     pub fn matmul_t(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Mat::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        if m * k * n < PAR_MIN_ELEMS {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let o_row = &mut out.data[i * n..(i + 1) * n];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
+            return out;
         }
+        let (a, b) = (&self.data, &other.data);
+        ds_exec::parallel_chunks_mut(&mut out.data, ROW_CHUNK * n, |_, start, out_rows| {
+            matmul_t_rows_tiled(a, b, k, n, start / n, out_rows);
+        });
         out
     }
 
@@ -175,13 +345,23 @@ impl Mat {
         out
     }
 
+    /// Copies the contiguous row range `[from, to)` into a new matrix
+    /// (one memcpy; cheaper than `take_rows` for minibatch chunking).
+    pub fn slice_rows(&self, from: usize, to: usize) -> Mat {
+        assert!(from <= to && to <= self.rows, "row range out of bounds");
+        Mat {
+            rows: to - from,
+            cols: self.cols,
+            data: self.data[from * self.cols..to * self.cols].to_vec(),
+        }
+    }
+
     /// Horizontal slice: columns `[from, to)` of every row.
     pub fn slice_cols(&self, from: usize, to: usize) -> Mat {
         assert!(from <= to && to <= self.cols);
         let mut out = Mat::zeros(self.rows, to - from);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[from..to]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[from..to]);
         }
         out
     }
@@ -208,7 +388,7 @@ mod tests {
         let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // aᵀ is 2x3
         let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
         let c = a.t_matmul(&b); // (2,3)·(3,2) -> (2,2)
-        // aᵀ = [[1,3,5],[2,4,6]]; aᵀ·b = [[1+0+5, 0+3+5],[2+0+6, 0+4+6]]
+                                // aᵀ = [[1,3,5],[2,4,6]]; aᵀ·b = [[1+0+5, 0+3+5],[2+0+6, 0+4+6]]
         assert_eq!(c.data(), &[6.0, 8.0, 8.0, 10.0]);
     }
 
@@ -249,5 +429,100 @@ mod tests {
         let a = Mat::zeros(2, 3);
         let b = Mat::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn slice_rows_copies_contiguous_range() {
+        let a = m(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let s = a.slice_rows(1, 3);
+        assert_eq!((s.rows(), s.cols()), (2, 2));
+        assert_eq!(s.data(), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.slice_rows(2, 2).rows(), 0);
+    }
+
+    /// Pseudo-random matrix with ReLU-like sparsity (exercises the
+    /// zero-skip paths).
+    fn arb_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 40) as f32 / (1u32 << 24) as f32;
+                if u < 0.3 {
+                    0.0
+                } else {
+                    (u - 0.6) * 4.0
+                }
+            })
+            .collect();
+        Mat::from_vec(rows, cols, data)
+    }
+
+    /// Reference scalar ikj product, independent of the shipped kernels.
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let (m_, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Mat::zeros(m_, n);
+        for i in 0..m_ {
+            for p in 0..k {
+                let av = a.get(i, p);
+                for j in 0..n {
+                    let v = out.get(i, j) + av * b.get(p, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_matmul_t(a: &Mat, b: &Mat) -> Mat {
+        let (m_, k, n) = (a.rows(), a.cols(), b.rows());
+        let mut out = Mat::zeros(m_, n);
+        for i in 0..m_ {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.get(i, p) * b.get(j, p);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// The blocked kernels must reproduce the scalar accumulation order
+    /// exactly — checked on shapes large enough to force the blocked
+    /// path (above PAR_MIN_ELEMS), with odd dimensions for edge rows.
+    #[test]
+    fn blocked_kernels_bit_match_naive_order() {
+        // 131*129*67 ≈ 1.13M ≥ PAR_MIN_ELEMS → blocked path.
+        let a = arb_mat(131, 129, 1);
+        let b = arb_mat(129, 67, 2);
+        let blocked = ds_exec::with_thread_limit(1, || a.matmul(&b));
+        let naive = naive_matmul(&a, &b);
+        assert_eq!(blocked.data(), naive.data());
+
+        let bt = arb_mat(67, 129, 3);
+        let blocked_t = ds_exec::with_thread_limit(1, || a.matmul_t(&bt));
+        let naive_t = naive_matmul_t(&a, &bt);
+        assert_eq!(blocked_t.data(), naive_t.data());
+    }
+
+    #[test]
+    fn matmul_bit_identical_across_thread_counts() {
+        let a = arb_mat(137, 111, 7);
+        let b = arb_mat(111, 101, 8);
+        let bt = arb_mat(101, 111, 9);
+        let serial = ds_exec::with_thread_limit(1, || (a.matmul(&b), a.matmul_t(&bt)));
+        for limit in [2, 8] {
+            let parallel = ds_exec::with_thread_limit(limit, || (a.matmul(&b), a.matmul_t(&bt)));
+            assert_eq!(serial.0.data(), parallel.0.data(), "matmul, limit {limit}");
+            assert_eq!(
+                serial.1.data(),
+                parallel.1.data(),
+                "matmul_t, limit {limit}"
+            );
+        }
     }
 }

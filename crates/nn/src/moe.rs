@@ -10,12 +10,80 @@
 
 use crate::adam::{AdamConfig, AdamState};
 use crate::autoencoder::{Autoencoder, ModelSpec};
-use crate::dense::{Activation, Dense};
+use crate::dense::{Activation, Dense, DenseGrad};
 use crate::mat::Mat;
 use crate::{NnError, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Minibatch rows per gradient task. Fixed by this constant alone — never
+/// by the worker count — so the (expert × chunk) task grid and the
+/// chunk-ordered gradient reduction produce bit-identical results for any
+/// `DS_THREADS` setting.
+pub const GRAD_CHUNK_ROWS: usize = 32;
+
+/// Data-parallel [`Autoencoder::train_pass`]: splits the batch into fixed
+/// row chunks of `chunk_rows`, computes per-chunk gradients (potentially
+/// concurrently via `ds-exec`), and reduces them **in ascending chunk
+/// order** into one gradient set plus the per-tuple losses in row order.
+///
+/// Per-tuple losses are bit-identical to an unchunked pass (each row's
+/// forward pass is independent). Gradient sums associate per chunk, which
+/// is a deterministic function of `chunk_rows` and the batch size only.
+pub fn train_pass_data_parallel(
+    expert: &Autoencoder,
+    x: &Mat,
+    cat_targets: &[Vec<u32>],
+    row_weights: Option<&[f32]>,
+    chunk_rows: usize,
+) -> Result<(Vec<DenseGrad>, Vec<f32>)> {
+    let b = x.rows();
+    let chunk_rows = chunk_rows.max(1);
+    if b <= chunk_rows {
+        return expert.train_pass(x, cat_targets, row_weights);
+    }
+    if let Some(w) = row_weights {
+        if w.len() != b {
+            return Err(NnError::ShapeMismatch("train: row weight length"));
+        }
+    }
+    for t in cat_targets {
+        if t.len() != b {
+            return Err(NnError::ShapeMismatch("train: cat target length"));
+        }
+    }
+    let parts = ds_exec::parallel_map_chunks(b, chunk_rows, |_, range| {
+        let xc = x.slice_rows(range.start, range.end);
+        let cat_c: Vec<Vec<u32>> = cat_targets
+            .iter()
+            .map(|t| t[range.clone()].to_vec())
+            .collect();
+        let wc = row_weights.map(|w| &w[range]);
+        expert.train_pass(&xc, &cat_c, wc)
+    });
+    reduce_chunk_grads(parts)
+}
+
+/// Folds per-chunk `(grads, losses)` results in ascending chunk order.
+fn reduce_chunk_grads(
+    parts: Vec<Result<(Vec<DenseGrad>, Vec<f32>)>>,
+) -> Result<(Vec<DenseGrad>, Vec<f32>)> {
+    let mut acc: Option<(Vec<DenseGrad>, Vec<f32>)> = None;
+    for part in parts {
+        let (grads, losses) = part?;
+        match &mut acc {
+            None => acc = Some((grads, losses)),
+            Some((g_acc, l_acc)) => {
+                for (a, g) in g_acc.iter_mut().zip(&grads) {
+                    a.accumulate(g);
+                }
+                l_acc.extend_from_slice(&losses);
+            }
+        }
+    }
+    acc.ok_or(NnError::InvalidSpec("empty training batch"))
+}
 
 /// Training hyperparameters for the mixture.
 #[derive(Debug, Clone)]
@@ -200,8 +268,7 @@ impl MoeAutoencoder {
                 // single model (gradient dilution).
                 let expert_weights: Vec<Vec<f32>> = (0..experts.len())
                     .map(|e| {
-                        let mut weights: Vec<f32> =
-                            (0..xb.rows()).map(|r| g.get(r, e)).collect();
+                        let mut weights: Vec<f32> = (0..xb.rows()).map(|r| g.get(r, e)).collect();
                         let mean: f32 = weights.iter().sum::<f32>() / weights.len() as f32;
                         if mean > 1e-6 {
                             let inv = 1.0 / mean;
@@ -212,38 +279,30 @@ impl MoeAutoencoder {
                         weights
                     })
                     .collect();
-                // Experts run one thread each when cores are available;
-                // sequentially on a single-core host (thread spawn per
-                // batch would otherwise dominate).
-                let parallel = experts.len() > 1
-                    && std::thread::available_parallelism()
-                        .map(|p| p.get() > 1)
-                        .unwrap_or(false);
-                let results: Vec<Result<(Vec<crate::dense::DenseGrad>, Vec<f32>)>> = if parallel {
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = experts
-                            .iter()
-                            .zip(&expert_weights)
-                            .map(|(expert, weights)| {
-                                let xb = &xb;
-                                let cat_b = &cat_b;
-                                scope.spawn(move || {
-                                    expert.train_pass(xb, cat_b, Some(weights))
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("expert thread must not panic"))
-                            .collect()
-                    })
-                } else {
-                    experts
-                        .iter()
-                        .zip(&expert_weights)
-                        .map(|(expert, weights)| expert.train_pass(&xb, &cat_b, Some(weights)))
-                        .collect()
-                };
+                // Every (expert, row-chunk) pair is one task on the shared
+                // ds-exec pool — finer-grained than the old one-thread-per-
+                // expert scope::spawn, with no per-batch thread spawning and
+                // no silent serial fallback when available_parallelism()
+                // errs (ds-exec resolves DS_THREADS → OS → explicit default).
+                // Chunk boundaries and the per-expert chunk-ordered gradient
+                // reduction depend only on the batch size, so training is
+                // bit-identical for any thread count.
+                let rows = xb.rows();
+                let n_chunks = ds_exec::chunk_count(rows, GRAD_CHUNK_ROWS);
+                let chunk_results: Vec<Result<(Vec<DenseGrad>, Vec<f32>)>> =
+                    ds_exec::parallel_map(experts.len() * n_chunks, |t| {
+                        let (e, c) = (t / n_chunks, t % n_chunks);
+                        let lo = c * GRAD_CHUNK_ROWS;
+                        let hi = (lo + GRAD_CHUNK_ROWS).min(rows);
+                        let xc = xb.slice_rows(lo, hi);
+                        let cat_c: Vec<Vec<u32>> =
+                            cat_b.iter().map(|t| t[lo..hi].to_vec()).collect();
+                        experts[e].train_pass(&xc, &cat_c, Some(&expert_weights[e][lo..hi]))
+                    });
+                let mut chunk_results = chunk_results.into_iter();
+                let results: Vec<Result<(Vec<DenseGrad>, Vec<f32>)>> = (0..experts.len())
+                    .map(|_| reduce_chunk_grads(chunk_results.by_ref().take(n_chunks).collect()))
+                    .collect();
 
                 let mut loss_mat = Mat::zeros(xb.rows(), experts.len());
                 for (e, res) in results.into_iter().enumerate() {
@@ -573,11 +632,7 @@ mod tests {
             x.set(r, 2, if v > 0.5 { 1.0 } else { 0.0 });
         }
         let spec = ModelSpec::with_defaults(
-            vec![
-                Head::Numeric,
-                Head::Categorical { card: 4 },
-                Head::Binary,
-            ],
+            vec![Head::Numeric, Head::Categorical { card: 4 }, Head::Binary],
             2,
         );
         let cfg = MoeConfig {

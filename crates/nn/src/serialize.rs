@@ -210,11 +210,7 @@ mod tests {
             x.set(r, 2, if v > 0.4 { 1.0 } else { 0.0 });
         }
         let spec = ModelSpec::with_defaults(
-            vec![
-                Head::Numeric,
-                Head::Categorical { card: 3 },
-                Head::Binary,
-            ],
+            vec![Head::Numeric, Head::Categorical { card: 3 }, Head::Binary],
             2,
         );
         let cfg = MoeConfig {

@@ -1,0 +1,177 @@
+//! Determinism contract of the execution layer: every parallel kernel
+//! must produce bit-identical results for any thread count, because the
+//! decompressor must reproduce the compressor's floats exactly on
+//! whatever hardware it runs on.
+
+use ds_nn::{train_pass_data_parallel, Autoencoder, Head, Mat, ModelSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Pseudo-random matrix with ReLU-like sparsity.
+fn rand_mat(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
+    let data = (0..rows * cols)
+        .map(|_| {
+            let v: f32 = rng.gen();
+            if v < 0.25 {
+                0.0
+            } else {
+                (v - 0.6) * 3.0
+            }
+        })
+        .collect();
+    Mat::from_vec(rows, cols, data)
+}
+
+fn bits(m: &Mat) -> Vec<u32> {
+    m.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// matmul and matmul_t over odd shapes straddling the parallel-path
+    /// threshold: thread limits 1, 2 and 8 must agree bit-for-bit.
+    #[test]
+    fn matmul_kernels_thread_invariant(
+        m in 60usize..200,
+        k in 60usize..150,
+        n in 30usize..120,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_mat(m, k, &mut rng);
+        let b = rand_mat(k, n, &mut rng);
+        let bt = rand_mat(n, k, &mut rng);
+        let serial = ds_exec::with_thread_limit(1, || (a.matmul(&b), a.matmul_t(&bt)));
+        for limit in [2usize, 8] {
+            let par = ds_exec::with_thread_limit(limit, || (a.matmul(&b), a.matmul_t(&bt)));
+            prop_assert_eq!(bits(&serial.0), bits(&par.0));
+            prop_assert_eq!(bits(&serial.1), bits(&par.1));
+        }
+    }
+}
+
+/// Builds a small mixed-head model plus a consistent training batch.
+fn model_and_batch(rows: usize, seed: u64) -> (Autoencoder, Mat, Vec<u32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = ModelSpec::with_defaults(
+        vec![
+            Head::Numeric,
+            Head::Categorical { card: 5 },
+            Head::Binary,
+            Head::Numeric,
+        ],
+        3,
+    );
+    let model = Autoencoder::new(spec, &mut rng).expect("valid spec");
+    let mut x = Mat::zeros(rows, 4);
+    let mut cats = vec![0u32; rows];
+    let mut weights = Vec::with_capacity(rows);
+    for (r, cat) in cats.iter_mut().enumerate() {
+        let v: f32 = rng.gen();
+        x.set(r, 0, v);
+        let c = (v * 4.999) as u32;
+        *cat = c;
+        x.set(r, 1, c as f32 / 4.0);
+        x.set(r, 2, if v > 0.4 { 1.0 } else { 0.0 });
+        x.set(r, 3, 1.0 - v);
+        weights.push(0.5 + rng.gen::<f32>());
+    }
+    (model, x, cats, weights)
+}
+
+/// Chunked train_pass gradients: for a fixed chunk size the reduction
+/// must be bit-identical across thread limits 1, 2 and 8 — including
+/// odd chunk sizes that leave ragged final chunks.
+#[test]
+fn train_pass_gradients_thread_invariant() {
+    let (model, x, cats, weights) = model_and_batch(97, 42);
+    let cat_targets = vec![cats];
+    for chunk in [7usize, 31, 32, 33, 97, 128] {
+        let (g_serial, l_serial) = ds_exec::with_thread_limit(1, || {
+            train_pass_data_parallel(&model, &x, &cat_targets, Some(&weights), chunk)
+        })
+        .expect("serial pass");
+        for limit in [2usize, 8] {
+            let (g_par, l_par) = ds_exec::with_thread_limit(limit, || {
+                train_pass_data_parallel(&model, &x, &cat_targets, Some(&weights), chunk)
+            })
+            .expect("parallel pass");
+            assert_eq!(g_serial.len(), g_par.len());
+            for (gs, gp) in g_serial.iter().zip(&g_par) {
+                assert_eq!(
+                    bits(&gs.dw),
+                    bits(&gp.dw),
+                    "dw differs: chunk {chunk}, limit {limit}"
+                );
+                let dbs: Vec<u32> = gs.db.iter().map(|v| v.to_bits()).collect();
+                let dbp: Vec<u32> = gp.db.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(dbs, dbp, "db differs: chunk {chunk}, limit {limit}");
+            }
+            let ls: Vec<u32> = l_serial.iter().map(|v| v.to_bits()).collect();
+            let lp: Vec<u32> = l_par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ls, lp, "losses differ: chunk {chunk}, limit {limit}");
+        }
+    }
+}
+
+/// Per-tuple losses from the chunked pass must be bit-identical to the
+/// unchunked pass regardless of chunk size (each row's forward pass is
+/// independent), even though gradient association may differ.
+#[test]
+fn chunked_losses_match_unchunked() {
+    let (model, x, cats, weights) = model_and_batch(80, 7);
+    let cat_targets = vec![cats];
+    let (_, l_whole) = model
+        .train_pass(&x, &cat_targets, Some(&weights))
+        .expect("whole pass");
+    for chunk in [9usize, 16, 33] {
+        let (_, l_chunked) =
+            train_pass_data_parallel(&model, &x, &cat_targets, Some(&weights), chunk)
+                .expect("chunked pass");
+        let a: Vec<u32> = l_whole.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = l_chunked.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "chunk {chunk}");
+    }
+}
+
+/// Full end-to-end MoE training must be bit-identical across thread
+/// limits: same epoch losses, same weights, same assignments.
+#[test]
+fn moe_training_thread_invariant() {
+    use ds_nn::{MoeAutoencoder, MoeConfig};
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 96;
+    let mut x = Mat::zeros(n, 3);
+    for r in 0..n {
+        let t: f32 = rng.gen();
+        x.set(r, 0, t);
+        x.set(r, 1, if r % 2 == 0 { 0.8 * t } else { 0.9 - 0.8 * t });
+        x.set(r, 2, (r % 2) as f32);
+    }
+    let spec = ModelSpec::with_defaults(vec![Head::Numeric; 3], 2);
+    let cfg = MoeConfig {
+        n_experts: 2,
+        max_epochs: 4,
+        seed: 5,
+        batch_size: 33, // ragged chunks on purpose
+        ..Default::default()
+    };
+    let (m1, r1) =
+        ds_exec::with_thread_limit(1, || MoeAutoencoder::train(&spec, &x, &[], &cfg)).unwrap();
+    for limit in [2usize, 8] {
+        let (m2, r2) =
+            ds_exec::with_thread_limit(limit, || MoeAutoencoder::train(&spec, &x, &[], &cfg))
+                .unwrap();
+        let l1: Vec<u32> = r1.epoch_losses.iter().map(|v| v.to_bits()).collect();
+        let l2: Vec<u32> = r2.epoch_losses.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(l1, l2, "epoch losses differ at limit {limit}");
+        for (e1, e2) in m1.experts().iter().zip(m2.experts()) {
+            for (a, b) in e1.layers().iter().zip(e2.layers()) {
+                assert_eq!(bits(&a.w), bits(&b.w), "weights differ at limit {limit}");
+            }
+        }
+        assert_eq!(m1.assign(&x), m2.assign(&x));
+    }
+}

@@ -89,9 +89,7 @@ pub fn chow_liu(
 
     // Prim's algorithm for the maximum spanning tree, rooted at the column
     // with the largest entropy proxy (most distinct values in sample).
-    let root = (0..k)
-        .max_by_key(|&c| marginals[c].len())
-        .expect("k >= 2");
+    let root = (0..k).max_by_key(|&c| marginals[c].len()).expect("k >= 2");
     let mut in_tree = vec![false; k];
     let mut parent = vec![None; k];
     let mut best_gain = vec![f64::NEG_INFINITY; k];
@@ -163,14 +161,13 @@ mod tests {
         let n = 2000;
         let c0: Vec<u32> = (0..n).map(|i| (i % 7) as u32).collect();
         let c1: Vec<u32> = c0.iter().map(|&v| (v * 3 + 1) % 7).collect();
-        let c2: Vec<u32> = (0..n).map(|i| ((i * 2654435761usize) >> 16) as u32 % 5).collect();
+        let c2: Vec<u32> = (0..n)
+            .map(|i| ((i * 2654435761usize) >> 16) as u32 % 5)
+            .collect();
         let codes = vec![c0, c1, c2];
         let parents = chow_liu(&codes, &[7, 7, 5], 2000, 1);
         // Exactly one of {0,1} is the other's parent.
-        let linked = matches!(
-            (parents[0], parents[1]),
-            (Some(1), None) | (None, Some(0))
-        );
+        let linked = matches!((parents[0], parents[1]), (Some(1), None) | (None, Some(0)));
         assert!(linked, "0↔1 must be linked: {parents:?}");
         // Independent column: no parent, or attached but harmless — verify
         // it is not the chosen parent of the dependent pair.

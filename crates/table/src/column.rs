@@ -53,10 +53,7 @@ impl Column {
     /// Number of distinct values (exact; hashes the whole column).
     pub fn distinct_count(&self) -> usize {
         match self {
-            Column::Cat(v) => v
-                .iter()
-                .collect::<std::collections::HashSet<_>>()
-                .len(),
+            Column::Cat(v) => v.iter().collect::<std::collections::HashSet<_>>().len(),
             Column::Num(v) => v
                 .iter()
                 .map(|x| x.to_bits())

@@ -328,11 +328,7 @@ mod tests {
     fn numeric_parse_errors_located() {
         assert!(matches!(
             read_csv("name,score\nx,notanumber\n", schema()),
-            Err(TableError::Parse {
-                row: 0,
-                col: 1,
-                ..
-            })
+            Err(TableError::Parse { row: 0, col: 1, .. })
         ));
     }
 
@@ -346,7 +342,10 @@ mod tests {
     fn schema_inference() {
         let t = read_csv_infer("name,score,count\nalice,1.5,3\nbob,-2,4\n").unwrap();
         assert_eq!(t.type_counts(), (1, 2));
-        assert_eq!(t.column_by_name("score").unwrap().as_num().unwrap(), &[1.5, -2.0]);
+        assert_eq!(
+            t.column_by_name("score").unwrap().as_num().unwrap(),
+            &[1.5, -2.0]
+        );
         // A single non-numeric cell makes the column categorical.
         let t = read_csv_infer("a,b\n1,x\n2,3\n").unwrap();
         assert_eq!(t.type_counts(), (1, 1));

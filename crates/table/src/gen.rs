@@ -396,10 +396,7 @@ pub fn census_like(n: usize, seed: u64) -> Table {
             });
         }
     }
-    let indep_zipfs: Vec<Zipf> = derived
-        .iter()
-        .map(|d| Zipf::new(d.card, 1.2))
-        .collect();
+    let indep_zipfs: Vec<Zipf> = derived.iter().map(|d| Zipf::new(d.card, 1.2)).collect();
 
     let mut cols: Vec<Vec<String>> = (0..COLS).map(|_| Vec::with_capacity(n)).collect();
     for _ in 0..n {
@@ -442,7 +439,14 @@ pub fn census_like(n: usize, seed: u64) -> Table {
     }
 
     let names = [
-        "age", "sex", "education", "income", "state", "division", "region", "occupation",
+        "age",
+        "sex",
+        "education",
+        "income",
+        "state",
+        "division",
+        "region",
+        "occupation",
         "industry",
     ];
     let named = cols
@@ -526,16 +530,13 @@ pub fn monitor_like(n: usize, seed: u64) -> Table {
         };
         let cpu_temp = 35.0 + ca * m.load + cb * m.io + 1.0 * randn(&mut rng);
         let gpu_temp = 30.0 + 14.0 * m.load + 9.0 * m.mem + 1.2 * randn(&mut rng);
-        let power = 120.0 + 150.0 * m.load + 55.0 * m.io + 20.0 * m.mem
-            + 3.0 * randn(&mut rng);
+        let power = 120.0 + 150.0 * m.load + 55.0 * m.io + 20.0 * m.mem + 3.0 * randn(&mut rng);
         let fan = (cpu_temp / 10.0).floor() * 600.0; // steppy fan curve
         let disk_r = (cc * 420.0 * m.io + 30.0 * m.load + 4.0 * randn(&mut rng)).max(0.0);
-        let disk_w = (cc * 260.0 * m.io + 55.0 * m.load * m.io + 3.0 * randn(&mut rng))
-            .max(0.0);
+        let disk_w = (cc * 260.0 * m.io + 55.0 * m.load * m.io + 3.0 * randn(&mut rng)).max(0.0);
         let net_rx = ((ca * 3.0) * m.load + 32.0 * m.io + 2.5 * randn(&mut rng)).max(0.0);
         let net_tx = ((cb * 6.0) * m.load + 21.0 * m.io + 2.0 * randn(&mut rng)).max(0.0);
-        let io_wait = (38.0 * m.io + 9.0 * m.load * m.io + 0.8 * randn(&mut rng))
-            .clamp(0.0, 100.0);
+        let io_wait = (38.0 * m.io + 9.0 * m.load * m.io + 0.8 * randn(&mut rng)).clamp(0.0, 100.0);
         let procs = (180.0 + 260.0 * m.load + 90.0 * m.mem + 6.0 * randn(&mut rng)).round();
         let swap = ((m.mem - 0.7).max(0.0) * 20.0 * total_mem / 8.0).round();
 
@@ -588,8 +589,8 @@ pub fn criteo_like(n: usize, seed: u64) -> Table {
 
     // Cardinalities: a mix of small, medium and huge.
     let cards = [
-        8usize, 4, 12, 30, 100, 6, 3, 50, 9, 24, 400, 16, 5, 7, 60, 11, 2000, 40, 14, 10, 0, 0,
-        25, 18, 80, 33,
+        8usize, 4, 12, 30, 100, 6, 3, 50, 9, 24, 400, 16, 5, 7, 60, 11, 2000, 40, 14, 10, 0, 0, 25,
+        18, 80, 33,
     ]; // 0 marks the two high-cardinality "hash" columns
     let zipfs: Vec<Option<Zipf>> = cards
         .iter()
@@ -712,19 +713,29 @@ mod tests {
     fn forest_one_hot_groups_sum_to_one() {
         let t = forest_like(300, 3);
         let s = t.schema();
-        let wild: Vec<usize> = (0..4).map(|k| s.index_of(&format!("wild{k}")).unwrap()).collect();
+        let wild: Vec<usize> = (0..4)
+            .map(|k| s.index_of(&format!("wild{k}")).unwrap())
+            .collect();
         let soil: Vec<usize> = (0..40)
             .map(|k| s.index_of(&format!("soil{k:02}")).unwrap())
             .collect();
         for r in 0..t.nrows() {
             let wsum: u32 = wild
                 .iter()
-                .map(|&c| t.column(c).unwrap().as_cat().unwrap()[r].parse::<u32>().unwrap())
+                .map(|&c| {
+                    t.column(c).unwrap().as_cat().unwrap()[r]
+                        .parse::<u32>()
+                        .unwrap()
+                })
                 .sum();
             assert_eq!(wsum, 1, "wilderness one-hot violated at row {r}");
             let ssum: u32 = soil
                 .iter()
-                .map(|&c| t.column(c).unwrap().as_cat().unwrap()[r].parse::<u32>().unwrap())
+                .map(|&c| {
+                    t.column(c).unwrap().as_cat().unwrap()[r]
+                        .parse::<u32>()
+                        .unwrap()
+                })
                 .sum();
             assert_eq!(ssum, 1, "soil one-hot violated at row {r}");
         }
@@ -738,9 +749,7 @@ mod tests {
         let region = t.column_by_name("region").unwrap().as_cat().unwrap();
         let mut seen: std::collections::HashMap<&str, (&str, &str)> = Default::default();
         for r in 0..t.nrows() {
-            let entry = seen
-                .entry(&state[r])
-                .or_insert((&division[r], &region[r]));
+            let entry = seen.entry(&state[r]).or_insert((&division[r], &region[r]));
             assert_eq!(entry.0, &division[r], "state→division FD violated");
             assert_eq!(entry.1, &region[r], "state→region FD violated");
         }

@@ -24,8 +24,16 @@ fn main() {
 
     let gz = gzip_size(&table);
     let pq = parquet_size(&table);
-    println!("gzip:        {:>8} bytes  ({:>5.2}%)", gz, 100.0 * gz as f64 / raw as f64);
-    println!("parquet:     {:>8} bytes  ({:>5.2}%)", pq, 100.0 * pq as f64 / raw as f64);
+    println!(
+        "gzip:        {:>8} bytes  ({:>5.2}%)",
+        gz,
+        100.0 * gz as f64 / raw as f64
+    );
+    println!(
+        "parquet:     {:>8} bytes  ({:>5.2}%)",
+        pq,
+        100.0 * pq as f64 / raw as f64
+    );
 
     let squish = squish_compress(&table, &SquishConfig::default()).expect("squish compresses");
     println!(

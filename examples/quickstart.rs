@@ -50,7 +50,10 @@ fn main() {
             worst_rel = worst_rel.max((u - v).abs() / range);
         }
     }
-    println!("worst relative reconstruction error: {:.4} (bound 0.05)", worst_rel);
+    println!(
+        "worst relative reconstruction error: {:.4} (bound 0.05)",
+        worst_rel
+    );
     assert!(worst_rel <= 0.05 + 1e-9);
     println!("roundtrip verified: every value within the guaranteed bound");
 }

@@ -13,7 +13,10 @@ fn main() {
     let table = gen::monitor_like(10_000, 7);
     let raw = table.raw_size();
     println!("telemetry: {} rows, {} bytes raw\n", table.nrows(), raw);
-    println!("{:>7}  {:>12}  {:>8}  {:>22}", "err", "compressed", "ratio", "decoder/codes/failures");
+    println!(
+        "{:>7}  {:>12}  {:>8}  {:>22}",
+        "err", "compressed", "ratio", "decoder/codes/failures"
+    );
 
     let mut best: Option<(f64, Vec<u8>)> = None;
     for error in [0.005, 0.01, 0.05, 0.10] {

@@ -53,7 +53,9 @@ fn main() {
     for window in 0..5u64 {
         let batch = gen::monitor_like(3_000, 200 + window);
         let t0 = std::time::Instant::now();
-        let archive = compressor.compress_batch(&batch).expect("window compresses");
+        let archive = compressor
+            .compress_batch(&batch)
+            .expect("window compresses");
         let encode_time = t0.elapsed();
         let restored = decompress(&archive).expect("window decodes");
         assert_eq!(restored.nrows(), batch.nrows());

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tests, and the execution-layer bench probe
+# in smoke mode. Run from the repo root:
+#
+#   ./scripts/check.sh          # everything
+#   ./scripts/check.sh fast     # skip the release build + bench probe
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q
+
+if [ "$mode" = "full" ]; then
+  echo "==> release build"
+  cargo build --release -q
+
+  echo "==> exec_probe (smoke)"
+  SMOKE=1 BENCH_OUT=target/BENCH_exec.smoke.json \
+    cargo run --release -q -p ds-bench --bin exec_probe
+fi
+
+echo "OK"

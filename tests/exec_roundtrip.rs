@@ -1,0 +1,61 @@
+//! The execution layer's determinism contract, end to end: the archive a
+//! compressor produces must not depend on how many threads it ran with,
+//! and decompression must recover the identical table either way. This is
+//! what makes the parallel kernels safe for a *lossless* format — a file
+//! written on a 32-core server decodes bit-for-bit on a laptop.
+
+use ds_core::{compress, decompress, DsConfig};
+use ds_table::gen::Dataset;
+use ds_table::Column;
+
+fn cfg(error: f64) -> DsConfig {
+    DsConfig {
+        error_threshold: error,
+        code_size: 2,
+        n_experts: 2,
+        max_epochs: 5,
+        ..Default::default()
+    }
+}
+
+fn tables_identical(a: &ds_table::Table, b: &ds_table::Table) {
+    assert_eq!(a.schema(), b.schema());
+    assert_eq!(a.nrows(), b.nrows());
+    for (x, y) in a.columns().iter().zip(b.columns()) {
+        match (x, y) {
+            (Column::Cat(u), Column::Cat(v)) => assert_eq!(u, v),
+            (Column::Num(u), Column::Num(v)) => {
+                // Bit-identical, not approximately equal.
+                let ub: Vec<u64> = u.iter().map(|f| f.to_bits()).collect();
+                let vb: Vec<u64> = v.iter().map(|f| f.to_bits()).collect();
+                assert_eq!(ub, vb);
+            }
+            _ => panic!("column type changed"),
+        }
+    }
+}
+
+#[test]
+fn archives_byte_identical_across_thread_counts() {
+    for d in [Dataset::Corel, Dataset::Criteo] {
+        let error = if d.supports_lossy() { 0.05 } else { 0.0 };
+        let t = d.generate(300, 23);
+        let serial = ds_exec::with_thread_limit(1, || compress(&t, &cfg(error)))
+            .unwrap_or_else(|e| panic!("{}: serial compress: {e}", d.name()));
+        let parallel = ds_exec::with_thread_limit(8, || compress(&t, &cfg(error)))
+            .unwrap_or_else(|e| panic!("{}: parallel compress: {e}", d.name()));
+        assert_eq!(
+            serial.as_bytes(),
+            parallel.as_bytes(),
+            "{}: archive bytes depend on thread count",
+            d.name()
+        );
+
+        // Cross-decode: the 1-thread archive on 8 threads and vice versa.
+        let r1 = ds_exec::with_thread_limit(8, || decompress(&serial))
+            .unwrap_or_else(|e| panic!("{}: parallel decompress: {e}", d.name()));
+        let r2 = ds_exec::with_thread_limit(1, || decompress(&parallel))
+            .unwrap_or_else(|e| panic!("{}: serial decompress: {e}", d.name()));
+        tables_identical(&r1, &r2);
+    }
+}

@@ -20,15 +20,23 @@ fn arb_table() -> impl Strategy<Value = Table> {
             prop::collection::vec(0u8..6, nrows..=nrows)
                 .prop_map(|v| Column::Cat(v.into_iter().map(|c| format!("c{c}")).collect())),
             // Numeric in a random magnitude band.
-            (any::<bool>(), prop::collection::vec(-1000.0f64..1000.0, nrows..=nrows)).prop_map(
-                |(int, v)| {
+            (
+                any::<bool>(),
+                prop::collection::vec(-1000.0f64..1000.0, nrows..=nrows)
+            )
+                .prop_map(|(int, v)| {
                     let vals = v
                         .into_iter()
-                        .map(|x| if int { x.round() } else { (x * 100.0).round() / 100.0 })
+                        .map(|x| {
+                            if int {
+                                x.round()
+                            } else {
+                                (x * 100.0).round() / 100.0
+                            }
+                        })
                         .collect();
                     Column::Num(vals)
-                }
-            ),
+                }),
         ];
         prop::collection::vec(col, ncols..=ncols).prop_map(|cols| {
             let named = cols

@@ -139,11 +139,7 @@ fn order_free_batches_still_reconstruct_unseen_values() {
     // order-free storage would scramble — `compress_batch` must therefore
     // preserve row order even when the config requests order-free.
     let train_vals: Vec<String> = (0..400).map(|i| format!("v{}", i % 3)).collect();
-    let train = Table::from_columns(vec![(
-        "cat".into(),
-        Column::Cat(train_vals),
-    )])
-    .expect("table");
+    let train = Table::from_columns(vec![("cat".into(), Column::Cat(train_vals))]).expect("table");
     let mut config = cfg();
     config.order_free = true;
     let tc = TrainedCompressor::train(&train, &config).expect("trains");
@@ -157,11 +153,8 @@ fn order_free_batches_still_reconstruct_unseen_values() {
             }
         })
         .collect();
-    let batch = Table::from_columns(vec![(
-        "cat".into(),
-        Column::Cat(batch_vals.clone()),
-    )])
-    .expect("table");
+    let batch =
+        Table::from_columns(vec![("cat".into(), Column::Cat(batch_vals.clone()))]).expect("table");
     let archive = tc.compress_batch(&batch).expect("batch compresses");
     let restored = decompress(&archive).expect("batch decodes");
     assert_eq!(

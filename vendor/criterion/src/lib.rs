@@ -1,0 +1,317 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the bench harness
+//! is vendored: it implements the same surface the benches under
+//! `crates/bench/benches/` call (`criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`) with a simple but honest
+//! warm-up + timed-sample loop, reporting mean / min / max per iteration
+//! to stdout.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How a group's timings should be normalized in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input size in bytes per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> Self {
+        id.id
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Mean/min/max nanoseconds per iteration from the last `iter` call.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a warm-up phase, then timed samples until the
+    /// measurement budget is spent (at least `sample_size` samples).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            std_black_box(f());
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let start = Instant::now();
+        while samples.len() < self.sample_size || start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            std_black_box(f());
+            samples.push(t0.elapsed().as_nanos() as f64);
+            if samples.len() >= self.sample_size && start.elapsed() >= self.measurement {
+                break;
+            }
+            // Hard cap so very slow bodies cannot run unbounded.
+            if samples.len() >= 4 * self.sample_size.max(1) {
+                break;
+            }
+        }
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        self.result = Some((mean, min, max));
+    }
+}
+
+/// A named group of related benchmarks sharing loop settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up.min(self.criterion.max_warm_up),
+            measurement: self.measurement.min(self.criterion.max_measurement),
+            sample_size: self.sample_size.min(self.criterion.max_samples),
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id.id, b.result);
+        self
+    }
+
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up.min(self.criterion.max_warm_up),
+            measurement: self.measurement.min(self.criterion.max_measurement),
+            sample_size: self.sample_size.min(self.criterion.max_samples),
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.result);
+        self
+    }
+
+    fn report(&self, id: &str, result: Option<(f64, f64, f64)>) {
+        let Some((mean, min, max)) = result else {
+            println!("{}/{id:<40} (no samples)", self.name);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / mean * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.1} Kelem/s", n as f64 / mean * 1e9 / 1e3)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<40} mean {:>12} [min {:>12}, max {:>12}]{}",
+            self.name,
+            id,
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            rate
+        );
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    max_warm_up: Duration,
+    max_measurement: Duration,
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_SMOKE=1 caps every loop so `scripts/check.sh` can run
+        // the benches as a fast compile-and-execute smoke test.
+        let smoke = std::env::var("CRITERION_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        if smoke {
+            Criterion {
+                max_warm_up: Duration::from_millis(10),
+                max_measurement: Duration::from_millis(50),
+                max_samples: 3,
+            }
+        } else {
+            Criterion {
+                max_warm_up: Duration::from_secs(3),
+                max_measurement: Duration::from_secs(10),
+                max_samples: 1000,
+            }
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each target with one
+/// `Criterion` instance, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_runs_and_reports() {
+        let mut c = Criterion {
+            max_warm_up: Duration::from_millis(1),
+            max_measurement: Duration::from_millis(5),
+            max_samples: 3,
+        };
+        let mut group = c.benchmark_group("smoke");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+            .throughput(Throughput::Bytes(1024));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &41u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

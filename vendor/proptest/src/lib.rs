@@ -1,0 +1,731 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a generation-only property-testing harness with the same
+//! surface as the upstream crate: the `proptest!` macro, `Strategy` with
+//! `prop_map` / `prop_flat_map` / `boxed`, `any::<T>()`, ranges and
+//! string-pattern strategies, `prop::collection::vec`, `prop::sample::Index`,
+//! `prop_oneof!`, `prop_assert!` / `prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: inputs are generated from a deterministic
+//! per-test seed (derived from the test name and case index) and failing
+//! cases are *not* shrunk — the panic message reports the case number so
+//! a failure reproduces exactly by re-running the test.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic generator
+// ---------------------------------------------------------------------------
+
+/// SplitMix64-based generator driving all input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, n); n must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Type-erased strategy (cheaply clonable).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among strategies of the same value type (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() and Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (full value range, edge-value biased).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias ~1/8 of draws toward edge values, like upstream.
+                if rng.below(8) == 0 {
+                    const EDGES: [i128; 5] = [
+                        0,
+                        1,
+                        -1i128,
+                        <$t>::MIN as i128,
+                        <$t>::MAX as i128,
+                    ];
+                    EDGES[rng.below(EDGES.len() as u64) as usize] as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Uniform over bit patterns (includes NaN, infinities, subnormals)
+        // with extra weight on simple values.
+        match rng.below(8) {
+            0 => 0.0,
+            1 => rng.unit_f64() * 2.0 - 1.0,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            0 => 0.0,
+            1 => (rng.unit_f64() * 2.0 - 1.0) as f32,
+            _ => f32::from_bits(rng.next_u64() as u32),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+/// Element types supported by range strategies.
+pub trait RangeValue: Copy {
+    fn sample_between(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_between(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = hi_w - lo_w + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty range strategy");
+                (lo_w + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeValue for f64 {
+    fn sample_between(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl RangeValue for f32 {
+    fn sample_between(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo <= hi, "empty range strategy");
+        lo + (rng.unit_f64() as f32) * (hi - lo)
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident => $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A => a);
+impl_tuple_strategy!(A => a, B => b);
+impl_tuple_strategy!(A => a, B => b, C => c);
+impl_tuple_strategy!(A => a, B => b, C => c, D => d);
+
+// ---------------------------------------------------------------------------
+// String pattern strategy
+// ---------------------------------------------------------------------------
+
+/// `&str` strategies are interpreted as a small regex-like pattern:
+/// literal characters, `[a-z0-9_]`-style classes, and `{m}` / `{m,n}`
+/// repetition counts (also `?`, `*`, `+` with a bounded expansion).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a char class or a literal.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    for c in lo..=hi {
+                        if let Some(c) = char::from_u32(c) {
+                            set.push(c);
+                        }
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+
+        // Parse an optional repetition suffix.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("repetition lower bound"),
+                    b.trim().parse::<usize>().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else {
+            (1, 1)
+        };
+
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Collections and samples
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive length range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for a `Vec` whose length lies in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Maps the stored entropy onto `[0, len)`; `len` must be nonzero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property; produced by `prop_assert!` / `prop_assert_eq!`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives `property` for `config.cases` deterministic cases, panicking on
+/// the first failure with the offending case index.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(test_name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::from_seed(base ^ (u64::from(case).wrapping_mul(0x9E37_79B9)));
+        if let Err(e) = property(&mut rng) {
+            panic!(
+                "proptest {test_name} failed at case {case}/{}: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Property-test entry point; mirrors upstream `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng| {
+                        $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Uniform choice among strategy arms with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fails the current case (without panicking the harness) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let mut rng = super::TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = super::Strategy::generate(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let w = super::Strategy::generate(&(0u8..=2), &mut rng);
+            assert!(w <= 2);
+        }
+        let vs = super::Strategy::generate(&prop::collection::vec(0u32..5, 2..=4), &mut rng);
+        assert!((2..=4).contains(&vs.len()));
+        assert!(vs.iter().all(|&x| x < 5));
+    }
+
+    #[test]
+    fn string_pattern_generates_within_alphabet() {
+        let mut rng = super::TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = super::Strategy::generate(&"[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn oneof_draws_every_arm() {
+        let strat = prop_oneof![0usize..1, 10usize..11];
+        let mut rng = super::TestRng::from_seed(3);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            match super::Strategy::generate(&strat, &mut rng) {
+                0 => seen[0] = true,
+                10 => seen[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn flat_map_links_dimensions() {
+        let strat = (1usize..4).prop_flat_map(|n| prop::collection::vec(0u8..3, n..=n));
+        let mut rng = super::TestRng::from_seed(4);
+        for _ in 0..100 {
+            let v = super::Strategy::generate(&strat, &mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u32..100, v in prop::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        #[test]
+        fn index_maps_into_bounds(idx in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(idx.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        super::run_cases(&ProptestConfig::with_cases(8), "demo", |rng| {
+            let v = rng.next_u64();
+            if v % 2 == 0 || v % 2 == 1 {
+                return Err(TestCaseError::fail("always fails".to_string()));
+            }
+            Ok(())
+        });
+    }
+}
