@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E]
-//!                 [--epochs N] [--seed S] [--tune] [--quiet]
-//! dsqz decompress <in.dsqz> <out.csv>
+//!                 [--epochs N] [--seed S] [--shard-rows N] [--tune] [--quiet]
+//! dsqz decompress <in.dsqz> <out.csv> [--rows A..B]
 //! dsqz inspect    <in.dsqz>
 //! dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>
 //! ```
@@ -12,12 +12,18 @@
 //! parses as a finite number, categorical otherwise. `--error` is the
 //! relative per-column error bound for numeric columns (default 0 =
 //! lossless); `--tune` runs the paper's Fig. 5 hyperparameter search
-//! before compressing.
+//! before compressing. `--shard-rows N` writes the v2 sharded container
+//! (row groups of N rows, streamed to the output file as they encode);
+//! `--rows A..B` then decompresses only the shards intersecting that
+//! half-open row range.
 
 mod args;
 
 use args::{ArgError, Parsed};
-use ds_core::{compress, decompress, inspect, tune, DsArchive, DsConfig, TuneConfig};
+use ds_core::{
+    compress, compress_sharded_to, decompress, decompress_rows_with_stats, inspect, tune,
+    DsArchive, DsConfig, TuneConfig,
+};
 use ds_table::csv::{read_csv_infer, write_csv};
 use ds_table::gen::Dataset;
 use std::process::ExitCode;
@@ -37,8 +43,8 @@ fn main() -> ExitCode {
 
 fn usage() -> &'static str {
     "usage:\n  \
-     dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--tune] [--quiet]\n  \
-     dsqz decompress <in.dsqz> <out.csv>\n  \
+     dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--tune] [--quiet]\n  \
+     dsqz decompress <in.dsqz> <out.csv> [--rows A..B]\n  \
      dsqz inspect    <in.dsqz>\n  \
      dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>"
 }
@@ -62,6 +68,7 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
     let experts: usize = p.flag_or("experts", 1)?;
     let epochs: usize = p.flag_or("epochs", 120)?;
     let seed: u64 = p.flag_or("seed", 0)?;
+    let shard_rows: usize = p.flag_or("shard-rows", 0)?;
     let do_tune = p.switch("tune");
     let quiet = p.switch("quiet");
     p.finish()?;
@@ -110,6 +117,29 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
         cfg.n_experts = outcome.config.n_experts;
     }
 
+    if shard_rows > 0 {
+        // Sharded container: stream row groups straight to the output
+        // file as they finish encoding instead of buffering in memory.
+        cfg.shard_rows = shard_rows;
+        let file = std::fs::File::create(&output).map_err(|e| format!("create {output}: {e}"))?;
+        let out = compress_sharded_to(&table, &cfg, std::io::BufWriter::new(file))
+            .map_err(|e| format!("compression failed: {e}"))?;
+        if !quiet {
+            let b = out.breakdown;
+            eprintln!(
+                "{output}: {} bytes in {} shard(s) ({:.2}% of raw) [decoder {}, codes {}, failures {}, metadata {}]",
+                out.total_bytes,
+                out.n_shards,
+                100.0 * out.total_bytes as f64 / table.raw_size().max(1) as f64,
+                b.decoder,
+                b.codes,
+                b.failures,
+                b.metadata
+            );
+        }
+        return Ok(());
+    }
+
     let archive = compress(&table, &cfg).map_err(|e| format!("compression failed: {e}"))?;
     std::fs::write(&output, archive.as_bytes()).map_err(|e| format!("write {output}: {e}"))?;
     if !quiet {
@@ -130,13 +160,39 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
 fn cmd_decompress(p: &mut Parsed) -> Result<(), String> {
     let input = p.positional(0)?;
     let output = p.positional(1)?;
+    let rows_spec: String = p.flag_or("rows", String::new())?;
     p.finish()?;
     let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
-    let table =
-        decompress(&DsArchive::from_bytes(bytes)).map_err(|e| format!("decode {input}: {e}"))?;
-    std::fs::write(&output, write_csv(&table)).map_err(|e| format!("write {output}: {e}"))?;
-    eprintln!("{output}: {} rows restored", table.nrows());
+    let archive = DsArchive::from_bytes(bytes);
+    if rows_spec.is_empty() {
+        let table = decompress(&archive).map_err(|e| format!("decode {input}: {e}"))?;
+        std::fs::write(&output, write_csv(&table)).map_err(|e| format!("write {output}: {e}"))?;
+        eprintln!("{output}: {} rows restored", table.nrows());
+    } else {
+        let range = parse_row_range(&rows_spec)?;
+        let (table, stats) = decompress_rows_with_stats(&archive, range)
+            .map_err(|e| format!("decode {input}: {e}"))?;
+        std::fs::write(&output, write_csv(&table)).map_err(|e| format!("write {output}: {e}"))?;
+        eprintln!(
+            "{output}: {} rows restored (decoded {}/{} shard(s))",
+            table.nrows(),
+            stats.shards_decoded,
+            stats.shards_total
+        );
+    }
     Ok(())
+}
+
+/// Parses a half-open `A..B` row range.
+fn parse_row_range(s: &str) -> Result<std::ops::Range<usize>, String> {
+    let invalid = || format!("invalid --rows `{s}` (expected A..B with A <= B)");
+    let (a, b) = s.split_once("..").ok_or_else(invalid)?;
+    let start: usize = a.trim().parse().map_err(|_| invalid())?;
+    let end: usize = b.trim().parse().map_err(|_| invalid())?;
+    if end < start {
+        return Err(invalid());
+    }
+    Ok(start..end)
 }
 
 fn cmd_inspect(p: &mut Parsed) -> Result<(), String> {
@@ -151,6 +207,15 @@ fn cmd_inspect(p: &mut Parsed) -> Result<(), String> {
     let mut out = stdout.lock();
     let _ = writeln!(out, "{input}: {size} bytes");
     let _ = writeln!(out, "rows: {}", info.nrows);
+    let _ = writeln!(
+        out,
+        "container: {}",
+        if info.shards > 0 {
+            format!("sharded, {} row group(s)", info.shards)
+        } else {
+            "monolithic".to_owned()
+        }
+    );
     let _ = writeln!(
         out,
         "model: {}",

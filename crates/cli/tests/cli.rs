@@ -110,6 +110,98 @@ fn lossless_cycle_is_exact() {
 }
 
 #[test]
+fn sharded_cycle_with_partial_reads() {
+    let dir = tmpdir("sharded");
+    let csv = dir.join("c.csv");
+    let dsq = dir.join("c.dsqz");
+    let back = dir.join("full.csv");
+    let part = dir.join("part.csv");
+
+    assert!(dsqz()
+        .args(["gen", "census", "300", csv.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(dsqz()
+        .args([
+            "compress",
+            csv.to_str().unwrap(),
+            dsq.to_str().unwrap(),
+            "--epochs",
+            "6",
+            "--shard-rows",
+            "50",
+            "--quiet",
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    // Inspect reports the sharded container.
+    let out = dsqz()
+        .args(["inspect", dsq.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rows: 300"), "inspect output: {text}");
+    assert!(
+        text.contains("sharded, 6 row group(s)"),
+        "inspect output: {text}"
+    );
+
+    // Full decompress is byte-identical (lossless categorical cycle).
+    assert!(dsqz()
+        .args(["decompress", dsq.to_str().unwrap(), back.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let original = std::fs::read_to_string(&csv).unwrap();
+    assert_eq!(original, std::fs::read_to_string(&back).unwrap());
+
+    // Partial read: rows 60..160 = lines 61..161 of the CSV (after header),
+    // and only 3 of the 6 shards decode.
+    let out = dsqz()
+        .args([
+            "decompress",
+            dsq.to_str().unwrap(),
+            part.to_str().unwrap(),
+            "--rows",
+            "60..160",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("decoded 3/6 shard(s)"),
+        "decompress stderr: {stderr}"
+    );
+    let partial = std::fs::read_to_string(&part).unwrap();
+    let orig_lines: Vec<&str> = original.lines().collect();
+    let part_lines: Vec<&str> = partial.lines().collect();
+    assert_eq!(part_lines.len(), 101); // header + 100 rows
+    assert_eq!(part_lines[0], orig_lines[0]);
+    assert_eq!(&part_lines[1..], &orig_lines[61..161]);
+
+    // Malformed range is a clean error.
+    let out = dsqz()
+        .args([
+            "decompress",
+            dsq.to_str().unwrap(),
+            part.to_str().unwrap(),
+            "--rows",
+            "xyz",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid --rows"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn errors_exit_nonzero() {
     // Unknown command.
     let out = dsqz().arg("frobnicate").output().unwrap();

@@ -20,6 +20,7 @@
 
 pub mod bitpack;
 pub mod bitstream;
+pub mod crc32;
 pub mod delta;
 pub mod dict;
 pub mod gzlike;

@@ -466,6 +466,12 @@ pub fn read_table(bytes: &[u8]) -> Result<Vec<(String, ParqColumn)>> {
     if ncols > 1_000_000 {
         return Err(CodecError::Corrupt("parq: implausible column count"));
     }
+    // Row counts come from an untrusted header and size downstream
+    // allocations (and `nrows * 8` arithmetic); beyond the decode limit
+    // the claim is corruption, not a huge table.
+    if nrows > crate::MAX_DECODE_ELEMS {
+        return Err(CodecError::Corrupt("parq: row count exceeds decode limit"));
+    }
     let mut sections = Vec::with_capacity(ncols.min(1 << 16));
     for _ in 0..ncols {
         let name = std::str::from_utf8(r.read_len_prefixed()?)

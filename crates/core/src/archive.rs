@@ -90,6 +90,26 @@ impl DsArchive {
     }
 }
 
+/// Which container framing an archive uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerKind {
+    /// Single-blob v1 archive (`DSQZ` header).
+    Monolithic,
+    /// Sharded row-group container v2 (`DSRG` footer).
+    Sharded,
+}
+
+/// Detects the container framing. Detection is footer-based: a v2
+/// container *starts* with its first shard blob, which is itself a v1
+/// archive, so only the trailing magic distinguishes the formats.
+pub fn container_kind(archive: &DsArchive) -> ContainerKind {
+    if ds_shard::is_sharded(&archive.bytes) {
+        ContainerKind::Sharded
+    } else {
+        ContainerKind::Monolithic
+    }
+}
+
 /// Header-level description of an archive (no decompression needed).
 #[derive(Debug, Clone)]
 pub struct ArchiveInfo {
@@ -105,15 +125,33 @@ pub struct ArchiveInfo {
     pub code_size: usize,
     /// Stored code width in bits (0 when no model).
     pub code_bits: u8,
+    /// Row-group shards in the container (0 = monolithic v1 archive).
+    pub shards: usize,
 }
 
 /// Parses just the archive envelope — cheap metadata access for tooling.
+/// For a sharded container this reads the manifest plus the first shard's
+/// envelope (which describes the schema shared by every shard).
 pub fn inspect(archive: &DsArchive) -> crate::Result<ArchiveInfo> {
+    if ds_shard::is_sharded(&archive.bytes) {
+        let reader = ds_shard::ShardReader::open(&archive.bytes).map_err(crate::DsError::from)?;
+        let first = reader
+            .shard_bytes(0)
+            .map_err(|_| crate::DsError::Corrupt("sharded container has no shards"))?;
+        let mut info = inspect_bytes(first)?;
+        info.nrows = reader.total_rows();
+        info.shards = reader.n_shards();
+        return Ok(info);
+    }
+    inspect_bytes(&archive.bytes)
+}
+
+fn inspect_bytes(bytes: &[u8]) -> crate::Result<ArchiveInfo> {
     use crate::preprocess::ColPlan;
     use crate::DsError;
     use ds_codec::ByteReader;
 
-    let mut r = ByteReader::new(&archive.bytes);
+    let mut r = ByteReader::new(bytes);
     if r.read_bytes(4)? != MAGIC {
         return Err(DsError::Corrupt("bad magic"));
     }
@@ -158,6 +196,7 @@ pub fn inspect(archive: &DsArchive) -> crate::Result<ArchiveInfo> {
         n_experts,
         code_size,
         code_bits,
+        shards: 0,
     })
 }
 
@@ -193,6 +232,36 @@ mod tests {
     #[test]
     fn inspect_rejects_garbage() {
         assert!(inspect(&DsArchive::from_bytes(vec![1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn inspect_reads_sharded_containers() {
+        use ds_table::gen;
+        let t = gen::monitor_like(100, 7);
+        let cfg = crate::DsConfig {
+            error_threshold: 0.1,
+            max_epochs: 2,
+            shard_rows: 25,
+            ..Default::default()
+        };
+        let archive = crate::compress(&t, &cfg).expect("compresses");
+        assert_eq!(container_kind(&archive), ContainerKind::Sharded);
+        let info = inspect(&archive).expect("inspects");
+        assert_eq!(info.nrows, 100);
+        assert_eq!(info.shards, 4);
+        assert!(info.has_model);
+        assert_eq!(info.columns.len(), t.ncols());
+
+        let mono = crate::compress(
+            &t,
+            &crate::DsConfig {
+                shard_rows: 0,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(container_kind(&mono), ContainerKind::Monolithic);
+        assert_eq!(inspect(&mono).unwrap().shards, 0);
     }
 
     #[test]

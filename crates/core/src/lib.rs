@@ -49,8 +49,11 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod tune;
 
-pub use archive::{inspect, ArchiveInfo, DsArchive, SizeBreakdown};
-pub use pipeline::{compress, decompress, DsConfig, TrainedCompressor};
+pub use archive::{container_kind, inspect, ArchiveInfo, ContainerKind, DsArchive, SizeBreakdown};
+pub use pipeline::{
+    compress, compress_sharded_to, decompress, decompress_rows, decompress_rows_with_stats,
+    DsConfig, ShardedCompression, ShardedDecodeStats, TrainedCompressor,
+};
 pub use tune::{tune, TuneConfig, TuneOutcome};
 
 /// Errors surfaced by the DeepSqueeze pipeline.
@@ -64,6 +67,8 @@ pub enum DsError {
     Nn(ds_nn::NnError),
     /// Propagated codec failure.
     Codec(ds_codec::CodecError),
+    /// Propagated sharded-container failure (framing, CRC, manifest).
+    Shard(ds_shard::ShardError),
     /// Propagated table failure.
     Table(ds_table::TableError),
     /// Propagated tuner failure.
@@ -77,6 +82,7 @@ impl std::fmt::Display for DsError {
             DsError::Corrupt(w) => write!(f, "corrupt archive: {w}"),
             DsError::Nn(e) => write!(f, "model error: {e}"),
             DsError::Codec(e) => write!(f, "codec error: {e}"),
+            DsError::Shard(e) => write!(f, "shard container error: {e}"),
             DsError::Table(e) => write!(f, "table error: {e}"),
             DsError::BayesOpt(e) => write!(f, "tuning error: {e}"),
         }
@@ -94,6 +100,12 @@ impl From<ds_nn::NnError> for DsError {
 impl From<ds_codec::CodecError> for DsError {
     fn from(e: ds_codec::CodecError) -> Self {
         DsError::Codec(e)
+    }
+}
+
+impl From<ds_shard::ShardError> for DsError {
+    fn from(e: ds_shard::ShardError) -> Self {
+        DsError::Shard(e)
     }
 }
 

@@ -34,6 +34,11 @@ pub struct MaterializeOptions {
     /// §6.4: drop original row order (legal for relational tables); rows
     /// come back grouped by expert.
     pub order_free: bool,
+    /// Write an empty decoder blob even when a model is present. Used by
+    /// the sharded container, which stores the (identical) decoder once in
+    /// the container manifest instead of repeating it per row group;
+    /// decompression then substitutes the shared blob.
+    pub omit_decoder: bool,
 }
 
 impl Default for MaterializeOptions {
@@ -41,6 +46,7 @@ impl Default for MaterializeOptions {
         MaterializeOptions {
             code_bits_candidates: vec![4, 8, 16],
             order_free: false,
+            omit_decoder: false,
         }
     }
 }
@@ -677,7 +683,7 @@ pub fn materialize_with_patches(
         best.expect("at least one candidate evaluated");
 
     // ---- decoder blob -------------------------------------------------------
-    let decoder_blob = if has_model {
+    let decoder_blob = if has_model && !opts.omit_decoder {
         gzlike::compress(&serialize::export_decoders(model.expect("has_model")))
     } else {
         Vec::new()

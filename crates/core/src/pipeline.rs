@@ -1,6 +1,6 @@
 //! The end-to-end compression and decompression pipelines (§3).
 
-use crate::archive::{DsArchive, MAGIC, VERSION};
+use crate::archive::{DsArchive, SizeBreakdown, MAGIC, VERSION};
 use crate::materialize::{
     class_at_rank, dequantize_codes, materialize, MappingStrategy, MaterializeOptions,
 };
@@ -61,6 +61,13 @@ pub struct DsConfig {
     /// (16 = bf16-like; 0 disables). Shrinks the gzip-compressed decoder
     /// roughly 2× at negligible accuracy cost.
     pub weight_truncate_bits: u32,
+    /// Rows per shard for the v2 sharded container (0 = legacy
+    /// single-blob archive). When > 0, [`compress`] trains one model on
+    /// the whole table, then compresses each fixed-row-count row group
+    /// independently on the pool and lays them out so decompression can
+    /// decode shards in parallel — or only those intersecting a requested
+    /// row range ([`decompress_rows`]).
+    pub shard_rows: usize,
 }
 
 impl Default for DsConfig {
@@ -85,6 +92,7 @@ impl Default for DsConfig {
             code_bits_candidates: vec![4, 8, 16],
             order_free: false,
             weight_truncate_bits: 16,
+            shard_rows: 0,
         }
     }
 }
@@ -242,6 +250,17 @@ impl TrainedCompressor {
     /// reconstruction guarantee still holds. Retrain periodically if the
     /// patch fraction grows.
     pub fn compress_batch(&self, table: &Table) -> Result<DsArchive> {
+        self.compress_batch_opts(table, false)
+    }
+
+    /// [`compress_batch`](Self::compress_batch) with the decoder blob
+    /// optionally omitted — shard blobs in a v2 container share one
+    /// decoder via the container manifest instead of repeating it.
+    pub(crate) fn compress_batch_opts(
+        &self,
+        table: &Table,
+        omit_decoder: bool,
+    ) -> Result<DsArchive> {
         let (prep, patches) = crate::preprocess::apply_plans(table, &self.prep.plans)?;
         let assignments = match &self.model {
             Some(m) => m.assign_by_loss(&prep.x, &prep.cat_targets)?,
@@ -253,6 +272,7 @@ impl TrainedCompressor {
             // cells by original row index, which order-free storage would
             // scramble.
             order_free: false,
+            omit_decoder,
         };
         crate::materialize::materialize_with_patches(
             table,
@@ -274,14 +294,132 @@ impl TrainedCompressor {
         let opts = MaterializeOptions {
             code_bits_candidates: self.cfg.code_bits_candidates.clone(),
             order_free: self.cfg.order_free,
+            omit_decoder: false,
         };
         materialize(table, &self.prep, self.model.as_ref(), assignments, &opts)
+    }
+
+    /// The gzlike-compressed decoder weights (empty when no model) — the
+    /// blob the sharded container stores once in its manifest.
+    pub(crate) fn decoder_blob(&self) -> Vec<u8> {
+        match &self.model {
+            Some(m) => gzlike::compress(&serialize::export_decoders(m)),
+            None => Vec::new(),
+        }
     }
 }
 
 /// Compresses a table end-to-end: preprocess → train → materialize.
+///
+/// With `cfg.shard_rows > 0` the output is a v2 sharded container (one
+/// model trained on the whole table, row groups compressed independently
+/// and streamed out in order); otherwise the legacy single-blob archive.
 pub fn compress(table: &Table, cfg: &DsConfig) -> Result<DsArchive> {
+    if cfg.shard_rows > 0 {
+        let out = compress_sharded_to(table, cfg, Vec::new())?;
+        return Ok(DsArchive {
+            bytes: out.sink,
+            breakdown: out.breakdown,
+            failure_stats: Vec::new(),
+        });
+    }
     TrainedCompressor::train(table, cfg)?.materialize(table)
+}
+
+/// Result of a sharded compression into a caller-supplied sink.
+pub struct ShardedCompression<W> {
+    /// The sink, returned after the footer was flushed.
+    pub sink: W,
+    /// Total container size in bytes.
+    pub total_bytes: u64,
+    /// Number of row-group shards written.
+    pub n_shards: usize,
+    /// Aggregated component sizes: `decoder` is the shared blob stored
+    /// once in the manifest; `codes`/`failures` are summed across shards;
+    /// `metadata` absorbs per-shard envelopes and the container framing.
+    pub breakdown: SizeBreakdown,
+}
+
+/// Trains one model on the whole table, then compresses row groups of
+/// `cfg.shard_rows` rows independently on the pool, streaming each shard
+/// blob into `sink` in index order as soon as it and its predecessors
+/// have encoded — later shards are still encoding while earlier ones hit
+/// the sink. The produced bytes are identical for any `DS_THREADS`.
+///
+/// The decoder weights are stored once in the container manifest (shards
+/// carry empty decoder blobs), so sharding does not multiply the §6.1
+/// decoder cost.
+pub fn compress_sharded_to<W: std::io::Write>(
+    table: &Table,
+    cfg: &DsConfig,
+    sink: W,
+) -> Result<ShardedCompression<W>> {
+    if cfg.shard_rows == 0 {
+        return Err(DsError::InvalidConfig("shard_rows must be > 0"));
+    }
+    if cfg.order_free {
+        // Shard blobs carry patches addressed by row index; order-free
+        // storage would scramble them (same rule as compress_batch).
+        return Err(DsError::InvalidConfig(
+            "order-free storage is incompatible with sharding",
+        ));
+    }
+    let trained = TrainedCompressor::train(table, cfg)?;
+    let nrows = table.nrows();
+    let shard_rows = cfg.shard_rows;
+    // An empty table still gets one (zero-row) shard so the container
+    // self-describes the schema.
+    let n_shards = if nrows == 0 {
+        1
+    } else {
+        nrows.div_ceil(shard_rows)
+    };
+    let shared = trained.decoder_blob();
+    let mut breakdown = SizeBreakdown {
+        decoder: shared.len(),
+        ..Default::default()
+    };
+    let mut writer = ds_shard::ShardWriter::new(sink);
+    writer.set_shared(shared);
+    let mut first_err: Option<DsError> = None;
+    ds_exec::parallel_map_consume(
+        n_shards,
+        |i| {
+            let lo = i * shard_rows;
+            let hi = (lo + shard_rows).min(nrows);
+            trained.compress_batch_opts(&table.slice_rows(lo..hi), true)
+        },
+        |i, result| {
+            if first_err.is_some() {
+                return;
+            }
+            match result {
+                Ok(archive) => {
+                    let b = archive.breakdown();
+                    breakdown.codes += b.codes;
+                    breakdown.failures += b.failures;
+                    let lo = i * shard_rows;
+                    let rows = (lo + shard_rows).min(nrows) - lo;
+                    if let Err(e) = writer.push_shard(rows, archive.as_bytes()) {
+                        first_err = Some(e.into());
+                    }
+                }
+                Err(e) => first_err = Some(e),
+            }
+        },
+    );
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let (sink, total_bytes) = writer.finish()?;
+    let accounted = breakdown.decoder + breakdown.codes + breakdown.failures;
+    breakdown.metadata = (total_bytes as usize).saturating_sub(accounted);
+    Ok(ShardedCompression {
+        sink,
+        total_bytes,
+        n_shards,
+        breakdown,
+    })
 }
 
 /// Decompresses an archive back into a table.
@@ -290,8 +428,94 @@ pub fn compress(table: &Table, cfg: &DsConfig) -> Result<DsArchive> {
 /// compression-time error thresholds (bucket midpoints). With an
 /// order-free archive (§6.4) rows come back grouped by expert rather than
 /// in original order.
+///
+/// Both container formats are handled: the legacy single-blob v1 archive,
+/// and the v2 sharded container (detected by its trailing `DSRG` footer),
+/// whose row groups are CRC-validated and decoded in parallel.
 pub fn decompress(archive: &DsArchive) -> Result<Table> {
-    let mut r = ByteReader::new(&archive.bytes);
+    if ds_shard::is_sharded(&archive.bytes) {
+        let reader = ds_shard::ShardReader::open(&archive.bytes)?;
+        let shared = nonempty(reader.shared());
+        let parts = reader
+            .read_all(|_, blob| decompress_bytes(blob, shared))
+            .map_err(flatten_op)?;
+        return Ok(Table::concat(&parts)?);
+    }
+    decompress_bytes(&archive.bytes, None)
+}
+
+/// Statistics from a partial decode ([`decompress_rows_with_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedDecodeStats {
+    /// Shards in the container (1 for a monolithic v1 archive).
+    pub shards_total: usize,
+    /// Shards decoded to cover the requested row range. (A schema probe
+    /// for an empty result range is not counted.)
+    pub shards_decoded: usize,
+}
+
+/// Decompresses only the rows in `rows` (clamped to the table).
+///
+/// On a sharded archive, only the row groups intersecting the range are
+/// CRC-validated and decoded — in parallel; on a monolithic archive the
+/// whole table is decoded and sliced.
+pub fn decompress_rows(archive: &DsArchive, rows: std::ops::Range<usize>) -> Result<Table> {
+    Ok(decompress_rows_with_stats(archive, rows)?.0)
+}
+
+/// [`decompress_rows`] plus shard-decode statistics, so callers (and the
+/// partial-read tests) can verify how much work the range actually cost.
+pub fn decompress_rows_with_stats(
+    archive: &DsArchive,
+    rows: std::ops::Range<usize>,
+) -> Result<(Table, ShardedDecodeStats)> {
+    if !ds_shard::is_sharded(&archive.bytes) {
+        let full = decompress_bytes(&archive.bytes, None)?;
+        let stats = ShardedDecodeStats {
+            shards_total: 1,
+            shards_decoded: 1,
+        };
+        return Ok((full.slice_rows(rows), stats));
+    }
+    let reader = ds_shard::ShardReader::open(&archive.bytes)?;
+    let shared = nonempty(reader.shared());
+    let got = reader
+        .read_rows(rows, |_, blob| decompress_bytes(blob, shared))
+        .map_err(flatten_op)?;
+    let stats = ShardedDecodeStats {
+        shards_total: reader.n_shards(),
+        shards_decoded: got.shards_decoded,
+    };
+    if got.parts.is_empty() {
+        // Nothing intersects: decode one shard only to recover the schema
+        // and return its empty slice.
+        let blob = reader.shard_bytes(0)?;
+        let probe = decompress_bytes(blob, shared)?;
+        return Ok((probe.slice_rows(0..0), stats));
+    }
+    let table = Table::concat(&got.parts)?;
+    Ok((table.slice_rows(got.skip..got.skip + got.take), stats))
+}
+
+/// `None` for an empty slice — absent shared decoder vs present-but-empty.
+fn nonempty(bytes: &[u8]) -> Option<&[u8]> {
+    (!bytes.is_empty()).then_some(bytes)
+}
+
+/// Collapses a per-shard operation error into the pipeline error type.
+fn flatten_op(e: ds_shard::OpError<DsError>) -> DsError {
+    match e {
+        ds_shard::OpError::Container(c) => c.into(),
+        ds_shard::OpError::Shard { error, .. } => error,
+    }
+}
+
+/// Decodes one self-contained v1 archive blob. `shared_decoder` supplies
+/// the gzlike-compressed decoder weights for shard blobs that carry an
+/// empty decoder section (the sharded container stores the decoder once
+/// in its manifest).
+fn decompress_bytes(bytes: &[u8], shared_decoder: Option<&[u8]>) -> Result<Table> {
+    let mut r = ByteReader::new(bytes);
     if r.read_bytes(4)? != MAGIC {
         return Err(DsError::Corrupt("bad magic"));
     }
@@ -299,6 +523,11 @@ pub fn decompress(archive: &DsArchive) -> Result<Table> {
         return Err(DsError::Corrupt("unsupported version"));
     }
     let n = r.read_varint()? as usize;
+    if n > ds_codec::MAX_DECODE_ELEMS {
+        // Row counts size downstream allocations; beyond the decode limit
+        // the claim is corruption, not a huge table.
+        return Err(DsError::Corrupt("implausible row count"));
+    }
     let ncols = r.read_varint()? as usize;
     if ncols > 1 << 20 {
         return Err(DsError::Corrupt("implausible column count"));
@@ -327,7 +556,13 @@ pub fn decompress(archive: &DsArchive) -> Result<Table> {
     let mut ranges: Vec<Vec<(f32, f32)>> = Vec::new();
     if has_model {
         let decoder_blob = r.read_len_prefixed()?;
-        let weights = gzlike::decompress(decoder_blob)?;
+        let weights = if decoder_blob.is_empty() {
+            let shared =
+                shared_decoder.ok_or(DsError::Corrupt("archive requires a shared decoder"))?;
+            gzlike::decompress(shared)?
+        } else {
+            gzlike::decompress(decoder_blob)?
+        };
         model = Some(serialize::import_decoders(&weights)?);
         code_k = r.read_varint()? as usize;
         code_bits = r.read_u8()?;
@@ -949,6 +1184,87 @@ mod tests {
             bad[i] ^= 0x20;
             let _ = decompress(&DsArchive::from_bytes(bad)); // no panic
         }
+    }
+
+    #[test]
+    fn sharded_roundtrip_within_error() {
+        let t = gen::monitor_like(300, 21);
+        let mut cfg = fast_cfg(0.10);
+        cfg.shard_rows = 64;
+        let sharded = compress(&t, &cfg).unwrap();
+        assert!(ds_shard::is_sharded(sharded.as_bytes()));
+        let restored = decompress(&sharded).unwrap();
+        assert_within_error(&t, &restored, 0.10);
+        assert_eq!(sharded.breakdown().total(), sharded.size());
+        assert!(sharded.breakdown().decoder > 0);
+    }
+
+    #[test]
+    fn partial_read_decodes_only_intersecting_shards() {
+        let t = gen::census_like(200, 22);
+        let mut cfg = fast_cfg(0.0);
+        cfg.shard_rows = 20; // 10 shards
+        let archive = compress(&t, &cfg).unwrap();
+        let full = decompress(&archive).unwrap();
+        assert_eq!(full, t); // lossless at threshold 0
+        let (part, stats) = decompress_rows_with_stats(&archive, 45..105).unwrap();
+        assert_eq!(stats.shards_total, 10);
+        assert_eq!(stats.shards_decoded, 4); // shards 2..6 cover rows 40..120
+        assert_eq!(part, full.slice_rows(45..105));
+        // Single-shard request touches exactly one shard.
+        let (part, stats) = decompress_rows_with_stats(&archive, 60..80).unwrap();
+        assert_eq!(stats.shards_decoded, 1);
+        assert_eq!(part, full.slice_rows(60..80));
+    }
+
+    #[test]
+    fn partial_read_works_on_monolithic_archives_too() {
+        let t = gen::census_like(100, 25);
+        let archive = compress(&t, &fast_cfg(0.0)).unwrap();
+        let (part, stats) = decompress_rows_with_stats(&archive, 10..35).unwrap();
+        assert_eq!(stats.shards_total, 1);
+        assert_eq!(stats.shards_decoded, 1);
+        assert_eq!(part, t.slice_rows(10..35));
+    }
+
+    #[test]
+    fn sharded_bytes_thread_count_invariant() {
+        let t = gen::monitor_like(150, 23);
+        let mut cfg = fast_cfg(0.10);
+        cfg.shard_rows = 32;
+        let a = ds_exec::with_thread_limit(1, || compress(&t, &cfg)).unwrap();
+        let b = ds_exec::with_thread_limit(8, || compress(&t, &cfg)).unwrap();
+        assert_eq!(a.as_bytes(), b.as_bytes());
+        let ta = ds_exec::with_thread_limit(1, || decompress(&a)).unwrap();
+        let tb = ds_exec::with_thread_limit(8, || decompress(&b)).unwrap();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn sharded_empty_table_roundtrip() {
+        let t = gen::corel_like(0, 24);
+        let mut cfg = fast_cfg(0.10);
+        cfg.shard_rows = 16;
+        let archive = compress(&t, &cfg).unwrap();
+        let restored = decompress(&archive).unwrap();
+        assert_eq!(restored.nrows(), 0);
+        assert_eq!(restored.schema(), t.schema());
+        // An empty result range still recovers the schema.
+        let (p, stats) = decompress_rows_with_stats(&archive, 0..10).unwrap();
+        assert_eq!(p.schema(), t.schema());
+        assert_eq!(p.nrows(), 0);
+        assert_eq!(stats.shards_decoded, 0);
+    }
+
+    #[test]
+    fn sharded_rejects_bad_configs() {
+        let t = gen::corel_like(50, 26);
+        let mut cfg = fast_cfg(0.1);
+        cfg.order_free = true;
+        cfg.shard_rows = 10;
+        assert!(compress(&t, &cfg).is_err());
+        let cfg2 = fast_cfg(0.1);
+        assert!(compress_sharded_to(&t, &cfg2, Vec::new()).is_err()); // shard_rows == 0
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Fallback worker count when `DS_THREADS` is unset and the OS cannot
@@ -118,6 +118,10 @@ struct Batch {
     n_tasks: usize,
     next: AtomicUsize,
     done: AtomicUsize,
+    /// Notify `done_cv` after *every* task completion, not just the last —
+    /// ordered-flush consumers ([`parallel_map_consume`]) stream results
+    /// out as they land and need the per-task wakeups.
+    notify_each: bool,
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     done_lock: Mutex<()>,
     done_cv: Condvar,
@@ -129,29 +133,45 @@ unsafe impl Send for Batch {}
 unsafe impl Sync for Batch {}
 
 impl Batch {
-    /// Claims and executes tasks until the cursor is exhausted. Returns
-    /// the number of tasks this thread completed.
-    fn execute(&self) -> usize {
-        let mut ran = 0;
-        loop {
-            let idx = self.next.fetch_add(1, Ordering::Relaxed);
-            if idx >= self.n_tasks {
-                return ran;
-            }
-            // SAFETY: idx < n_tasks, so the submitter is still blocked in
-            // `wait` and the closure is alive.
-            let run = unsafe { &*self.run };
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(idx)));
-            if let Err(payload) = outcome {
-                let mut slot = self.panic_payload.lock().unwrap();
-                slot.get_or_insert(payload);
-            }
-            ran += 1;
-            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n_tasks {
-                let _guard = self.done_lock.lock().unwrap();
-                self.done_cv.notify_all();
-            }
+    fn new(run: &(dyn Fn(usize) + Sync + 'static), n_tasks: usize, notify_each: bool) -> Batch {
+        Batch {
+            run: run as *const (dyn Fn(usize) + Sync),
+            n_tasks,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            notify_each,
+            panic_payload: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
         }
+    }
+
+    /// Claims and executes at most one task; false when the cursor is
+    /// already exhausted.
+    fn execute_one(&self) -> bool {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.n_tasks {
+            return false;
+        }
+        // SAFETY: idx < n_tasks, so the submitter is still blocked in
+        // `wait` (or its drop guard) and the closure is alive.
+        let run = unsafe { &*self.run };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(idx)));
+        if let Err(payload) = outcome {
+            let mut slot = self.panic_payload.lock().unwrap();
+            slot.get_or_insert(payload);
+        }
+        let finished = self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n_tasks;
+        if finished || self.notify_each {
+            let _guard = self.done_lock.lock().unwrap();
+            self.done_cv.notify_all();
+        }
+        true
+    }
+
+    /// Claims and executes tasks until the cursor is exhausted.
+    fn execute(&self) {
+        while self.execute_one() {}
     }
 
     /// Blocks until every task has completed, then re-raises the first
@@ -170,64 +190,116 @@ impl Batch {
     }
 }
 
+/// Capacity of each worker's injector deque. Invites beyond a full deque
+/// are dropped — an invite is a wake-up hint, not a work item (every task
+/// is claimed through the batch's atomic cursor, and the submitting
+/// thread always participates), so dropping one can only reduce the
+/// worker head-count of a single call, never lose work.
+const INJECTOR_CAP: usize = 8;
+
 struct Pool {
-    queue: Mutex<VecDeque<Arc<Batch>>>,
+    /// One bounded injector deque per potential worker, indexed by worker
+    /// id. Replaces the old single `Mutex<VecDeque>` hot path: submitters
+    /// spread invites round-robin and each worker pops its own deque
+    /// first, so many small batches no longer serialize on one lock.
+    queues: Vec<Mutex<VecDeque<Arc<Batch>>>>,
+    /// Wake generation, bumped on every submit; workers sleep on it.
+    sleep: Mutex<u64>,
     work_cv: Condvar,
-    spawned: Mutex<usize>,
+    /// Number of workers actually spawned so far.
+    spawned: AtomicUsize,
+    /// Serializes worker spawning (spawn count grows monotonically).
+    spawn_lock: Mutex<()>,
 }
 
 impl Pool {
     fn global() -> &'static Pool {
         static POOL: OnceLock<Pool> = OnceLock::new();
         POOL.get_or_init(|| Pool {
-            queue: Mutex::new(VecDeque::new()),
+            queues: (0..MAX_THREADS)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            sleep: Mutex::new(0),
             work_cv: Condvar::new(),
-            spawned: Mutex::new(0),
+            spawned: AtomicUsize::new(0),
+            spawn_lock: Mutex::new(()),
         })
     }
 
     /// Grows the detached worker set to at least `target` threads.
     fn ensure_workers(&'static self, target: usize) {
-        let mut spawned = self.spawned.lock().unwrap();
-        while *spawned < target {
-            let name = format!("ds-exec-{}", *spawned);
+        let target = target.min(MAX_THREADS);
+        if self.spawned.load(Ordering::Acquire) >= target {
+            return;
+        }
+        let _guard = self.spawn_lock.lock().unwrap();
+        let mut n = self.spawned.load(Ordering::Acquire);
+        while n < target {
+            let name = format!("ds-exec-{n}");
             std::thread::Builder::new()
                 .name(name)
-                .spawn(move || self.worker_loop())
+                .spawn(move || self.worker_loop(n))
                 .expect("spawn ds-exec worker");
-            *spawned += 1;
+            n += 1;
+            self.spawned.store(n, Ordering::Release);
         }
     }
 
-    fn worker_loop(&self) {
+    /// Pops work for worker `idx`: its own deque front first, then steals
+    /// from the other workers' deque backs scanning in ascending worker
+    /// index — a fixed, index-determined steal order (no randomized victim
+    /// selection), so claiming behaviour is reproducible run-to-run.
+    fn take(&self, idx: usize) -> Option<Arc<Batch>> {
+        if let Some(batch) = self.queues[idx].lock().unwrap().pop_front() {
+            return Some(batch);
+        }
+        let n = self.spawned.load(Ordering::Acquire).min(self.queues.len());
+        for victim in 0..n {
+            if victim == idx {
+                continue;
+            }
+            if let Some(batch) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some(batch);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self, idx: usize) {
         IN_POOL_TASK.with(|c| c.set(true));
         loop {
-            let batch = {
-                let mut queue = self.queue.lock().unwrap();
-                loop {
-                    if let Some(batch) = queue.pop_front() {
-                        break batch;
-                    }
-                    queue = self.work_cv.wait(queue).unwrap();
-                }
-            };
-            batch.execute();
+            // Read the wake generation *before* scanning the deques so a
+            // submit landing between the scan and the wait cannot be
+            // missed: it bumps the generation and the wait exits at once.
+            let gen = *self.sleep.lock().unwrap();
+            if let Some(batch) = self.take(idx) {
+                batch.execute();
+                continue;
+            }
+            let mut guard = self.sleep.lock().unwrap();
+            while *guard == gen {
+                guard = self.work_cv.wait(guard).unwrap();
+            }
         }
     }
 
-    /// Publishes `batch` with up to `invites` worker invitations.
+    /// Publishes `batch` with up to `invites` worker invitations, spread
+    /// round-robin across the per-worker deques in worker-index order.
     fn submit(&self, batch: &Arc<Batch>, invites: usize) {
-        {
-            let mut queue = self.queue.lock().unwrap();
-            for _ in 0..invites {
+        let n = self
+            .spawned
+            .load(Ordering::Acquire)
+            .min(self.queues.len())
+            .max(1);
+        for k in 0..invites {
+            let mut queue = self.queues[k % n].lock().unwrap();
+            if queue.len() < INJECTOR_CAP {
                 queue.push_back(Arc::clone(batch));
             }
         }
-        if invites == 1 {
-            self.work_cv.notify_one();
-        } else {
-            self.work_cv.notify_all();
-        }
+        let mut gen = self.sleep.lock().unwrap();
+        *gen = gen.wrapping_add(1);
+        self.work_cv.notify_all();
     }
 }
 
@@ -255,15 +327,7 @@ fn run_tasks(n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
     let run: &(dyn Fn(usize) + Sync + 'static) = unsafe {
         std::mem::transmute::<&(dyn Fn(usize) + Sync), &(dyn Fn(usize) + Sync + 'static)>(f)
     };
-    let batch = Arc::new(Batch {
-        run: run as *const (dyn Fn(usize) + Sync),
-        n_tasks,
-        next: AtomicUsize::new(0),
-        done: AtomicUsize::new(0),
-        panic_payload: Mutex::new(None),
-        done_lock: Mutex::new(()),
-        done_cv: Condvar::new(),
-    });
+    let batch = Arc::new(Batch::new(run, n_tasks, false));
     pool.submit(&batch, invites);
 
     // Participate: mark this thread as "in a pool task" so any nested
@@ -344,6 +408,131 @@ pub fn parallel_map_chunks<T: Send>(
         let start = c * chunk;
         f(c, start..(start + chunk).min(n))
     })
+}
+
+/// Runs `f` for every index like [`parallel_map`], but instead of
+/// collecting a `Vec`, feeds each result to `consume` **on the calling
+/// thread, in ascending index order**, as soon as it and every earlier
+/// result are available — while later tasks are still executing.
+///
+/// This is the ordered-flush primitive behind streaming archive writers:
+/// shard `i` hits the sink the moment shards `0..=i` have finished
+/// encoding, overlapping encode compute with sink I/O. The consume order
+/// (and therefore anything `consume` writes) is independent of the thread
+/// count; with a limit of 1 the call degenerates to a perfectly streamed
+/// `for idx { consume(idx, f(idx)) }`.
+///
+/// Panics from `f` propagate to the caller after all claimed tasks have
+/// settled; a panic from `consume` itself also waits for in-flight tasks
+/// before unwinding (the closure must outlive every worker dereference).
+pub fn parallel_map_consume<T: Send>(
+    n_tasks: usize,
+    f: impl Fn(usize) -> T + Sync,
+    mut consume: impl FnMut(usize, T),
+) {
+    if n_tasks == 0 {
+        return;
+    }
+    let limit = effective_threads();
+    if n_tasks == 1 || limit <= 1 || IN_POOL_TASK.with(Cell::get) {
+        for idx in 0..n_tasks {
+            consume(idx, f(idx));
+        }
+        return;
+    }
+
+    let slots: Vec<Slot<T>> = (0..n_tasks)
+        .map(|_| Slot(std::cell::UnsafeCell::new(None)))
+        .collect();
+    let ready: Vec<AtomicBool> = (0..n_tasks).map(|_| AtomicBool::new(false)).collect();
+    let run_inner = |idx: usize| {
+        let value = f(idx);
+        // SAFETY: each idx is claimed by exactly one task, so this slot
+        // has a single writer; readers gate on the Release store below.
+        unsafe { *slots[idx].0.get() = Some(value) };
+        ready[idx].store(true, Ordering::Release);
+    };
+
+    let pool = Pool::global();
+    let invites = limit.min(n_tasks) - 1;
+    pool.ensure_workers(invites);
+    let run_ref: &(dyn Fn(usize) + Sync) = &run_inner;
+    // SAFETY: same lifetime erasure as `run_tasks`; the `BatchGuard` below
+    // blocks until every task completes even if `consume` unwinds, so the
+    // closure (and the slot/ready buffers it borrows) outlive every
+    // worker dereference.
+    let run: &(dyn Fn(usize) + Sync + 'static) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &(dyn Fn(usize) + Sync + 'static)>(run_ref)
+    };
+    let batch = Arc::new(Batch::new(run, n_tasks, true));
+    pool.submit(&batch, invites);
+
+    /// Drop guard: drains the cursor and waits for stragglers so the
+    /// erased closure cannot dangle if `consume` panics mid-stream.
+    struct BatchGuard<'a>(&'a Batch);
+    impl Drop for BatchGuard<'_> {
+        fn drop(&mut self) {
+            self.0.execute();
+            if self.0.done.load(Ordering::Acquire) < self.0.n_tasks {
+                let mut guard = self.0.done_lock.lock().unwrap();
+                while self.0.done.load(Ordering::Acquire) < self.0.n_tasks {
+                    guard = self.0.done_cv.wait(guard).unwrap();
+                }
+            }
+        }
+    }
+    let guard = BatchGuard(&batch);
+
+    let mut next_flush = 0usize;
+    // Phase 1: participate in the batch, flushing the ready prefix
+    // between claimed tasks.
+    {
+        struct ClearFlag(bool);
+        impl Drop for ClearFlag {
+            fn drop(&mut self) {
+                IN_POOL_TASK.with(|c| c.set(self.0));
+            }
+        }
+        let prev = IN_POOL_TASK.with(|c| c.replace(true));
+        let _clear = ClearFlag(prev);
+        loop {
+            let claimed = batch.execute_one();
+            while next_flush < n_tasks && ready[next_flush].load(Ordering::Acquire) {
+                // SAFETY: the Acquire load of `ready` synchronizes with the
+                // task's Release store; the task has exclusive access only
+                // until then, so taking the value here is race-free.
+                let value = unsafe { (*slots[next_flush].0.get()).take() }.expect("ready slot");
+                consume(next_flush, value);
+                next_flush += 1;
+            }
+            if !claimed {
+                break;
+            }
+        }
+    }
+    // Phase 2: the cursor is exhausted; flush remaining results as the
+    // in-flight workers land them (every completion notifies done_cv
+    // because the batch was built with notify_each).
+    while next_flush < n_tasks {
+        if ready[next_flush].load(Ordering::Acquire) {
+            // SAFETY: as above.
+            let value = unsafe { (*slots[next_flush].0.get()).take() }.expect("ready slot");
+            consume(next_flush, value);
+            next_flush += 1;
+            continue;
+        }
+        if batch.done.load(Ordering::Acquire) >= n_tasks {
+            break; // the slot's task panicked; re-raised below
+        }
+        let mut g = batch.done_lock.lock().unwrap();
+        while batch.done.load(Ordering::Acquire) < n_tasks
+            && !ready[next_flush].load(Ordering::Acquire)
+        {
+            g = batch.done_cv.wait(g).unwrap();
+        }
+    }
+    drop(guard);
+    batch.wait(); // re-raises any captured panic
 }
 
 struct SendPtr<T>(*mut T);
@@ -508,6 +697,105 @@ mod tests {
         let out = with_thread_limit(4, || parallel_map(64, |i| i + 1));
         assert_eq!(out.len(), 64);
         assert_eq!(out[63], 64);
+    }
+
+    #[test]
+    fn map_consume_flushes_in_ascending_order() {
+        for limit in [1, 2, 8] {
+            with_thread_limit(limit, || {
+                let mut seen = Vec::new();
+                parallel_map_consume(
+                    97,
+                    |i| i * 3,
+                    |idx, value| {
+                        assert_eq!(value, idx * 3);
+                        seen.push(idx);
+                    },
+                );
+                assert_eq!(seen, (0..97).collect::<Vec<_>>());
+            });
+        }
+    }
+
+    #[test]
+    fn map_consume_runs_consume_on_calling_thread() {
+        let caller = std::thread::current().id();
+        with_thread_limit(8, || {
+            parallel_map_consume(
+                32,
+                |i| i,
+                |_, _| assert_eq!(std::thread::current().id(), caller),
+            );
+        });
+    }
+
+    #[test]
+    fn map_consume_overlaps_consume_with_later_tasks() {
+        // With the streaming contract, early results must be flushable
+        // before the last task finishes. Hold task N-1 hostage until
+        // index 0 has been consumed; a non-overlapping implementation
+        // (consume only after all tasks) would deadlock here.
+        let n = 16;
+        let zero_consumed = Arc::new(AtomicBool::new(false));
+        let zc = Arc::clone(&zero_consumed);
+        with_thread_limit(4, || {
+            parallel_map_consume(
+                n,
+                move |i| {
+                    if i == n - 1 {
+                        let mut spins = 0u64;
+                        while !zc.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                            spins += 1;
+                            // The caller may have claimed task N-1 itself
+                            // (then index 0 flushes right after); don't
+                            // hang forever in that serial-claim ordering.
+                            if spins > 50_000_000 {
+                                break;
+                            }
+                        }
+                    }
+                    i
+                },
+                |idx, _| {
+                    if idx == 0 {
+                        zero_consumed.store(true, Ordering::Release);
+                    }
+                },
+            );
+        });
+    }
+
+    #[test]
+    fn map_consume_propagates_task_panics() {
+        for limit in [1, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                with_thread_limit(limit, || {
+                    parallel_map_consume(
+                        16,
+                        |i| {
+                            if i == 9 {
+                                panic!("encode 9 exploded");
+                            }
+                            i
+                        },
+                        |_, _| {},
+                    );
+                });
+            });
+            assert!(caught.is_err(), "panic must propagate at limit {limit}");
+        }
+        // The pool must remain usable afterwards.
+        let out = with_thread_limit(4, || parallel_map(32, |i| i));
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn map_consume_zero_and_single() {
+        parallel_map_consume(0, |i| i, |_, _| panic!("must not run"));
+        let mut seen = Vec::new();
+        parallel_map_consume(1, |i| i + 41, |idx, v| seen.push((idx, v)));
+        assert_eq!(seen, vec![(0, 41)]);
     }
 
     #[test]

@@ -121,6 +121,52 @@ impl Table {
         }
     }
 
+    /// A new table containing the contiguous row range (clamped to the
+    /// table), preserving order — the row-group slicing primitive behind
+    /// sharded archives.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Table {
+        let start = range.start.min(self.nrows);
+        let end = range.end.min(self.nrows).max(start);
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                Column::Num(v) => Column::Num(v[start..end].to_vec()),
+                Column::Cat(v) => Column::Cat(v[start..end].to_vec()),
+            })
+            .collect();
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            nrows: end - start,
+        }
+    }
+
+    /// Concatenates tables with identical schemas, rows in argument order.
+    pub fn concat(parts: &[Table]) -> Result<Table> {
+        let first = parts.first().ok_or(TableError::SchemaMismatch)?;
+        let mut columns: Vec<Column> = first.columns.clone();
+        let mut nrows = first.nrows;
+        for part in &parts[1..] {
+            if part.schema != first.schema {
+                return Err(TableError::SchemaMismatch);
+            }
+            for (dst, src) in columns.iter_mut().zip(&part.columns) {
+                match (dst, src) {
+                    (Column::Num(d), Column::Num(s)) => d.extend_from_slice(s),
+                    (Column::Cat(d), Column::Cat(s)) => d.extend_from_slice(s),
+                    _ => return Err(TableError::SchemaMismatch),
+                }
+            }
+            nrows += part.nrows;
+        }
+        Ok(Table {
+            schema: first.schema.clone(),
+            columns,
+            nrows,
+        })
+    }
+
     /// A seeded uniform random sample of `size` rows (without replacement;
     /// clamped to the table size). Mirrors the paper's `sample(x, s)`.
     pub fn sample(&self, size: usize, seed: u64) -> Table {
@@ -213,6 +259,44 @@ mod tests {
         // Different seed, (almost surely) different selection.
         let c = t.sample(10, 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn slice_rows_clamps_and_preserves_order() {
+        let t = Table::from_columns(vec![
+            ("x".into(), Column::Num((0..10).map(f64::from).collect())),
+            (
+                "s".into(),
+                Column::Cat((0..10).map(|i| format!("v{i}")).collect()),
+            ),
+        ])
+        .unwrap();
+        let s = t.slice_rows(3..7);
+        assert_eq!(s.nrows(), 4);
+        assert_eq!(s.row(0), vec!["3".to_string(), "v3".to_string()]);
+        assert_eq!(s.row(3), vec!["6".to_string(), "v6".to_string()]);
+        assert_eq!(t.slice_rows(8..100).nrows(), 2);
+        assert_eq!(t.slice_rows(20..30).nrows(), 0);
+        #[allow(clippy::reversed_empty_ranges)]
+        let rev = t.slice_rows(7..3);
+        assert_eq!(rev.nrows(), 0);
+    }
+
+    #[test]
+    fn concat_rebuilds_sliced_table() {
+        let t = Table::from_columns(vec![
+            ("x".into(), Column::Num((0..9).map(f64::from).collect())),
+            (
+                "s".into(),
+                Column::Cat((0..9).map(|i| format!("v{i}")).collect()),
+            ),
+        ])
+        .unwrap();
+        let parts: Vec<Table> = (0..3).map(|i| t.slice_rows(i * 3..i * 3 + 3)).collect();
+        assert_eq!(Table::concat(&parts).unwrap(), t);
+        assert!(Table::concat(&[]).is_err());
+        let other = small_table();
+        assert!(Table::concat(&[t, other]).is_err());
     }
 
     #[test]

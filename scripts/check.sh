@@ -18,6 +18,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+echo "==> sharded container tests"
+cargo test -q -p ds-shard
+cargo test -q --test shard_roundtrip --test truncation
+
 if [ "$mode" = "full" ]; then
   echo "==> release build"
   cargo build --release -q
@@ -25,6 +29,10 @@ if [ "$mode" = "full" ]; then
   echo "==> exec_probe (smoke)"
   SMOKE=1 BENCH_OUT=target/BENCH_exec.smoke.json \
     cargo run --release -q -p ds-bench --bin exec_probe
+
+  echo "==> shard_probe (smoke)"
+  SMOKE=1 BENCH_OUT=target/BENCH_shard.smoke.json \
+    cargo run --release -q -p ds-bench --bin shard_probe
 fi
 
 echo "OK"
