@@ -48,7 +48,7 @@ pub fn encode_with_width(values: &[u64], width: u32) -> Vec<u8> {
 /// Unpacks a stream produced by [`encode`]/[`encode_with_width`].
 pub fn decode(bytes: &[u8]) -> Result<Vec<u64>> {
     let mut r = ByteReader::new(bytes);
-    let n = r.read_varint()? as usize;
+    let n = r.read_varint_usize()?;
     let width = u32::from(r.read_u8()?);
     if !(1..=57).contains(&width) {
         return Err(CodecError::Corrupt("bitpack: bad width"));

@@ -39,7 +39,7 @@ impl BitWriter {
             } else {
                 (1u64 << take) - 1
             };
-            self.buf[last] |= ((v & mask) as u8) << self.bit_pos;
+            self.buf[last] |= ((v & mask) as u8) << self.bit_pos; // ds-lint: allow(panic-free-decode) -- writer-side; last = buf.len()-1 directly after a push, buf is non-empty
             v >>= take;
             n -= u32::from(take);
             self.bit_pos = (self.bit_pos + take) % 8;
@@ -99,7 +99,7 @@ impl<'a> BitReader<'a> {
         let mut out = 0u64;
         let mut got = 0u32;
         while got < nbits {
-            let byte = self.buf[self.pos / 8];
+            let byte = self.buf[self.pos / 8]; // ds-lint: allow(panic-free-decode) -- pos/8 < buf.len() is implied by the remaining_bits() guard at entry; this is the hot path of every bit-level decoder
             let off = (self.pos % 8) as u32;
             let avail = 8 - off;
             let take = avail.min(nbits - got);

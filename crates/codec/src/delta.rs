@@ -26,7 +26,7 @@ pub fn encode_i64(values: &[i64]) -> Vec<u8> {
 /// Decodes a stream produced by [`encode_i64`].
 pub fn decode_i64(bytes: &[u8]) -> Result<Vec<i64>> {
     let mut r = ByteReader::new(bytes);
-    let n = r.read_varint()? as usize;
+    let n = r.read_varint_usize()?;
     if n > bytes.len().saturating_mul(64).max(1024) {
         return Err(CodecError::Corrupt("delta: implausible element count"));
     }

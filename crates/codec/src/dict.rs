@@ -92,7 +92,7 @@ impl Dictionary {
 
     /// Reads a dictionary previously written by [`Dictionary::write_to`].
     pub fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
-        let n = r.read_varint()? as usize;
+        let n = r.read_varint_usize()?;
         let mut dict = Dictionary::new();
         for _ in 0..n {
             let bytes = r.read_len_prefixed()?;
@@ -166,6 +166,27 @@ mod tests {
         w.write_varint(1);
         w.write_len_prefixed(&[0xff, 0xfe]);
         assert!(Dictionary::from_bytes(w.as_slice()).is_err());
+    }
+
+    #[test]
+    fn serialized_page_is_byte_identical_and_seed_independent() {
+        // The dictionary page layout must depend only on first-appearance
+        // order, never on HashMap iteration order (which varies with the
+        // per-process hash seed). Two independently built dictionaries over
+        // the same column must serialize identically, and the bytes must
+        // match this golden vector on every run of every process.
+        let column = ["b", "a", "b", "c", "a"];
+        let (d1, _) = Dictionary::encode_column(&column);
+        let mut d2 = Dictionary::new();
+        for v in &column {
+            d2.intern(v);
+        }
+        assert_eq!(d1.to_bytes(), d2.to_bytes());
+        assert_eq!(
+            d1.to_bytes(),
+            vec![3, 1, b'b', 1, b'a', 1, b'c'],
+            "dictionary page layout changed or became seed-dependent"
+        );
     }
 
     #[test]

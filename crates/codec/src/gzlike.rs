@@ -106,17 +106,17 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut dist_freq = vec![0u64; DIST_BUCKETS.len()];
     for t in &tokens {
         match *t {
-            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Literal(b) => lit_freq[b as usize] += 1, // ds-lint: allow(panic-free-decode) -- encoder-side; u8 < 256 < LITLEN_SYMBOLS
             Token::Match { len, dist } => {
                 lit_freq[LEN_BASE as usize + bucket_of(&LEN_BUCKETS, len)] += 1;
                 dist_freq[bucket_of(&DIST_BUCKETS, dist)] += 1;
             }
         }
     }
-    lit_freq[END_OF_BLOCK as usize] += 1;
+    lit_freq[END_OF_BLOCK as usize] += 1; // ds-lint: allow(panic-free-decode) -- encoder-side; END_OF_BLOCK = 256 < LITLEN_SYMBOLS
 
-    let lit_book = CodeBook::from_frequencies(&lit_freq).expect("alphabet within bounds");
-    let dist_book = CodeBook::from_frequencies(&dist_freq).expect("alphabet within bounds");
+    let lit_book = CodeBook::from_frequencies(&lit_freq).expect("alphabet within bounds"); // ds-lint: allow(panic-free-decode) -- encoder-side invariant: LITLEN_SYMBOLS = 281 <= MAX_SYMBOLS
+    let dist_book = CodeBook::from_frequencies(&dist_freq).expect("alphabet within bounds"); // ds-lint: allow(panic-free-decode) -- encoder-side invariant: 30 distance buckets <= MAX_SYMBOLS
 
     let mut w = ByteWriter::with_capacity(data.len() / 2 + 64);
     w.write_varint(data.len() as u64);
@@ -129,6 +129,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             Token::Literal(b) => {
                 lit_book
                     .encode_symbol(&mut bits, u16::from(b))
+                    // ds-lint: allow(panic-free-decode) -- encoder-side invariant: this literal was counted in lit_freq above
                     .expect("literal has observed frequency");
             }
             Token::Match { len, dist } => {
@@ -136,6 +137,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
                 let (lbase, lextra) = LEN_BUCKETS[lb];
                 lit_book
                     .encode_symbol(&mut bits, LEN_BASE + lb as u16)
+                    // ds-lint: allow(panic-free-decode) -- encoder-side invariant: this bucket was counted in lit_freq above
                     .expect("length bucket has observed frequency");
                 bits.write_bits(u64::from(len - lbase), u32::from(lextra));
 
@@ -143,6 +145,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
                 let (dbase, dextra) = DIST_BUCKETS[db];
                 dist_book
                     .encode_symbol(&mut bits, db as u16)
+                    // ds-lint: allow(panic-free-decode) -- encoder-side invariant: this bucket was counted in dist_freq above
                     .expect("distance bucket has observed frequency");
                 bits.write_bits(u64::from(dist - dbase), u32::from(dextra));
             }
@@ -150,6 +153,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     }
     lit_book
         .encode_symbol(&mut bits, END_OF_BLOCK)
+        // ds-lint: allow(panic-free-decode) -- encoder-side invariant: EOB frequency is bumped unconditionally above
         .expect("EOB always has frequency");
     w.write_len_prefixed(&bits.into_vec());
     w.into_vec()
@@ -158,7 +162,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>> {
     let mut r = ByteReader::new(bytes);
-    let raw_len = r.read_varint()? as usize;
+    let raw_len = r.read_varint_usize()?;
     let lit_book = CodeBook::read_from(&mut r)?;
     let dist_book = CodeBook::read_from(&mut r)?;
     let payload = r.read_len_prefixed()?;
@@ -183,14 +187,14 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>> {
             return Err(CodecError::Corrupt("gzlike: bad length symbol"));
         }
         let (lbase, lextra) = LEN_BUCKETS[lb];
-        let len = lbase as usize + bits.read_bits(u32::from(lextra))? as usize;
+        let len = lbase as usize + bits.read_bits(u32::from(lextra))? as usize; // ds-lint: allow(no-raw-cast-len) -- read_bits returns at most 6 extra bits here, value < 64 fits any usize
 
-        let db = dist_book.decode_symbol(&mut bits)? as usize;
+        let db = dist_book.decode_symbol(&mut bits)? as usize; // ds-lint: allow(no-raw-cast-len) -- decode_symbol yields a u16; widening to usize is lossless
         if db >= DIST_BUCKETS.len() {
             return Err(CodecError::Corrupt("gzlike: bad distance symbol"));
         }
         let (dbase, dextra) = DIST_BUCKETS[db];
-        let dist = dbase as usize + bits.read_bits(u32::from(dextra))? as usize;
+        let dist = dbase as usize + bits.read_bits(u32::from(dextra))? as usize; // ds-lint: allow(no-raw-cast-len) -- read_bits returns at most 13 extra bits here, value < 8192 fits any usize
 
         if !(MIN_MATCH..=MAX_MATCH).contains(&len) {
             return Err(CodecError::Corrupt("gzlike: match length out of range"));
@@ -198,12 +202,15 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>> {
         if dist == 0 || dist > out.len() {
             return Err(CodecError::Corrupt("gzlike: distance before start"));
         }
-        if out.len() + len > raw_len {
+        let new_len = out.len().checked_add(len).ok_or(CodecError::Overflow)?;
+        if new_len > raw_len {
             return Err(CodecError::Corrupt("gzlike: output overruns raw length"));
         }
         let start = out.len() - dist;
         for k in 0..len {
-            let b = out[start + k];
+            let b = *out
+                .get(start + k)
+                .ok_or(CodecError::Corrupt("gzlike: copy out of window"))?;
             out.push(b);
         }
     }

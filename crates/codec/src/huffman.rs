@@ -79,6 +79,7 @@ impl CodeBook {
         let mut code = 0u32;
         let mut index = 0u32;
         for len in 1..=(MAX_CODE_LEN + 1) as usize {
+            // ds-lint: allow(checked-untrusted-arith) -- count entries sum to <= MAX_SYMBOLS (4096) and code <= 2^16, far below u32::MAX
             code = (code + count[len - 1]) << 1;
             first_code[len] = code;
             first_index[len] = index;
@@ -87,16 +88,16 @@ impl CodeBook {
             }
         }
         let mut sorted: Vec<u16> = (0..lengths.len() as u16)
-            .filter(|&s| lengths[s as usize] > 0)
+            .filter(|&s| lengths[s as usize] > 0) // ds-lint: allow(panic-free-decode) -- s ranges over 0..lengths.len()
             .collect();
-        sorted.sort_by_key(|&s| (lengths[s as usize], s));
+        sorted.sort_by_key(|&s| (lengths[s as usize], s)); // ds-lint: allow(panic-free-decode) -- sorted holds indices drawn from 0..lengths.len()
 
         // Per-symbol code values for the encoder.
         let mut next_code = first_code;
         let mut codes = vec![0u32; lengths.len()];
         for &s in &sorted {
-            let l = lengths[s as usize] as usize;
-            codes[s as usize] = next_code[l];
+            let l = lengths[s as usize] as usize; // ds-lint: allow(panic-free-decode) -- sorted holds indices drawn from 0..lengths.len()
+            codes[s as usize] = next_code[l]; // ds-lint: allow(panic-free-decode) -- codes has lengths.len() entries; s comes from the same range
             next_code[l] += 1;
         }
 
@@ -125,8 +126,8 @@ impl CodeBook {
                 "huffman: symbol has no code (zero frequency)",
             ));
         }
-        let code = self.codes[symbol as usize];
-        // BitWriter is LSB-first; emit the code bits MSB-first one by one.
+        let code = self.codes[symbol as usize]; // ds-lint: allow(panic-free-decode) -- lengths.get(symbol) above proved symbol in bounds; codes.len() == lengths.len()
+                                                // BitWriter is LSB-first; emit the code bits MSB-first one by one.
         for i in (0..len).rev() {
             bits.write_bit((code >> i) & 1 == 1);
         }
@@ -141,12 +142,17 @@ impl CodeBook {
             let count_at_len = self.count_at(len);
             if count_at_len > 0 {
                 let first = self.first_code[len];
+                // ds-lint: allow(checked-untrusted-arith) -- first <= 2^15 and count_at_len <= MAX_SYMBOLS, the u32 sum cannot wrap
                 if code < first + count_at_len {
                     if code < first {
                         return Err(CodecError::Corrupt("huffman: invalid code"));
                     }
                     let idx = self.first_index[len] + (code - first);
-                    return Ok(self.sorted_symbols[idx as usize]);
+                    return self
+                        .sorted_symbols
+                        .get(idx as usize)
+                        .copied()
+                        .ok_or(CodecError::Corrupt("huffman: invalid code"));
                 }
             }
         }
@@ -155,6 +161,7 @@ impl CodeBook {
 
     fn count_at(&self, len: usize) -> u32 {
         if len < MAX_CODE_LEN as usize {
+            // ds-lint: allow(checked-untrusted-arith) -- len < 15 here, len + 1 cannot overflow
             self.first_index[len + 1] - self.first_index[len]
         } else {
             self.sorted_symbols.len() as u32 - self.first_index[len]
@@ -173,7 +180,7 @@ impl CodeBook {
 
     /// Reads a table written by [`CodeBook::write_to`].
     pub fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
-        let n = r.read_varint()? as usize;
+        let n = r.read_varint_usize()?;
         if n > MAX_SYMBOLS {
             return Err(CodecError::Corrupt("huffman: alphabet too large"));
         }
@@ -189,11 +196,12 @@ impl CodeBook {
 
 /// Builds length-limited Huffman code lengths from frequencies.
 fn build_lengths(freqs: &[u64]) -> Vec<u8> {
-    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect(); // ds-lint: allow(panic-free-decode) -- encoder-side; i ranges over 0..freqs.len()
     let mut lengths = vec![0u8; freqs.len()];
     match used.len() {
         0 => return lengths,
         1 => {
+            // ds-lint: allow(panic-free-decode) -- encoder-side; used.len() == 1 in this arm and its entries index freqs/lengths
             lengths[used[0]] = 1;
             return lengths;
         }
@@ -228,16 +236,16 @@ fn build_lengths(freqs: &[u64]) -> Vec<u8> {
     let mut heap = std::collections::BinaryHeap::with_capacity(n);
     for (leaf, &sym) in used.iter().enumerate() {
         heap.push(Node {
-            weight: freqs[sym],
+            weight: freqs[sym], // ds-lint: allow(panic-free-decode) -- encoder-side; used holds indices into freqs by construction
             id: leaf,
         });
     }
     let mut next_internal = n;
     while heap.len() > 1 {
-        let a = heap.pop().expect("heap len checked");
-        let b = heap.pop().expect("heap len checked");
-        parent[a.id] = next_internal;
-        parent[b.id] = next_internal;
+        let a = heap.pop().expect("heap len checked"); // ds-lint: allow(panic-free-decode) -- encoder-side; heap.len() > 1 is the loop condition
+        let b = heap.pop().expect("heap len checked"); // ds-lint: allow(panic-free-decode) -- encoder-side; heap.len() > 1 is the loop condition
+        parent[a.id] = next_internal; // ds-lint: allow(panic-free-decode) -- encoder-side; node ids stay below 2n-1 == parent.len()
+        parent[b.id] = next_internal; // ds-lint: allow(panic-free-decode) -- encoder-side; node ids stay below 2n-1 == parent.len()
         heap.push(Node {
             weight: a.weight.saturating_add(b.weight),
             id: next_internal,
@@ -250,8 +258,9 @@ fn build_lengths(freqs: &[u64]) -> Vec<u8> {
     for (leaf, depth) in depths.iter_mut().enumerate() {
         let mut d = 0;
         let mut cur = leaf;
+        // ds-lint: allow(panic-free-decode) -- encoder-side; cur walks parent links, all < 2n-1 == parent.len()
         while parent[cur] != usize::MAX {
-            cur = parent[cur];
+            cur = parent[cur]; // ds-lint: allow(panic-free-decode) -- encoder-side; same parent-link invariant
             d += 1;
         }
         *depth = d.max(1);
@@ -271,18 +280,20 @@ fn build_lengths(freqs: &[u64]) -> Vec<u8> {
     if kraft > one {
         // Order leaves by ascending frequency so we lengthen cheap symbols.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&l| freqs[used[l]]);
+        order.sort_by_key(|&l| freqs[used[l]]); // ds-lint: allow(panic-free-decode) -- encoder-side; order and used both index 0..n
         'outer: loop {
             for &l in &order {
+                // ds-lint: allow(panic-free-decode) -- encoder-side; order holds 0..n and depths.len() == n
                 if depths[l] < limit {
-                    kraft -= 1u64 << (limit - depths[l]);
-                    depths[l] += 1;
-                    kraft += 1u64 << (limit - depths[l]);
+                    kraft -= 1u64 << (limit - depths[l]); // ds-lint: allow(panic-free-decode) -- encoder-side; same l < n bound
+                    depths[l] += 1; // ds-lint: allow(panic-free-decode) -- encoder-side; same l < n bound
+                    kraft += 1u64 << (limit - depths[l]); // ds-lint: allow(panic-free-decode) -- encoder-side; same l < n bound
                     if kraft <= one {
                         break 'outer;
                     }
                 }
             }
+            // ds-lint: allow(panic-free-decode) -- encoder-side; order holds 0..n
             if order.iter().all(|&l| depths[l] >= limit) {
                 break; // cannot happen for n <= 2^limit, defensive
             }
@@ -290,6 +301,7 @@ fn build_lengths(freqs: &[u64]) -> Vec<u8> {
     }
 
     for (leaf, &sym) in used.iter().enumerate() {
+        // ds-lint: allow(panic-free-decode) -- encoder-side; sym indexes freqs/lengths and leaf < n == depths.len()
         lengths[sym] = depths[leaf] as u8;
     }
     lengths
@@ -323,7 +335,7 @@ pub fn encode_symbols(symbols: &[u16], alphabet: usize) -> Result<Vec<u8>> {
 /// Decompresses a stream produced by [`encode_symbols`].
 pub fn decode_symbols(bytes: &[u8]) -> Result<Vec<u16>> {
     let mut r = ByteReader::new(bytes);
-    let n = r.read_varint()? as usize;
+    let n = r.read_varint_usize()?;
     if n > bytes.len().saturating_mul(256).max(4096) {
         return Err(CodecError::Corrupt("huffman: implausible symbol count"));
     }
@@ -340,6 +352,7 @@ pub fn decode_symbols(bytes: &[u8]) -> Result<Vec<u16>> {
 /// Byte-oriented convenience wrappers used by callers compressing raw data.
 pub fn encode_bytes(data: &[u8]) -> Vec<u8> {
     let symbols: Vec<u16> = data.iter().map(|&b| u16::from(b)).collect();
+    // ds-lint: allow(panic-free-decode) -- encoder-side invariant: a 256-symbol byte alphabet never exceeds MAX_SYMBOLS
     encode_symbols(&symbols, 256).expect("byte alphabet is always valid")
 }
 

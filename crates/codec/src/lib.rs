@@ -111,11 +111,12 @@ impl<'a> ByteReader<'a> {
 
     /// Reads `n` raw bytes as a subslice (no copy).
     pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(CodecError::UnexpectedEof);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(CodecError::Overflow)?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CodecError::UnexpectedEof)?;
+        self.pos = end;
         Ok(s)
     }
 
@@ -154,10 +155,24 @@ impl<'a> ByteReader<'a> {
         varint::read_u64(self)
     }
 
+    /// Reads a varint that names a length or count and converts it to
+    /// `usize`, surfacing [`CodecError::Overflow`] instead of truncating.
+    /// Decoders use this rather than `read_varint()? as usize` so a
+    /// 64-bit length from a hostile stream can never wrap on 32-bit
+    /// targets (enforced by ds-lint's `no-raw-cast-len`).
+    pub fn read_varint_usize(&mut self) -> Result<usize> {
+        usize::try_from(self.read_varint()?).map_err(|_| CodecError::Overflow)
+    }
+
+    /// Reads a varint that must fit in `u32` (stream-declared small
+    /// counts), surfacing [`CodecError::Overflow`] instead of truncating.
+    pub fn read_varint_u32(&mut self) -> Result<u32> {
+        u32::try_from(self.read_varint()?).map_err(|_| CodecError::Overflow)
+    }
+
     /// Reads a length-prefixed byte block (varint length).
     pub fn read_len_prefixed(&mut self) -> Result<&'a [u8]> {
-        let n = self.read_varint()?;
-        let n = usize::try_from(n).map_err(|_| CodecError::Overflow)?;
+        let n = self.read_varint_usize()?;
         self.read_bytes(n)
     }
 }

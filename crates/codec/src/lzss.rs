@@ -37,6 +37,7 @@ pub enum Token {
 #[inline]
 fn hash4(data: &[u8], i: usize) -> usize {
     // Multiplicative hash of 4 bytes; data must have 4 bytes at i.
+    // ds-lint: allow(panic-free-decode) -- encoder-side; callers guarantee i < data.len() - 3 (hash_limit)
     let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
@@ -61,20 +62,25 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
         let mut best_dist = 0usize;
         if i < hash_limit {
             let h = hash4(data, i);
-            let mut cand = head[h];
+            let mut cand = head[h]; // ds-lint: allow(panic-free-decode) -- h < HASH_SIZE by construction (top HASH_BITS of a u32) and head.len() == HASH_SIZE
             let mut chains = 0usize;
             let min_pos = i.saturating_sub(WINDOW_SIZE);
             // `cand < i` also guards against stale chain entries after the
             // prev[] ring wraps, which can alias to newer positions.
             while cand != usize::MAX && cand < i && cand >= min_pos && chains < MAX_CHAIN {
                 // Quick reject on the byte just past the current best.
+                // ds-lint: allow(panic-free-decode, checked-untrusted-arith) -- encoder-side probe: cand < i < data.len() and best_len <= MAX_MATCH, the sums are bounds-checked before use
                 if best_len == 0
+                    // ds-lint: allow(checked-untrusted-arith) -- encoder-side; cand < data.len() and best_len <= MAX_MATCH = 258 cannot overflow usize
                     || (cand + best_len < data.len()
+                        // ds-lint: allow(checked-untrusted-arith) -- encoder-side; i < data.len() and best_len <= MAX_MATCH
                         && i + best_len < data.len()
+                        // ds-lint: allow(panic-free-decode, checked-untrusted-arith) -- both sums were just checked < data.len()
                         && data[cand + best_len] == data[i + best_len])
                 {
                     let max_len = (data.len() - i).min(MAX_MATCH);
                     let mut l = 0usize;
+                    // ds-lint: allow(panic-free-decode) -- encoder-side; l < max_len <= data.len() - i and cand < i keep both indexes in bounds
                     while l < max_len && data[cand + l] == data[i + l] {
                         l += 1;
                     }
@@ -101,21 +107,21 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
             });
             // Insert every covered position into the chains so later matches
             // can reference inside this one.
-            let end = (i + best_len).min(hash_limit);
+            let end = (i + best_len).min(hash_limit); // ds-lint: allow(checked-untrusted-arith) -- encoder-side; best_len <= MAX_MATCH and i < data.len()
             let mut j = i;
             while j < end {
                 let h = hash4(data, j);
-                prev[j % WINDOW_SIZE] = head[h];
-                head[h] = j;
+                prev[j % WINDOW_SIZE] = head[h]; // ds-lint: allow(panic-free-decode) -- h < HASH_SIZE by construction
+                head[h] = j; // ds-lint: allow(panic-free-decode) -- h < HASH_SIZE by construction
                 j += 1;
             }
             i += best_len;
         } else {
-            tokens.push(Token::Literal(data[i]));
+            tokens.push(Token::Literal(data[i])); // ds-lint: allow(panic-free-decode) -- encoder-side; i < data.len() is the loop condition
             if i < hash_limit {
                 let h = hash4(data, i);
-                prev[i % WINDOW_SIZE] = head[h];
-                head[h] = i;
+                prev[i % WINDOW_SIZE] = head[h]; // ds-lint: allow(panic-free-decode) -- h < HASH_SIZE by construction
+                head[h] = i; // ds-lint: allow(panic-free-decode) -- h < HASH_SIZE by construction
             }
             i += 1;
         }
@@ -132,7 +138,7 @@ pub fn detokenize(tokens: &[Token], size_hint: usize) -> Result<Vec<u8>> {
         match *t {
             Token::Literal(b) => out.push(b),
             Token::Match { len, dist } => {
-                let len = len as usize;
+                let len = len as usize; // ds-lint: allow(no-raw-cast-len) -- widening u16 -> usize, lossless on every supported target
                 let dist = dist as usize;
                 if dist == 0 || dist > out.len() {
                     return Err(CodecError::Corrupt("lzss: distance before start"));
@@ -144,7 +150,9 @@ pub fn detokenize(tokens: &[Token], size_hint: usize) -> Result<Vec<u8>> {
                 // Byte-by-byte copy: overlapping matches (dist < len) are
                 // legal and replicate runs, exactly like LZ77.
                 for k in 0..len {
-                    let b = out[start + k];
+                    let b = *out
+                        .get(start + k)
+                        .ok_or(CodecError::Corrupt("lzss: copy out of window"))?;
                     out.push(b);
                 }
             }
@@ -181,8 +189,8 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// Inverse of [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>> {
     let mut r = ByteReader::new(bytes);
-    let raw_len = r.read_varint()? as usize;
-    let ntok = r.read_varint()? as usize;
+    let raw_len = r.read_varint_usize()?;
+    let ntok = r.read_varint_usize()?;
     if ntok > bytes.len().saturating_mul(2).max(1024) {
         return Err(CodecError::Corrupt("lzss: implausible token count"));
     }

@@ -84,7 +84,7 @@ fn encode_u32_arith(values: &[u32]) -> Option<Vec<u8>> {
 fn decode_u32_arith(payload: &[u8]) -> Result<Vec<u32>> {
     use crate::rangecoder::{AdaptiveModel, RangeDecoder};
     let mut r = ByteReader::new(payload);
-    let n = r.read_varint()? as usize;
+    let n = r.read_varint_usize()?;
     let alphabet = r.read_varint()?;
     if alphabet == 0 || alphabet > u64::from(ARITH_MAX_ALPHABET) {
         return Err(CodecError::Corrupt("parq: bad arith alphabet"));
@@ -99,7 +99,7 @@ fn decode_u32_arith(payload: &[u8]) -> Result<Vec<u32>> {
     let mut dec = RangeDecoder::new(stream)?;
     let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
-        out.push(model.decode(&mut dec)? as u32);
+        out.push(model.decode(&mut dec)? as u32); // ds-lint: allow(no-raw-cast-len) -- decode() returns a symbol < alphabet <= ARITH_MAX_ALPHABET, which fits u32
     }
     Ok(out)
 }
@@ -145,8 +145,10 @@ fn encode_u32_best(values: &[u32]) -> (u8, Vec<u8>) {
         t if t == U32Encoding::Delta as u8 => (t, delta::encode_i64(&widened)),
         t if t == U32Encoding::BitPack as u8 => (t, bitpack::encode(&wide)),
         t if t == U32Encoding::Roaring as u8 => {
+            // ds-lint: allow(panic-free-decode) -- encoder-side invariant: the tag is only chosen when the candidate was built
             (t, roaring.expect("roaring tag implies 0/1 stream"))
         }
+        // ds-lint: allow(panic-free-decode) -- encoder-side invariant: the arith tag is only chosen when the candidate exists
         t => (t, arith.expect("arith tag implies candidate existed")),
     }
 }
@@ -190,6 +192,7 @@ fn encode_f64_dict(values: &[f64]) -> Option<Vec<u8>> {
         .map(|v| {
             distinct
                 .binary_search(&v.to_bits())
+                // ds-lint: allow(panic-free-decode) -- encoder-side invariant: distinct was built from these exact values
                 .expect("built from values") as u32
         })
         .collect();
@@ -201,7 +204,7 @@ fn encode_f64_dict(values: &[f64]) -> Option<Vec<u8>> {
 
 fn decode_f64_dict(payload: &[u8], nrows: usize) -> Result<Vec<f64>> {
     let mut r = ByteReader::new(payload);
-    let n = r.read_varint()? as usize;
+    let n = r.read_varint_usize()?;
     let mut distinct = Vec::with_capacity(n.min(1 << 20));
     let mut prev = 0u64;
     for _ in 0..n {
@@ -357,14 +360,14 @@ pub fn write_table(columns: &[(String, ParqColumn)]) -> Result<(Vec<u8>, Vec<Col
         return Err(CodecError::InvalidParameter("parq: ragged columns"));
     }
     let sections: Vec<Vec<u8>> = ds_exec::parallel_map(columns.len(), |i| {
-        let (name, col) = &columns[i];
+        let (name, col) = &columns[i]; // ds-lint: allow(panic-free-decode) -- encoder-side; parallel_map yields i < columns.len()
         encode_column_section(name, col)
     });
 
     let mut w = ByteWriter::new();
     w.write_bytes(MAGIC);
     w.write_varint(columns.len() as u64);
-    w.write_varint(nrows as u64);
+    w.write_varint(nrows as u64); // ds-lint: allow(no-raw-cast-len) -- widening usize -> u64, lossless on every supported target
     let mut stats = Vec::with_capacity(columns.len());
     for ((name, _), section) in columns.iter().zip(&sections) {
         w.write_bytes(section);
@@ -421,7 +424,8 @@ fn decode_column_section(sec: &ColumnSection<'_>, nrows: usize) -> Result<ParqCo
             let values = if sec.mode >= 2 {
                 decode_f64_dict(&payload, nrows)?
             } else {
-                if payload.len() != nrows * 8 {
+                let expect_len = nrows.checked_mul(8).ok_or(CodecError::Overflow)?;
+                if payload.len() != expect_len {
                     return Err(CodecError::Corrupt("parq: f64 payload size"));
                 }
                 let mut inner = ByteReader::new(&payload);
@@ -461,8 +465,8 @@ pub fn read_table(bytes: &[u8]) -> Result<Vec<(String, ParqColumn)>> {
     if r.read_bytes(4)? != MAGIC {
         return Err(CodecError::Corrupt("parq: bad magic"));
     }
-    let ncols = r.read_varint()? as usize;
-    let nrows = r.read_varint()? as usize;
+    let ncols = r.read_varint_usize()?;
+    let nrows = r.read_varint_usize()?;
     if ncols > 1_000_000 {
         return Err(CodecError::Corrupt("parq: implausible column count"));
     }
@@ -512,7 +516,7 @@ pub fn read_table(bytes: &[u8]) -> Result<Vec<(String, ParqColumn)>> {
         });
     }
     let decoded: Vec<Result<ParqColumn>> = ds_exec::parallel_map(sections.len(), |i| {
-        decode_column_section(&sections[i], nrows)
+        decode_column_section(&sections[i], nrows) // ds-lint: allow(panic-free-decode) -- parallel_map yields i < sections.len()
     });
     sections
         .into_iter()

@@ -102,8 +102,9 @@ impl Quantizer {
                         } else if i >= values.len() {
                             (values.len() - 1) as u32
                         } else {
+                            // ds-lint: allow(panic-free-decode) -- binary_search returned Err(i) with 0 < i < len, so both neighbours exist
                             let lo = values[i - 1];
-                            let hi = values[i];
+                            let hi = values[i]; // ds-lint: allow(panic-free-decode) -- same guard: i < values.len() checked above
                             if (v - lo).abs() <= (hi - v).abs() {
                                 (i - 1) as u32
                             } else {
@@ -128,6 +129,7 @@ impl Quantizer {
                 if values.is_empty() {
                     0.0
                 } else {
+                    // ds-lint: allow(panic-free-decode) -- index is clamped with .min(len - 1) and values is non-empty here
                     values[(index as usize).min(values.len() - 1)]
                 }
             }
@@ -179,7 +181,7 @@ impl Quantizer {
                 Ok(Quantizer::Uniform { min, max, buckets })
             }
             1 => {
-                let n = r.read_varint()? as usize;
+                let n = r.read_varint_usize()?;
                 let mut values = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
                     values.push(r.read_f64()?);

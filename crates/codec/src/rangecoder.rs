@@ -223,6 +223,7 @@ impl AdaptiveModel {
     fn add(&mut self, symbol: usize, delta: u32) {
         let mut i = symbol + 1;
         while i <= self.n {
+            // ds-lint: allow(panic-free-decode) -- tree.len() == n + 1 by construction and i <= n is the loop bound
             self.tree[i] += delta;
             i += i & i.wrapping_neg();
         }
@@ -234,6 +235,7 @@ impl AdaptiveModel {
         let mut i = symbol;
         let mut s = 0;
         while i > 0 {
+            // ds-lint: allow(panic-free-decode) -- callers pass symbol <= n and i only decreases; tree.len() == n + 1
             s += self.tree[i];
             i -= i & i.wrapping_neg();
         }
@@ -253,8 +255,9 @@ impl AdaptiveModel {
         let mut mask = self.n.next_power_of_two();
         while mask > 0 {
             let next = pos + mask;
+            // ds-lint: allow(panic-free-decode) -- next <= n is checked first and tree.len() == n + 1
             if next <= self.n && self.tree[next] <= rem {
-                rem -= self.tree[next];
+                rem -= self.tree[next]; // ds-lint: allow(panic-free-decode) -- same next <= n guard on this branch
                 pos = next;
             }
             mask >>= 1;
@@ -344,6 +347,7 @@ impl StaticModel {
 
     /// Total scaled frequency.
     pub fn total(&self) -> u32 {
+        // ds-lint: allow(panic-free-decode) -- from_counts always pushes the leading 0, so cum is never empty
         *self.cum.last().expect("cum never empty")
     }
 
@@ -354,8 +358,9 @@ impl StaticModel {
                 "rangecoder: symbol out of range",
             ));
         }
+        // ds-lint: allow(panic-free-decode) -- symbol < len() was rejected above; cum has len()+1 entries
         let cum = self.cum[symbol];
-        let freq = self.cum[symbol + 1] - cum;
+        let freq = self.cum[symbol + 1] - cum; // ds-lint: allow(panic-free-decode) -- same symbol < len() guard; symbol+1 <= len()
         enc.encode(cum, freq, self.total());
         Ok(())
     }
@@ -369,8 +374,9 @@ impl StaticModel {
             Err(i) => i - 1,
         }
         .min(self.len() - 1);
+        // ds-lint: allow(panic-free-decode) -- symbol is clamped to len()-1 above; cum has len()+1 entries
         let cum = self.cum[symbol];
-        let freq = self.cum[symbol + 1] - cum;
+        let freq = self.cum[symbol + 1] - cum; // ds-lint: allow(panic-free-decode) -- symbol+1 <= len() after the clamp above
         dec.update(cum, freq)?;
         Ok(symbol)
     }

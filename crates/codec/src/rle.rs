@@ -13,8 +13,9 @@ pub fn encode(values: &[u32]) -> Vec<u8> {
     w.write_varint(values.len() as u64);
     let mut i = 0;
     while i < values.len() {
-        let v = values[i];
+        let v = values[i]; // ds-lint: allow(panic-free-decode) -- encoder-side; i < values.len() is the loop condition
         let mut run = 1usize;
+        // ds-lint: allow(panic-free-decode) -- encoder-side; i + run < values.len() guards the index
         while i + run < values.len() && values[i + run] == v {
             run += 1;
         }
@@ -28,7 +29,7 @@ pub fn encode(values: &[u32]) -> Vec<u8> {
 /// Decodes a stream produced by [`encode`].
 pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
     let mut r = ByteReader::new(bytes);
-    let n = r.read_varint()? as usize;
+    let n = r.read_varint_usize()?;
     // A valid RLE stream can legitimately expand by orders of magnitude
     // (one pair → millions of rows), so `n` cannot be sanity-checked
     // against the input size — only against the crate-wide decode ceiling
@@ -42,7 +43,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
     while out.len() < n {
         let v = r.read_varint()?;
         let v = u32::try_from(v).map_err(|_| CodecError::Corrupt("rle: value exceeds u32"))?;
-        let run = r.read_varint()? as usize;
+        let run = r.read_varint_usize()?;
         if run == 0 || out.len() + run > n {
             return Err(CodecError::Corrupt("rle: bad run length"));
         }
@@ -58,8 +59,9 @@ pub fn encoded_size(values: &[u32]) -> usize {
     let mut size = encoded_len(values.len() as u64);
     let mut i = 0;
     while i < values.len() {
-        let v = values[i];
+        let v = values[i]; // ds-lint: allow(panic-free-decode) -- encoder-side; i < values.len() is the loop condition
         let mut run = 1usize;
+        // ds-lint: allow(panic-free-decode) -- encoder-side; i + run < values.len() guards the index
         while i + run < values.len() && values[i + run] == v {
             run += 1;
         }

@@ -32,6 +32,7 @@ impl Container {
     fn contains(&self, low: u16) -> bool {
         match self {
             Container::Array(v) => v.binary_search(&low).is_ok(),
+            // ds-lint: allow(panic-free-decode) -- u16/64 <= 1023 and the bitmap is a fixed [u64; 1024]
             Container::Bitmap(b) => b[usize::from(low) / 64] >> (usize::from(low) % 64) & 1 == 1,
         }
     }
@@ -49,6 +50,7 @@ impl Container {
                 }
             },
             Container::Bitmap(b) => {
+                // ds-lint: allow(panic-free-decode) -- u16/64 <= 1023 and the bitmap is a fixed [u64; 1024]
                 let word = &mut b[usize::from(low) / 64];
                 let mask = 1u64 << (usize::from(low) % 64);
                 let fresh = *word & mask == 0;
@@ -64,6 +66,7 @@ impl Container {
             Container::Array(v) => {
                 let mut b = Box::new([0u64; 1024]);
                 for &low in v {
+                    // ds-lint: allow(panic-free-decode) -- u16/64 <= 1023 and the bitmap is a fixed [u64; 1024]
                     b[usize::from(low) / 64] |= 1 << (usize::from(low) % 64);
                 }
                 Container::Bitmap(b)
@@ -114,6 +117,7 @@ impl RoaringBitmap {
         let high = (value >> 16) as u16;
         let low = value as u16;
         match self.chunks.binary_search_by_key(&high, |&(k, _)| k) {
+            // ds-lint: allow(panic-free-decode) -- i comes from binary_search Ok, so it is in bounds
             Ok(i) => self.chunks[i].1.insert(low),
             Err(i) => {
                 self.chunks.insert(i, (high, Container::Array(vec![low])));
@@ -128,6 +132,7 @@ impl RoaringBitmap {
         let low = value as u16;
         self.chunks
             .binary_search_by_key(&high, |&(k, _)| k)
+            // ds-lint: allow(panic-free-decode) -- i comes from binary_search Ok, so it is in bounds
             .is_ok_and(|i| self.chunks[i].1.contains(low))
     }
 
@@ -181,7 +186,7 @@ impl RoaringBitmap {
     /// Deserializes a bitmap written by [`RoaringBitmap::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
-        let n = r.read_varint()? as usize;
+        let n = r.read_varint_usize()?;
         if n > 1 << 16 {
             return Err(CodecError::Corrupt("roaring: too many chunks"));
         }
@@ -195,7 +200,7 @@ impl RoaringBitmap {
             prev_high = Some(high);
             let container = match r.read_u8()? {
                 0 => {
-                    let len = r.read_varint()? as usize;
+                    let len = r.read_varint_usize()?;
                     if len > ARRAY_MAX {
                         return Err(CodecError::Corrupt("roaring: array too long"));
                     }
@@ -247,7 +252,7 @@ impl RoaringBitmap {
     /// Inverse of [`RoaringBitmap::encode_bit_stream`].
     pub fn decode_bit_stream(bytes: &[u8]) -> Result<Vec<u32>> {
         let mut r = ByteReader::new(bytes);
-        let n = r.read_varint()? as usize;
+        let n = r.read_varint_usize()?;
         let bm = RoaringBitmap::from_bytes(r.read_len_prefixed()?)?;
         let mut out = vec![0u32; n];
         for v in bm.iter() {
@@ -255,7 +260,7 @@ impl RoaringBitmap {
             if idx >= n {
                 return Err(CodecError::Corrupt("roaring: bit index out of range"));
             }
-            out[idx] = 1;
+            out[idx] = 1; // ds-lint: allow(panic-free-decode) -- idx >= n rejected as Corrupt just above; out has length n
         }
         Ok(out)
     }

@@ -158,8 +158,8 @@ fn inspect_bytes(bytes: &[u8]) -> crate::Result<ArchiveInfo> {
     if r.read_u8()? != VERSION {
         return Err(DsError::Corrupt("unsupported version"));
     }
-    let nrows = r.read_varint()? as usize;
-    let ncols = r.read_varint()? as usize;
+    let nrows = r.read_varint_usize()?;
+    let ncols = r.read_varint_usize()?;
     if ncols > 1 << 20 {
         return Err(DsError::Corrupt("implausible column count"));
     }
@@ -185,9 +185,9 @@ fn inspect_bytes(bytes: &[u8]) -> crate::Result<ArchiveInfo> {
     let (mut n_experts, mut code_size, mut code_bits) = (1usize, 0usize, 0u8);
     if has_model {
         let _decoder = r.read_len_prefixed()?;
-        code_size = r.read_varint()? as usize;
+        code_size = r.read_varint_usize()?;
         code_bits = r.read_u8()?;
-        n_experts = r.read_varint()? as usize;
+        n_experts = r.read_varint_usize()?;
     }
     Ok(ArchiveInfo {
         nrows,

@@ -270,6 +270,7 @@ pub fn preprocess(table: &Table, opts: &PreprocessOptions) -> Result<Preprocesse
                     for &c in &codes {
                         *freq.entry(c).or_default() += 1;
                     }
+                    // ds-lint: allow(deterministic-iteration) -- collected pairs are fully sorted on the next statement before any order-sensitive use
                     let mut by_freq: Vec<(u32, u64)> = freq.into_iter().collect();
                     // Sort by (count desc, code asc) for determinism.
                     by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

@@ -130,6 +130,8 @@ struct Batch {
 // SAFETY: `run` is only dereferenced while the submitting stack frame is
 // alive (see the struct comment); all other fields are Sync.
 unsafe impl Send for Batch {}
+// SAFETY: same contract as Send above — concurrent access only touches the
+// atomic/Mutex/Condvar fields, and `run` points at a Sync closure.
 unsafe impl Sync for Batch {}
 
 impl Batch {
@@ -360,6 +362,10 @@ pub fn parallel_for(n_tasks: usize, f: impl Fn(usize) + Sync) {
 /// Cell wrapper making a slot vector shareable across tasks; each task
 /// writes exactly one distinct slot, so there are no data races.
 struct Slot<T>(std::cell::UnsafeCell<Option<T>>);
+// SAFETY: each task writes exactly one distinct slot index and the results
+// are only read after the barrier in `run_tasks` returns, so no slot is
+// ever accessed from two threads at once; T: Send lets the value move to
+// the reading thread.
 unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// Runs `f` for each index and returns the results **in index order**
@@ -536,7 +542,13 @@ pub fn parallel_map_consume<T: Send>(
 }
 
 struct SendPtr<T>(*mut T);
+// SAFETY: SendPtr is a capture aid for `parallel_map_consume`; the pointee
+// outlives the batch (owned by the submitting frame) and every task
+// dereferences a distinct element, so moving the pointer across threads
+// cannot alias live accesses.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared references to SendPtr only hand out the raw pointer via
+// `get`; all dereferences stay disjoint per task as above.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {

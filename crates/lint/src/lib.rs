@@ -1,0 +1,185 @@
+//! `ds-lint` — workspace invariant checker for the DeepSqueeze crates.
+//!
+//! A std-only lexical analyzer that enforces the project's decode-safety
+//! and determinism contracts (DESIGN.md §3c): decoder paths must never
+//! panic on corrupt input, encoder paths must never depend on hash-seed
+//! iteration order or wall-clock time, and every `unsafe` block must state
+//! its contract. The binary walks `crates/*/src/**/*.rs`, applies the
+//! rules scoped by `lint.toml`, and exits nonzero on any finding; it runs
+//! in `scripts/check.sh` before the test step.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+
+/// One lint finding: a rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative, `/`-separated path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule name (one of [`rules::RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Lints one file's source text. `rel_path` is repo-relative with `/`
+/// separators; it selects which rules apply per the config.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    rules::check_file(rel_path, src, cfg)
+}
+
+/// Collects the repo-relative paths of every `.rs` file under `root` that
+/// matches a `[scan] include` pattern and is not excluded. Sorted, so
+/// output order is stable across platforms and filesystems.
+pub fn collect_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue, // unreadable dir: skip, the walk is best-effort
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == ".git" || name == "target" || name == "vendor" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let Some(rel) = rel_slash_path(root, &path) else {
+                    continue;
+                };
+                if cfg.scan_excluded(&rel) {
+                    continue;
+                }
+                if cfg
+                    .include
+                    .iter()
+                    .any(|pat| config::pattern_matches_dir(&rel, pat))
+                {
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every matching file under `root`. Returns `(files_scanned,
+/// findings)`; findings are ordered by (file, line, col).
+pub fn lint_root(root: &Path, cfg: &Config) -> Result<(usize, Vec<Finding>), String> {
+    let files = collect_files(root, cfg).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let abs: PathBuf = root.join(rel);
+        let src =
+            fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        findings.extend(lint_source(rel, &src, cfg));
+    }
+    Ok((files.len(), findings))
+}
+
+/// Renders findings as a JSON document for CI diffing:
+/// `{"count": N, "findings": [{"file", "line", "col", "rule", "message"}]}`.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\"count\":");
+    s.push_str(&findings.len().to_string());
+    s.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"file\":\"");
+        json_escape_into(&mut s, &f.file);
+        s.push_str("\",\"line\":");
+        s.push_str(&f.line.to_string());
+        s.push_str(",\"col\":");
+        s.push_str(&f.col.to_string());
+        s.push_str(",\"rule\":\"");
+        json_escape_into(&mut s, f.rule);
+        s.push_str("\",\"message\":\"");
+        json_escape_into(&mut s, &f.message);
+        s.push_str("\"}");
+    }
+    s.push_str("]}");
+    s
+}
+
+fn json_escape_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn rel_slash_path(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        let f = vec![Finding {
+            file: "a\"b.rs".to_string(),
+            line: 3,
+            col: 7,
+            rule: "panic-free-decode",
+            message: "line1\nline2\tend".to_string(),
+        }];
+        let j = to_json(&f);
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("line1\\nline2\\tend"));
+    }
+
+    #[test]
+    fn json_empty() {
+        assert_eq!(to_json(&[]), "{\"count\":0,\"findings\":[]}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Self-test: runs the rule engine over a known-bad fixture tree and
+//! asserts the exact rule/file/line of every finding, the suppression
+//! grammar, test-module skipping, rule scoping, JSON output, and the
+//! binary's exit codes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ds_lint::config::Config;
+use ds_lint::{lint_root, to_json, Finding};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_fixtures() -> Vec<Finding> {
+    let root = fixture_root();
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
+    let cfg = Config::parse(&toml).expect("fixture config parses");
+    let (files, findings) = lint_root(&root, &cfg).expect("lint_root");
+    assert_eq!(files, 5, "fixture tree should scan exactly 5 files");
+    findings
+}
+
+fn rule_lines<'a>(findings: &'a [Finding], file: &str) -> Vec<(&'a str, u32)> {
+    findings
+        .iter()
+        .filter(|f| f.file == file)
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn bad_decode_fires_every_decode_rule_at_the_right_line() {
+    let findings = lint_fixtures();
+    assert_eq!(
+        rule_lines(&findings, "crates/codec/src/bad_decode.rs"),
+        vec![
+            ("panic-free-decode", 5),        // buf[i]
+            ("panic-free-decode", 6),        // .unwrap()
+            ("panic-free-decode", 7),        // .expect()
+            ("checked-untrusted-arith", 8),  // len + count
+            ("no-raw-cast-len", 9),          // len as u64
+            ("panic-free-decode", 11),       // panic!
+            ("deterministic-iteration", 15), // for .. in h
+            ("deterministic-iteration", 15), // h.iter()
+        ]
+    );
+}
+
+#[test]
+fn suppressions_with_reasons_silence_without_reasons_report() {
+    let findings = lint_fixtures();
+    // Lines 4 (trailing allow) and 6 (standalone allow above) are silenced;
+    // line 7's reason-less allow both fails to suppress and is itself
+    // reported as bad-suppression.
+    assert_eq!(
+        rule_lines(&findings, "crates/codec/src/suppressed.rs"),
+        vec![("bad-suppression", 7), ("panic-free-decode", 7)]
+    );
+}
+
+#[test]
+fn cfg_test_modules_are_skipped() {
+    let findings = lint_fixtures();
+    assert_eq!(
+        rule_lines(&findings, "crates/codec/src/test_mod.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn rule_scoping_follows_config_paths() {
+    let findings = lint_fixtures();
+    // bench is excluded from the wallclock rule entirely.
+    assert_eq!(rule_lines(&findings, "crates/bench/src/main.rs"), vec![]);
+    // other: wallclock + unsafe-contract apply, but the decode-scoped
+    // rules (panic-free-decode) do not — the unwrap on line 18 and the
+    // SAFETY-annotated unsafe on line 10 stay silent.
+    assert_eq!(
+        rule_lines(&findings, "crates/other/src/lib.rs"),
+        vec![("no-wallclock-nondeterminism", 5), ("unsafe-contract", 14),]
+    );
+}
+
+#[test]
+fn findings_are_sorted_and_json_is_well_formed() {
+    let findings = lint_fixtures();
+    let mut sorted: Vec<(&str, u32, u32)> = findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.col))
+        .collect();
+    let original = sorted.clone();
+    sorted.sort();
+    assert_eq!(original, sorted, "findings must come out ordered");
+
+    let json = to_json(&findings);
+    assert!(json.starts_with(&format!("{{\"count\":{}", findings.len())));
+    assert!(json.contains("\"rule\":\"panic-free-decode\""));
+    assert!(json.contains("\"file\":\"crates/codec/src/bad_decode.rs\""));
+    // Every finding contributes exactly one object.
+    assert_eq!(json.matches("\"line\":").count(), findings.len());
+}
+
+#[test]
+fn binary_exit_codes_and_json_flag() {
+    let root = fixture_root();
+    let bin = env!("CARGO_BIN_EXE_ds-lint");
+
+    // Findings → exit 1, and --format json emits the document on stdout.
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(&root)
+        .arg("--config")
+        .arg(root.join("lint.toml"))
+        .args(["--format", "json"])
+        .output()
+        .expect("run ds-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.trim_end().starts_with("{\"count\":"));
+    assert!(stdout.contains("bad-suppression"));
+
+    // Clean tree → exit 0.
+    let clean = root.join("clean");
+    let out = Command::new(bin)
+        .arg("--root")
+        .arg(&clean)
+        .arg("--config")
+        .arg(clean.join("lint.toml"))
+        .output()
+        .expect("run ds-lint on clean tree");
+    assert_eq!(out.status.code(), Some(0));
+
+    // Missing config → usage/config error, exit 2.
+    let out = Command::new(bin)
+        .arg("--root")
+        .arg(&root)
+        .arg("--config")
+        .arg(root.join("no-such.toml"))
+        .output()
+        .expect("run ds-lint with bad config");
+    assert_eq!(out.status.code(), Some(2));
+}

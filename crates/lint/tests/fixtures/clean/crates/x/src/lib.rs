@@ -1,0 +1,5 @@
+//! Fixture: a file with no violations.
+
+pub fn get(buf: &[u8], i: usize) -> Option<u8> {
+    buf.get(i).copied()
+}

@@ -1,0 +1,5 @@
+//! Fixture: the wallclock rule is excluded for bench paths.
+
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,19 @@
+//! Fixture: every decode-path rule fires somewhere in this file.
+use std::collections::HashMap;
+
+pub fn decode(buf: &[u8], len: usize, count: usize, i: usize) -> usize {
+    let first = buf[i];
+    let n = buf.first().unwrap();
+    let m = buf.get(1).expect("second byte");
+    let total = len + count;
+    let wide = len as u64;
+    if buf.is_empty() {
+        panic!("empty");
+    }
+    let mut h: HashMap<u32, u32> = HashMap::new();
+    h.insert(u32::from(first), 1);
+    for (k, v) in h.iter() {
+        let _ = (k, v);
+    }
+    total + usize::from(*n) + usize::from(*m) + wide as usize
+}

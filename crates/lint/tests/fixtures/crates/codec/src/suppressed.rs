@@ -1,0 +1,9 @@
+//! Fixture: suppression grammar behaviour.
+
+pub fn decode(buf: &[u8], i: usize) -> u8 {
+    let a = buf[i]; // ds-lint: allow(panic-free-decode) -- bounds checked by caller
+    // ds-lint: allow(panic-free-decode) -- standalone form covers the next code line
+    let b = buf[i];
+    let c = buf[i]; // ds-lint: allow(panic-free-decode)
+    a.wrapping_add(b).wrapping_add(c)
+}

@@ -1,0 +1,14 @@
+//! Fixture: findings inside `#[cfg(test)]` modules are skipped.
+
+pub fn ok() -> u8 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Vec<u8> = vec![1];
+        let _ = v.first().unwrap();
+    }
+}

@@ -161,12 +161,16 @@ pub fn is_sharded(bytes: &[u8]) -> bool {
     if bytes.len() < FOOTER_LEN {
         return false;
     }
+    // ds-lint: allow(panic-free-decode) -- bytes.len() >= FOOTER_LEN checked above; footer is exactly FOOTER_LEN bytes
     let footer = &bytes[bytes.len() - FOOTER_LEN..];
+    // ds-lint: allow(panic-free-decode) -- footer is exactly FOOTER_LEN (9) bytes, so 5..9 and [4] are in bounds
     if &footer[5..9] != FOOTER_MAGIC || footer[4] != FORMAT_VERSION {
         return false;
     }
     let manifest_len = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]) as usize;
-    manifest_len + FOOTER_LEN <= bytes.len()
+    manifest_len
+        .checked_add(FOOTER_LEN)
+        .is_some_and(|end| end <= bytes.len())
 }
 
 // ---------------------------------------------------------------------------
@@ -330,7 +334,9 @@ impl<'a> ShardReader<'a> {
         if bytes.len() < FOOTER_LEN {
             return Err(ShardError::Corrupt("container shorter than footer"));
         }
+        // ds-lint: allow(panic-free-decode) -- bytes.len() >= FOOTER_LEN checked above; footer is exactly FOOTER_LEN bytes
         let footer = &bytes[bytes.len() - FOOTER_LEN..];
+        // ds-lint: allow(panic-free-decode) -- footer is exactly FOOTER_LEN (9) bytes, so 5..9 is in bounds
         if &footer[5..9] != FOOTER_MAGIC {
             return Err(ShardError::Corrupt("bad footer magic"));
         }
@@ -344,6 +350,7 @@ impl<'a> ShardReader<'a> {
             return Err(ShardError::Corrupt("manifest length exceeds container"));
         }
         let shard_region = body_len - manifest_len;
+        // ds-lint: allow(panic-free-decode) -- shard_region <= body_len <= bytes.len(): body_len = len - FOOTER_LEN and manifest_len <= body_len checked above
         let mut r = ByteReader::new(&bytes[shard_region..body_len]);
         let total_rows = usize::try_from(r.read_varint()?)
             .map_err(|_| ShardError::Corrupt("total row count overflows usize"))?;
@@ -376,10 +383,11 @@ impl<'a> ShardReader<'a> {
         let mut entries = Vec::with_capacity(rows.len());
         let mut offset = 0usize;
         let mut row_start = 0usize;
-        for i in 0..rows.len() {
-            let len = usize::try_from(lens[i])
+        for ((&nr, &len_raw), &crc) in rows.iter().zip(lens.iter()).zip(crcs.iter()) {
+            let len = usize::try_from(len_raw)
                 .map_err(|_| ShardError::Corrupt("negative shard length"))?;
-            let row_count = rows[i] as usize;
+            let row_count = usize::try_from(nr)
+                .map_err(|_| ShardError::Corrupt("shard row count overflows usize"))?;
             let row_end = row_start
                 .checked_add(row_count)
                 .ok_or(ShardError::Corrupt("shard row ranges overflow"))?;
@@ -393,7 +401,7 @@ impl<'a> ShardReader<'a> {
                 rows: row_start..row_end,
                 offset,
                 len,
-                crc: crcs[i],
+                crc,
             });
             offset = end;
             row_start = row_end;
@@ -451,7 +459,14 @@ impl<'a> ShardReader<'a> {
             .entries
             .get(i)
             .ok_or(ShardError::Corrupt("shard index out of range"))?;
-        let blob = &self.bytes[entry.offset..entry.offset + entry.len];
+        let end = entry
+            .offset
+            .checked_add(entry.len)
+            .ok_or(ShardError::Corrupt("shard extent overflows"))?;
+        let blob = self
+            .bytes
+            .get(entry.offset..end)
+            .ok_or(ShardError::Corrupt("shard extent out of bounds"))?;
         if crc32::crc32(blob) != entry.crc {
             return Err(ShardError::CrcMismatch { shard: i });
         }
@@ -488,6 +503,7 @@ impl<'a> ShardReader<'a> {
         let skip = if shards.is_empty() {
             0
         } else {
+            // ds-lint: allow(panic-free-decode) -- shards is non-empty, and partition_point returns indexes <= entries.len(), so shards.start < entries.len()
             start - self.entries[shards.start].rows.start
         };
         let parts = self.decode_shards(shards.clone(), &decode)?;

@@ -15,6 +15,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> ds-lint (decode-safety + determinism gate)"
+cargo run -q -p ds-lint
+
 echo "==> cargo test"
 cargo test -q
 
