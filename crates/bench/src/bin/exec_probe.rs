@@ -17,19 +17,9 @@
 
 use ds_core::{DsConfig, TrainedCompressor};
 use ds_nn::{Head, Mat, ModelSpec, MoeAutoencoder, MoeConfig};
+use ds_obs::sink::time_best_ms as time_best;
 use ds_table::gen;
 use std::hint::black_box;
-
-/// Best-of-`reps` wall time in milliseconds.
-fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = std::time::Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
 
 struct Probe {
     name: &'static str,

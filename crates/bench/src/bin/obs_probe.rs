@@ -1,0 +1,140 @@
+//! `obs_probe` — measures the observability layer itself and records a
+//! stage breakdown of an instrumented sharded compress + decompress:
+//!
+//! * recorder overhead: wall time of the same compression with the
+//!   recorder off, on (deterministic events only), and on with timing;
+//! * stage durations harvested from the trace spans (preprocess, train,
+//!   encode, shard_flush, decompress) plus event volume.
+//!
+//! ```text
+//! cargo run --release -p ds-bench --bin obs_probe          # full sizes
+//! SMOKE=1 cargo run --release -p ds-bench --bin obs_probe  # CI-sized
+//! BENCH_OUT=/tmp/obs.json ...                              # custom path
+//! ```
+//!
+//! Results are appended as one JSON object per line so successive runs
+//! accumulate in `BENCH_obs.json`.
+
+use ds_core::{compress_sharded_to, decompress, DsArchive, DsConfig};
+use ds_obs::sink::time_best_ms;
+use ds_table::gen;
+use std::hint::black_box;
+
+/// Sum of `dur_us` over every span with the given name.
+fn span_us(report: &ds_obs::Report, name: &str) -> u64 {
+    report
+        .spans
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.dur_us)
+        .sum()
+}
+
+fn main() {
+    let smoke = std::env::var("SMOKE").is_ok();
+    let reps = if smoke { 2 } else { 3 };
+    let rows = if smoke { 1200 } else { 12000 };
+    let shard_rows = rows / 8;
+
+    let t = gen::monitor_like(rows, 42);
+    let cfg = DsConfig {
+        error_threshold: 0.05,
+        code_size: 2,
+        n_experts: 2,
+        max_epochs: if smoke { 3 } else { 6 },
+        shard_rows,
+        ..Default::default()
+    };
+
+    let run_once = || {
+        let mut buf = Vec::new();
+        compress_sharded_to(&t, &cfg, &mut buf).expect("probe compress");
+        let archive = DsArchive::from_bytes(buf);
+        black_box(decompress(&archive).expect("probe decompress"));
+    };
+
+    // Recorder overhead: off vs deterministic events vs full timing.
+    let off_ms = time_best_ms(reps, || {
+        ds_obs::disable();
+        run_once();
+    });
+    let on_ms = time_best_ms(reps, || {
+        ds_obs::enable(false);
+        run_once();
+        ds_obs::drain();
+    });
+    let timing_ms = time_best_ms(reps, || {
+        ds_obs::enable(true);
+        run_once();
+        ds_obs::drain();
+    });
+
+    // One more instrumented run to harvest the stage breakdown.
+    ds_obs::enable(true);
+    run_once();
+    let report = ds_obs::drain();
+
+    let events = report.spans.len()
+        + report.counters.len()
+        + report.gauges.len()
+        + report.hists.len()
+        + report.series.len();
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0);
+    let ds_threads = ds_exec::effective_threads();
+
+    let line = format!(
+        concat!(
+            "{{\"host_threads\": {}, \"ds_threads\": {}, \"smoke\": {}, ",
+            "\"rows\": {}, \"shards\": {}, ",
+            "\"off_ms\": {:.3}, \"obs_ms\": {:.3}, \"timing_ms\": {:.3}, ",
+            "\"preprocess_us\": {}, \"train_us\": {}, \"encode_us\": {}, ",
+            "\"shard_flush_us\": {}, \"decompress_us\": {}, ",
+            "\"report_events\": {}, \"col_bytes_total\": {}}}\n",
+        ),
+        host_threads,
+        ds_threads,
+        smoke,
+        rows,
+        rows.div_ceil(shard_rows),
+        off_ms,
+        on_ms,
+        timing_ms,
+        span_us(&report, "preprocess"),
+        span_us(&report, "train"),
+        span_us(&report, "encode"),
+        span_us(&report, "shard_flush"),
+        span_us(&report, "decompress"),
+        events,
+        report.counter_total("col.bytes"),
+    );
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out)
+        .expect("open BENCH_obs.json");
+    file.write_all(line.as_bytes()).expect("append run");
+
+    println!(
+        "rows={rows} shards={} smoke={smoke}",
+        rows.div_ceil(shard_rows)
+    );
+    println!("recorder off {off_ms:.3} ms, on {on_ms:.3} ms, timing {timing_ms:.3} ms");
+    println!(
+        "stages: preprocess {} us, train {} us, encode {} us, flush {} us, decompress {} us",
+        span_us(&report, "preprocess"),
+        span_us(&report, "train"),
+        span_us(&report, "encode"),
+        span_us(&report, "shard_flush"),
+        span_us(&report, "decompress"),
+    );
+    println!(
+        "{events} merged events, col.bytes total {}",
+        report.counter_total("col.bytes")
+    );
+    println!("appended to {out}");
+}

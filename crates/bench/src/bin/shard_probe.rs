@@ -17,19 +17,9 @@
 //! accumulate in `BENCH_shard.json`.
 
 use ds_core::{compress, decompress, decompress_rows_with_stats, DsConfig};
+use ds_obs::sink::time_best_ms as time_best;
 use ds_table::gen;
 use std::hint::black_box;
-
-/// Best-of-`reps` wall time in milliseconds.
-fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = std::time::Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
 
 fn main() {
     let smoke = std::env::var("SMOKE").is_ok();

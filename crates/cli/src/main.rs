@@ -3,7 +3,8 @@
 //! ```text
 //! dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E]
 //!                 [--epochs N] [--seed S] [--shard-rows N] [--tune] [--quiet]
-//! dsqz decompress <in.dsqz> <out.csv> [--rows A..B]
+//!                 [--trace <f.jsonl>] [--stats]
+//! dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]
 //! dsqz inspect    <in.dsqz>
 //! dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>
 //! ```
@@ -16,6 +17,11 @@
 //! (row groups of N rows, streamed to the output file as they encode);
 //! `--rows A..B` then decompresses only the shards intersecting that
 //! half-open row range.
+//!
+//! `--trace <f.jsonl>` records a ds-obs trace of the run (one JSON object
+//! per span/metric; schema documented in `ds-obs::sink`) and `--stats`
+//! prints a human-readable summary tree to stderr. Either flag enables
+//! the recorder with wall-clock timing.
 
 mod args;
 
@@ -43,8 +49,8 @@ fn main() -> ExitCode {
 
 fn usage() -> &'static str {
     "usage:\n  \
-     dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--tune] [--quiet]\n  \
-     dsqz decompress <in.dsqz> <out.csv> [--rows A..B]\n  \
+     dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--tune] [--quiet] [--trace <f.jsonl>] [--stats]\n  \
+     dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]\n  \
      dsqz inspect    <in.dsqz>\n  \
      dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>"
 }
@@ -69,9 +75,12 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
     let epochs: usize = p.flag_or("epochs", 120)?;
     let seed: u64 = p.flag_or("seed", 0)?;
     let shard_rows: usize = p.flag_or("shard-rows", 0)?;
+    let trace: String = p.flag_or("trace", String::new())?;
     let do_tune = p.switch("tune");
     let quiet = p.switch("quiet");
+    let stats = p.switch("stats");
     p.finish()?;
+    arm_obs(&trace, stats);
 
     let text = std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?;
     let table = read_csv_infer(&text).map_err(|e| format!("parse {input}: {e}"))?;
@@ -137,7 +146,7 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
                 b.metadata
             );
         }
-        return Ok(());
+        return finish_obs(&trace, stats);
     }
 
     let archive = compress(&table, &cfg).map_err(|e| format!("compression failed: {e}"))?;
@@ -154,6 +163,31 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
             b.metadata
         );
     }
+    finish_obs(&trace, stats)
+}
+
+/// Turns the ds-obs recorder on when `--trace` or `--stats` was given.
+fn arm_obs(trace: &str, stats: bool) {
+    if !trace.is_empty() || stats {
+        ds_obs::enable(true);
+    }
+}
+
+/// Drains the recorder and emits the requested outputs: a JSONL trace
+/// file and/or a human-readable summary tree on stderr. A no-op when
+/// neither `--trace` nor `--stats` was given.
+fn finish_obs(trace: &str, stats: bool) -> Result<(), String> {
+    if trace.is_empty() && !stats {
+        return Ok(());
+    }
+    let report = ds_obs::drain();
+    if !trace.is_empty() {
+        std::fs::write(trace, ds_obs::sink::to_jsonl(&report))
+            .map_err(|e| format!("write {trace}: {e}"))?;
+    }
+    if stats {
+        eprint!("{}", ds_obs::sink::render_stats(&report));
+    }
     Ok(())
 }
 
@@ -161,7 +195,10 @@ fn cmd_decompress(p: &mut Parsed) -> Result<(), String> {
     let input = p.positional(0)?;
     let output = p.positional(1)?;
     let rows_spec: String = p.flag_or("rows", String::new())?;
+    let trace: String = p.flag_or("trace", String::new())?;
+    let stats = p.switch("stats");
     p.finish()?;
+    arm_obs(&trace, stats);
     let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
     let archive = DsArchive::from_bytes(bytes);
     if rows_spec.is_empty() {
@@ -180,7 +217,7 @@ fn cmd_decompress(p: &mut Parsed) -> Result<(), String> {
             stats.shards_total
         );
     }
-    Ok(())
+    finish_obs(&trace, stats)
 }
 
 /// Parses a half-open `A..B` row range.

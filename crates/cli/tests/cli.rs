@@ -202,6 +202,95 @@ fn sharded_cycle_with_partial_reads() {
 }
 
 #[test]
+fn trace_and_stats_cover_the_pipeline_and_are_thread_invariant() {
+    let dir = tmpdir("trace");
+    let csv = dir.join("t.csv");
+    let dsq = dir.join("t.dsqz");
+    let back = dir.join("t_back.csv");
+
+    assert!(dsqz()
+        .args(["gen", "monitor", "400", csv.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // Compress with tracing under two different thread limits.
+    let mut traces = Vec::new();
+    for (tag, threads) in [("t1", "1"), ("t8", "8")] {
+        let trace = dir.join(format!("{tag}.jsonl"));
+        let out = dsqz()
+            .args([
+                "compress",
+                csv.to_str().unwrap(),
+                dsq.to_str().unwrap(),
+                "--epochs",
+                "6",
+                "--shard-rows",
+                "100",
+                "--quiet",
+                "--stats",
+                "--trace",
+                trace.to_str().unwrap(),
+            ])
+            .env("DS_THREADS", threads)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "compress failed: {out:?}");
+        // --stats prints the span tree to stderr.
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("compress"), "stats output: {stderr}");
+        assert!(stderr.contains("train"), "stats output: {stderr}");
+        traces.push(std::fs::read_to_string(&trace).unwrap());
+    }
+
+    // Every line is a braced JSON object, and the span tree covers the
+    // whole pipeline with per-column and per-expert telemetry.
+    let t = &traces[0];
+    for line in t.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+    }
+    for needle in [
+        "\"preprocess\"",
+        "\"train\"",
+        "\"materialize\"",
+        "\"shard_flush\"",
+        "\"col.bytes\"",
+        "\"pipeline.expert_rows\"",
+    ] {
+        assert!(t.contains(needle), "trace missing {needle}:\n{t}");
+    }
+
+    // Timing aside, the trace is bit-identical across thread limits.
+    assert_eq!(
+        ds_obs::sink::deterministic_view(&traces[0]),
+        ds_obs::sink::deterministic_view(&traces[1]),
+        "trace must not depend on the thread count"
+    );
+
+    // Decompress with a trace too: decode spans per shard.
+    let dtrace = dir.join("d.jsonl");
+    let out = dsqz()
+        .args([
+            "decompress",
+            dsq.to_str().unwrap(),
+            back.to_str().unwrap(),
+            "--trace",
+            dtrace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "decompress failed: {out:?}");
+    let dt = std::fs::read_to_string(&dtrace).unwrap();
+    assert!(dt.contains("\"decode_shard\""), "decode trace:\n{dt}");
+    assert!(dt.contains("\"decompress.rows\""), "decode trace:\n{dt}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn errors_exit_nonzero() {
     // Unknown command.
     let out = dsqz().arg("frobnicate").output().unwrap();

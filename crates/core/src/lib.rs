@@ -73,6 +73,16 @@ pub enum DsError {
     Table(ds_table::TableError),
     /// Propagated tuner failure.
     BayesOpt(ds_bayesopt::BayesOptError),
+    /// A shard of a sharded compression failed; names the shard index and
+    /// the row range it covered so multi-gigabyte runs are debuggable.
+    ShardFailed {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Original-table row range the shard covered.
+        rows: std::ops::Range<usize>,
+        /// The underlying failure.
+        source: Box<DsError>,
+    },
 }
 
 impl std::fmt::Display for DsError {
@@ -85,6 +95,17 @@ impl std::fmt::Display for DsError {
             DsError::Shard(e) => write!(f, "shard container error: {e}"),
             DsError::Table(e) => write!(f, "table error: {e}"),
             DsError::BayesOpt(e) => write!(f, "tuning error: {e}"),
+            DsError::ShardFailed {
+                shard,
+                rows,
+                source,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} (rows {}..{}): {source}",
+                    rows.start, rows.end
+                )
+            }
         }
     }
 }

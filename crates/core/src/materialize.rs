@@ -649,6 +649,7 @@ pub fn materialize_with_patches(
         Vec<u8>,
         Vec<(String, usize)>,
     )> = None;
+    let encode_span = ds_obs::span("encode");
     for &bits in &opts.code_bits_candidates {
         let (code_layout, quantized) = quantize_codes(&per_expert_codes, bits);
         // Codes blob: k columns in storage order.
@@ -679,12 +680,45 @@ pub fn materialize_with_patches(
             break; // width is irrelevant without a model
         }
     }
+    drop(encode_span);
     let (_, code_layout, codes_blob, failures_blob, rare_blob, col_stats) =
         best.expect("at least one candidate evaluated");
 
+    if ds_obs::enabled() {
+        // Per-expert utilization: how many rows each expert owns.
+        for (e, rows) in layout.expert_rows.iter().enumerate() {
+            ds_obs::counter_at("pipeline.expert_rows", e as u64, rows.len() as u64);
+        }
+        // Codec byte flow for the winning candidate. Codes enter the parq
+        // writer as k u32 columns of nrows values each.
+        let k = code_layout.ranges.first().map(Vec::len).unwrap_or(0);
+        ds_obs::counter("codec.parq.codes_in", (k * table.nrows() * 4) as u64);
+        ds_obs::counter("codec.parq.codes_out", codes_blob.len() as u64);
+        ds_obs::counter(
+            "materialize.failures_bytes",
+            (failures_blob.len() + rare_blob.len()) as u64,
+        );
+        ds_obs::counter("materialize.patches", patches.len() as u64);
+        // Per-column failure-stream bytes, labelled with the real schema
+        // column name (encode_failures names streams by column index).
+        for (name, bytes) in &col_stats {
+            let label = name
+                .parse::<usize>()
+                .ok()
+                .and_then(|i| table.schema().field(i))
+                .map(|f| f.name.as_str())
+                .unwrap_or(name.as_str());
+            ds_obs::counter_labeled("col.bytes", label, *bytes as u64);
+        }
+    }
+
     // ---- decoder blob -------------------------------------------------------
     let decoder_blob = if has_model && !opts.omit_decoder {
-        gzlike::compress(&serialize::export_decoders(model.expect("has_model")))
+        let raw = serialize::export_decoders(model.expect("has_model"));
+        let blob = gzlike::compress(&raw);
+        ds_obs::counter("codec.gzlike.decoder_in", raw.len() as u64);
+        ds_obs::counter("codec.gzlike.decoder_out", blob.len() as u64);
+        blob
     } else {
         Vec::new()
     };

@@ -137,7 +137,13 @@ impl TrainedCompressor {
         if !(0.0..=1.0).contains(&cfg.sample_frac) || cfg.sample_frac == 0.0 {
             return Err(DsError::InvalidConfig("sample_frac must be in (0,1]"));
         }
-        let prep = preprocess(table, &cfg.preprocess_options(table)?)?;
+        let prep = {
+            let mut sp = ds_obs::span("preprocess");
+            let prep = preprocess(table, &cfg.preprocess_options(table)?)?;
+            sp.add("rows", table.nrows() as u64);
+            sp.add("cols", table.ncols() as u64);
+            prep
+        };
 
         let model = if prep.model_cols.is_empty() || table.nrows() == 0 {
             None
@@ -179,7 +185,13 @@ impl TrainedCompressor {
             } else {
                 (prep.x.clone(), prep.cat_targets.clone())
             };
-            let (mut model, report) = MoeAutoencoder::train(&spec, &x_train, &cat_train, &moe_cfg)?;
+            let (mut model, report) = {
+                let mut sp = ds_obs::span("train");
+                let out = MoeAutoencoder::train(&spec, &x_train, &cat_train, &moe_cfg)?;
+                sp.add("rows", x_train.rows() as u64);
+                sp.add("epochs", out.1.epochs_run as u64);
+                out
+            };
             if cfg.weight_truncate_bits > 0 {
                 if cfg.weight_truncate_bits >= 24 {
                     return Err(DsError::InvalidConfig("weight_truncate_bits must be < 24"));
@@ -235,9 +247,12 @@ impl TrainedCompressor {
                 "materialize: table differs from training table",
             ));
         }
-        let assignments = match &self.model {
-            Some(m) => m.assign_by_loss(&self.prep.x, &self.prep.cat_targets)?,
-            None => vec![0; table.nrows()],
+        let assignments = {
+            let _sp = ds_obs::span("assign");
+            match &self.model {
+                Some(m) => m.assign_by_loss(&self.prep.x, &self.prep.cat_targets)?,
+                None => vec![0; table.nrows()],
+            }
         };
         self.materialize_with_assignments(table, &assignments)
     }
@@ -261,10 +276,16 @@ impl TrainedCompressor {
         table: &Table,
         omit_decoder: bool,
     ) -> Result<DsArchive> {
-        let (prep, patches) = crate::preprocess::apply_plans(table, &self.prep.plans)?;
-        let assignments = match &self.model {
-            Some(m) => m.assign_by_loss(&prep.x, &prep.cat_targets)?,
-            None => vec![0; table.nrows()],
+        let (prep, patches) = {
+            let _sp = ds_obs::span("apply_plans");
+            crate::preprocess::apply_plans(table, &self.prep.plans)?
+        };
+        let assignments = {
+            let _sp = ds_obs::span("assign");
+            match &self.model {
+                Some(m) => m.assign_by_loss(&prep.x, &prep.cat_targets)?,
+                None => vec![0; table.nrows()],
+            }
         };
         let opts = MaterializeOptions {
             code_bits_candidates: self.cfg.code_bits_candidates.clone(),
@@ -274,6 +295,7 @@ impl TrainedCompressor {
             order_free: false,
             omit_decoder,
         };
+        let _sp = ds_obs::span("materialize");
         crate::materialize::materialize_with_patches(
             table,
             &prep,
@@ -296,6 +318,7 @@ impl TrainedCompressor {
             order_free: self.cfg.order_free,
             omit_decoder: false,
         };
+        let _sp = ds_obs::span("materialize");
         materialize(table, &self.prep, self.model.as_ref(), assignments, &opts)
     }
 
@@ -323,6 +346,7 @@ pub fn compress(table: &Table, cfg: &DsConfig) -> Result<DsArchive> {
             failure_stats: Vec::new(),
         });
     }
+    let _root = ds_obs::span("compress");
     TrainedCompressor::train(table, cfg)?.materialize(table)
 }
 
@@ -364,6 +388,11 @@ pub fn compress_sharded_to<W: std::io::Write>(
             "order-free storage is incompatible with sharding",
         ));
     }
+    // The root span opens before training so preprocess/train nest under
+    // it; its id is captured for the per-shard encode spans, which run on
+    // pool workers where this thread's span stack is not visible.
+    let root = ds_obs::span("compress");
+    let root_id = root.id();
     let trained = TrainedCompressor::train(table, cfg)?;
     let nrows = table.nrows();
     let shard_rows = cfg.shard_rows;
@@ -382,11 +411,24 @@ pub fn compress_sharded_to<W: std::io::Write>(
     let mut writer = ds_shard::ShardWriter::new(sink);
     writer.set_shared(shared);
     let mut first_err: Option<DsError> = None;
+    // A failing shard's error names the shard and its row range — "shard
+    // 7 (rows 448..512): …" — instead of surfacing as a bare codec error.
+    let shard_failed = |i: usize, e: DsError| {
+        let lo = i * shard_rows;
+        let hi = (lo + shard_rows).min(nrows);
+        DsError::ShardFailed {
+            shard: i,
+            rows: lo..hi,
+            source: Box::new(e),
+        }
+    };
     ds_exec::parallel_map_consume(
         n_shards,
         |i| {
+            let mut sp = ds_obs::span_under(root_id, "shard", i as u64);
             let lo = i * shard_rows;
             let hi = (lo + shard_rows).min(nrows);
+            sp.add("rows", (hi - lo) as u64);
             trained.compress_batch_opts(&table.slice_rows(lo..hi), true)
         },
         |i, result| {
@@ -401,10 +443,10 @@ pub fn compress_sharded_to<W: std::io::Write>(
                     let lo = i * shard_rows;
                     let rows = (lo + shard_rows).min(nrows) - lo;
                     if let Err(e) = writer.push_shard(rows, archive.as_bytes()) {
-                        first_err = Some(e.into());
+                        first_err = Some(shard_failed(i, e.into()));
                     }
                 }
-                Err(e) => first_err = Some(e),
+                Err(e) => first_err = Some(shard_failed(i, e)),
             }
         },
     );
@@ -433,15 +475,24 @@ pub fn compress_sharded_to<W: std::io::Write>(
 /// and the v2 sharded container (detected by its trailing `DSRG` footer),
 /// whose row groups are CRC-validated and decoded in parallel.
 pub fn decompress(archive: &DsArchive) -> Result<Table> {
+    let root = ds_obs::span("decompress");
+    let root_id = root.id();
     if ds_shard::is_sharded(&archive.bytes) {
         let reader = ds_shard::ShardReader::open(&archive.bytes)?;
         let shared = nonempty(reader.shared());
         let parts = reader
-            .read_all(|_, blob| decompress_bytes(blob, shared))
+            .read_all(|i, blob| {
+                let _sp = ds_obs::span_under(root_id, "decode_shard", i as u64);
+                decompress_bytes(blob, shared)
+            })
             .map_err(flatten_op)?;
-        return Ok(Table::concat(&parts)?);
+        let table = Table::concat(&parts)?;
+        ds_obs::counter("decompress.rows", table.nrows() as u64);
+        return Ok(table);
     }
-    decompress_bytes(&archive.bytes, None)
+    let table = decompress_bytes(&archive.bytes, None)?;
+    ds_obs::counter("decompress.rows", table.nrows() as u64);
+    Ok(table)
 }
 
 /// Statistics from a partial decode ([`decompress_rows_with_stats`]).
@@ -477,10 +528,15 @@ pub fn decompress_rows_with_stats(
         };
         return Ok((full.slice_rows(rows), stats));
     }
+    let root = ds_obs::span("decompress_rows");
+    let root_id = root.id();
     let reader = ds_shard::ShardReader::open(&archive.bytes)?;
     let shared = nonempty(reader.shared());
     let got = reader
-        .read_rows(rows, |_, blob| decompress_bytes(blob, shared))
+        .read_rows(rows, |i, blob| {
+            let _sp = ds_obs::span_under(root_id, "decode_shard", i as u64);
+            decompress_bytes(blob, shared)
+        })
         .map_err(flatten_op)?;
     let stats = ShardedDecodeStats {
         shards_total: reader.n_shards(),

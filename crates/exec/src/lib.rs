@@ -158,7 +158,9 @@ impl Batch {
         // SAFETY: idx < n_tasks, so the submitter is still blocked in
         // `wait` (or its drop guard) and the closure is alive.
         let run = unsafe { &*self.run };
+        let t0 = ds_obs::now_us();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(idx)));
+        ds_obs::hist_rt("exec.task_us", ds_obs::now_us().saturating_sub(t0));
         if let Err(payload) = outcome {
             let mut slot = self.panic_payload.lock().unwrap();
             slot.get_or_insert(payload);
@@ -261,6 +263,7 @@ impl Pool {
                 continue;
             }
             if let Some(batch) = self.queues[victim].lock().unwrap().pop_back() {
+                ds_obs::counter_rt("exec.steals", idx as u64, 1);
                 return Some(batch);
             }
         }
@@ -297,6 +300,7 @@ impl Pool {
             let mut queue = self.queues[k % n].lock().unwrap();
             if queue.len() < INJECTOR_CAP {
                 queue.push_back(Arc::clone(batch));
+                ds_obs::gauge_max_rt("exec.queue_hw", (k % n) as u64, queue.len() as u64);
             }
         }
         let mut gen = self.sleep.lock().unwrap();
@@ -311,6 +315,9 @@ fn run_tasks(n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
     if n_tasks == 0 {
         return;
     }
+    // Counted on every path (inline or pooled): task counts derive from
+    // problem sizes only, so the counter is thread-count-invariant.
+    ds_obs::counter("exec.tasks", n_tasks as u64);
     let limit = effective_threads();
     if n_tasks == 1 || limit <= 1 || IN_POOL_TASK.with(Cell::get) {
         for idx in 0..n_tasks {
@@ -439,6 +446,7 @@ pub fn parallel_map_consume<T: Send>(
     if n_tasks == 0 {
         return;
     }
+    ds_obs::counter("exec.tasks", n_tasks as u64);
     let limit = effective_threads();
     if n_tasks == 1 || limit <= 1 || IN_POOL_TASK.with(Cell::get) {
         for idx in 0..n_tasks {

@@ -18,7 +18,7 @@ fn lint_fixtures() -> Vec<Finding> {
     let toml = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
     let cfg = Config::parse(&toml).expect("fixture config parses");
     let (files, findings) = lint_root(&root, &cfg).expect("lint_root");
-    assert_eq!(files, 5, "fixture tree should scan exactly 5 files");
+    assert_eq!(files, 7, "fixture tree should scan exactly 7 files");
     findings
 }
 
@@ -80,6 +80,14 @@ fn rule_scoping_follows_config_paths() {
     assert_eq!(
         rule_lines(&findings, "crates/other/src/lib.rs"),
         vec![("no-wallclock-nondeterminism", 5), ("unsafe-contract", 14),]
+    );
+    // obs/sink.rs is a single-file exclude: its Instant::now stays silent.
+    assert_eq!(rule_lines(&findings, "crates/obs/src/sink.rs"), vec![]);
+    // obs/lib.rs is NOT excluded, and its reason-less allow both fails to
+    // suppress the wallclock finding and is itself reported.
+    assert_eq!(
+        rule_lines(&findings, "crates/obs/src/lib.rs"),
+        vec![("bad-suppression", 5), ("no-wallclock-nondeterminism", 5),]
     );
 }
 

@@ -1,0 +1,6 @@
+//! Fixture: wall-clock outside the sanctioned sink module is a finding,
+//! and a reason-less allow does not rescue it.
+
+pub fn drift() -> std::time::Instant {
+    std::time::Instant::now() // ds-lint: allow(no-wallclock-nondeterminism)
+}

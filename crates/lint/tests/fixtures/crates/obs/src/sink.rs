@@ -1,0 +1,6 @@
+//! Fixture: the sanctioned clock module — a single-file exclude in the
+//! wallclock rule, so this `Instant::now` stays silent.
+
+pub fn clock() -> std::time::Instant {
+    std::time::Instant::now()
+}

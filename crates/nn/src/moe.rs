@@ -53,6 +53,10 @@ pub fn train_pass_data_parallel(
             return Err(NnError::ShapeMismatch("train: cat target length"));
         }
     }
+    ds_obs::counter(
+        "nn.train_chunks",
+        ds_exec::chunk_count(b, chunk_rows) as u64,
+    );
     let parts = ds_exec::parallel_map_chunks(b, chunk_rows, |_, range| {
         let xc = x.slice_rows(range.start, range.end);
         let cat_c: Vec<Vec<u32>> = cat_targets
@@ -247,8 +251,19 @@ impl MoeAutoencoder {
         let mut stall_epochs = 0usize;
 
         for epoch in 0..cfg.max_epochs {
+            let _ep_span = ds_obs::span_at("epoch", epoch as u64);
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
+            // Telemetry accumulators (ds-obs only): gate-weighted expert
+            // utilization, mean gate entropy, and mean pre-clip grad norm.
+            // All derive from the deterministic training math, so the
+            // resulting series are thread-count-invariant.
+            let obs_on = ds_obs::enabled();
+            let mut util = vec![0.0f64; experts.len()];
+            let mut entropy_sum = 0.0f64;
+            let mut rows_seen = 0usize;
+            let mut grad_norm_sum = 0.0f64;
+            let mut grad_norm_n = 0usize;
             for chunk in order.chunks(cfg.batch_size) {
                 let xb = x.take_rows(chunk);
                 let cat_b: Vec<Vec<u32>> = cat_targets
@@ -260,6 +275,18 @@ impl MoeAutoencoder {
                     Some(gate) => gate.probabilities(&xb),
                     None => Mat::from_vec(xb.rows(), 1, vec![1.0; xb.rows()]),
                 };
+                if obs_on {
+                    for r in 0..xb.rows() {
+                        for e in 0..experts.len() {
+                            let p = f64::from(g.get(r, e));
+                            util[e] += p;
+                            if p > 0.0 {
+                                entropy_sum -= p * p.ln();
+                            }
+                        }
+                    }
+                    rows_seen += xb.rows();
+                }
 
                 // All experts see the batch (the gate masks via weights).
                 // The gate weights are normalized to unit mean per expert:
@@ -311,7 +338,11 @@ impl MoeAutoencoder {
                         loss_mat.set(r, e, l);
                         epoch_loss += f64::from(g.get(r, e) * l);
                     }
-                    clip_grads(&mut grads, 5.0 * xb.rows() as f32);
+                    let norm = clip_grads(&mut grads, 5.0 * xb.rows() as f32);
+                    if obs_on {
+                        grad_norm_sum += f64::from(norm);
+                        grad_norm_n += 1;
+                    }
                     let mut layers = experts[e].layers_mut();
                     for ((layer, grad), st) in layers
                         .iter_mut()
@@ -329,6 +360,19 @@ impl MoeAutoencoder {
 
             adam_cfg.lr *= cfg.lr_decay;
             let mean_loss = (epoch_loss / n as f64) as f32;
+            if obs_on {
+                let ep = epoch as u64;
+                ds_obs::series("nn.epoch_loss", ep, f64::from(mean_loss));
+                if grad_norm_n > 0 {
+                    ds_obs::series("nn.grad_norm", ep, grad_norm_sum / grad_norm_n as f64);
+                }
+                if rows_seen > 0 {
+                    ds_obs::series("nn.gate_entropy", ep, entropy_sum / rows_seen as f64);
+                    for (e, u) in util.iter().enumerate() {
+                        ds_obs::series_at("nn.expert_util", e as u64, ep, u / rows_seen as f64);
+                    }
+                }
+            }
             report.epoch_losses.push(mean_loss);
             report.epochs_run = epoch + 1;
             // Convergence: stop only when the best loss has not improved
@@ -452,7 +496,8 @@ impl MoeAutoencoder {
 /// Scales all gradients down when their global L2 norm exceeds `max_norm`
 /// — small models with softmax heads occasionally produce a pathological
 /// batch that would otherwise kick the weights into a dead regime.
-fn clip_grads(grads: &mut [crate::dense::DenseGrad], max_norm: f32) {
+/// Returns the pre-clip norm (telemetry: per-epoch gradient norm series).
+fn clip_grads(grads: &mut [crate::dense::DenseGrad], max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     for g in grads.iter() {
         for &v in g.dw.data() {
@@ -474,6 +519,7 @@ fn clip_grads(grads: &mut [crate::dense::DenseGrad], max_norm: f32) {
             }
         }
     }
+    norm
 }
 
 fn softmax_rows(logits: &Mat) -> Mat {

@@ -1,0 +1,158 @@
+//! Fixed-bucket power-of-two histograms.
+//!
+//! Bucket 0 holds exactly the value `0`; bucket `k ≥ 1` holds the range
+//! `[2^(k-1), 2^k)` (so bucket 1 = {1}, bucket 2 = {2,3}, bucket 3 =
+//! {4..7}, …, bucket 64 = {2^63..=u64::MAX}). The bucket index of a
+//! nonzero value is simply its bit length, which makes recording a
+//! branch-free `leading_zeros` and makes merging two histograms a plain
+//! element-wise sum — the property the recorder's per-worker shards rely
+//! on for deterministic drains.
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const N_BUCKETS: usize = 65;
+
+/// A power-of-two histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Saturating sum of all samples (for mean estimation).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+
+    /// Bucket index for `v`: 0 for zero, otherwise the bit length of `v`.
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive `(lo, hi)` value bounds of bucket `k`.
+    ///
+    /// `bucket_index(lo) == k == bucket_index(hi)` for every `k`.
+    pub fn bucket_bounds(k: usize) -> (u64, u64) {
+        if k == 0 {
+            return (0, 0);
+        }
+        let lo = 1u64 << (k - 1);
+        let hi = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+        (lo, hi)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Element-wise merge of another histogram (order-independent).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Occupied buckets as `(lo, hi, count)` triples in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| {
+                let (lo, hi) = Self::bucket_bounds(k);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_zero_one_and_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        for k in 1..64usize {
+            let p = 1u64 << k;
+            // A power of two opens bucket k+1; its predecessor closes bucket k.
+            assert_eq!(Histogram::bucket_index(p), k + 1, "2^{k}");
+            assert_eq!(Histogram::bucket_index(p - 1), k, "2^{k} - 1");
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_agree_with_bucket_index() {
+        for k in 0..N_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(k);
+            assert_eq!(Histogram::bucket_index(lo), k, "lo of bucket {k}");
+            assert_eq!(Histogram::bucket_index(hi), k, "hi of bucket {k}");
+            assert!(lo <= hi);
+        }
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(64), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn record_and_merge_sum_buckets() {
+        let mut a = Histogram::new();
+        a.record(0);
+        a.record(1);
+        a.record(6);
+        let mut b = Histogram::new();
+        b.record(7);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.max, u64::MAX);
+        assert_eq!(
+            a.nonzero_buckets(),
+            vec![(0, 0, 1), (1, 1, 1), (4, 7, 2), (1u64 << 63, u64::MAX, 1),]
+        );
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 2);
+    }
+}

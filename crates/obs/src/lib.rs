@@ -1,0 +1,867 @@
+//! # ds-obs — deterministic observability for the DeepSqueeze stack
+//!
+//! Hierarchical spans, monotonic counters, power-of-two histograms and
+//! float telemetry series, collected through one global, thread-safe
+//! [`Recorder`]-style API. Two properties shape the design:
+//!
+//! 1. **Near-zero cost when off.** Every recording entry point starts
+//!    with a single relaxed atomic load; with the recorder disabled (the
+//!    default) nothing else runs, so instrumented hot paths cost one
+//!    predictable branch.
+//! 2. **Deterministic drains.** Span identities are *content-derived*
+//!    (FNV-1a over parent id, name, and an optional caller-supplied
+//!    index), never clock- or thread-derived, and events land in
+//!    per-worker shards that the drain merges by sorting on those
+//!    identities. With timing disabled the drained tree is therefore
+//!    byte-identical for any `ds_exec::with_thread_limit` — the same
+//!    guarantee family as the rest of the workspace.
+//!
+//! Wall-clock access is confined to the [`sink`] module (the only file
+//! `lint.toml` exempts from `no-wallclock-nondeterminism`); instrumented
+//! code only ever calls [`now_us`], which reads the clock solely when
+//! timing was requested via [`enable`]`(true)`. Scheduling-dependent
+//! metrics (steal counts, queue depths, latency histograms) go through
+//! the `_rt` entry points, which drop their events unless timing is on —
+//! so they can never leak nondeterminism into a deterministic trace.
+//!
+//! ```
+//! let _ = ds_obs::drain(); // isolate from other doctests
+//! ds_obs::enable(false);
+//! {
+//!     let mut sp = ds_obs::span("compress");
+//!     sp.add("bytes_in", 1024);
+//!     let _child = ds_obs::span_under(sp.id(), "shard", 0);
+//! }
+//! ds_obs::counter("exec.tasks", 4);
+//! let report = ds_obs::drain();
+//! assert_eq!(report.spans[0].name, "compress");
+//! assert_eq!(report.spans[1].depth, 1);
+//! ```
+
+pub mod hist;
+pub mod sink;
+
+pub use hist::Histogram;
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const OFF: u8 = 0;
+const ON: u8 = 1;
+const ON_TIMING: u8 = 2;
+
+/// Global recorder state: off / on / on with wall-clock timing.
+static STATE: AtomicU8 = AtomicU8::new(OFF);
+
+/// Event shards. Threads are assigned a shard in registration order (a
+/// plain counter — thread identity APIs are banned by the workspace
+/// lint), so concurrent recorders rarely contend on one mutex. Shard
+/// membership is scheduling-dependent, which is fine: the drain merges
+/// shards by sorting on content-derived keys, never on arrival order.
+const N_SHARDS: usize = 32;
+static SHARDS: [Mutex<Vec<Event>>; N_SHARDS] = [const { Mutex::new(Vec::new()) }; N_SHARDS];
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard slot (assigned on first record).
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Stack of open span ids — the implicit parent chain.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Identity of a span: deterministic FNV-1a of (parent, name, index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u64);
+
+/// The root of the span tree (parent of top-level spans).
+pub const ROOT: SpanId = SpanId(0);
+
+impl SpanId {
+    /// Raw 64-bit id (0 is the root sentinel).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+enum Event {
+    Span {
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        index: Option<u64>,
+        dur_us: u64,
+        metrics: Vec<(&'static str, u64)>,
+    },
+    Count {
+        name: &'static str,
+        label: Option<String>,
+        index: Option<u64>,
+        delta: u64,
+        runtime: bool,
+    },
+    Gauge {
+        name: &'static str,
+        index: Option<u64>,
+        value: u64,
+        runtime: bool,
+    },
+    HistVal {
+        name: &'static str,
+        value: u64,
+        runtime: bool,
+    },
+    Series {
+        name: &'static str,
+        index: Option<u64>,
+        x: u64,
+        y: f64,
+    },
+}
+
+fn state() -> u8 {
+    STATE.load(Ordering::Relaxed)
+}
+
+/// Resets all shards and turns recording on. `timing` additionally
+/// enables wall-clock span durations and the scheduling-dependent `_rt`
+/// metrics — leave it off when the drained tree must be reproducible.
+pub fn enable(timing: bool) {
+    STATE.store(OFF, Ordering::SeqCst);
+    for shard in &SHARDS {
+        shard.lock().unwrap().clear();
+    }
+    STATE.store(if timing { ON_TIMING } else { ON }, Ordering::SeqCst);
+}
+
+/// Turns recording off without touching buffered events.
+pub fn disable() {
+    STATE.store(OFF, Ordering::SeqCst);
+}
+
+/// True when the recorder accepts events.
+pub fn enabled() -> bool {
+    state() != OFF
+}
+
+/// True when wall-clock timing (and `_rt` metrics) are being recorded.
+pub fn timing_enabled() -> bool {
+    state() == ON_TIMING
+}
+
+/// Microseconds since an arbitrary process-local epoch, or 0 when timing
+/// is disabled — so deterministic runs never touch the clock.
+pub fn now_us() -> u64 {
+    if timing_enabled() {
+        sink::clock_us()
+    } else {
+        0
+    }
+}
+
+fn record(ev: Event) {
+    if state() == OFF {
+        return;
+    }
+    let shard = MY_SHARD.with(|c| {
+        let mut s = c.get();
+        if s == usize::MAX {
+            s = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+            c.set(s);
+        }
+        s
+    });
+    SHARDS[shard].lock().unwrap().push(ev);
+}
+
+/// Adds `delta` to the counter `name`.
+pub fn counter(name: &'static str, delta: u64) {
+    if state() == OFF {
+        return;
+    }
+    record(Event::Count {
+        name,
+        label: None,
+        index: None,
+        delta,
+        runtime: false,
+    });
+}
+
+/// Adds `delta` to the indexed counter `name[index]` (e.g. one counter
+/// per column or per expert; the index must be data-derived so the
+/// drained tree stays deterministic).
+pub fn counter_at(name: &'static str, index: u64, delta: u64) {
+    if state() == OFF {
+        return;
+    }
+    record(Event::Count {
+        name,
+        label: None,
+        index: Some(index),
+        delta,
+        runtime: false,
+    });
+}
+
+/// Adds `delta` to the labelled counter `name{label}` — for per-column
+/// byte flow where the column *name* is the natural key.
+pub fn counter_labeled(name: &'static str, label: &str, delta: u64) {
+    if state() == OFF {
+        return;
+    }
+    record(Event::Count {
+        name,
+        label: Some(label.to_owned()),
+        index: None,
+        delta,
+        runtime: false,
+    });
+}
+
+/// Runtime-class counter (steal counts, retry counts): recorded only
+/// when timing is enabled, because its value is scheduling-dependent.
+pub fn counter_rt(name: &'static str, index: u64, delta: u64) {
+    if state() != ON_TIMING {
+        return;
+    }
+    record(Event::Count {
+        name,
+        label: None,
+        index: Some(index),
+        delta,
+        runtime: true,
+    });
+}
+
+/// Runtime-class high-water gauge: the drain keeps the maximum value.
+pub fn gauge_max_rt(name: &'static str, index: u64, value: u64) {
+    if state() != ON_TIMING {
+        return;
+    }
+    record(Event::Gauge {
+        name,
+        index: Some(index),
+        value,
+        runtime: true,
+    });
+}
+
+/// Runtime-class histogram sample (latencies, queue dwell times).
+pub fn hist_rt(name: &'static str, value: u64) {
+    if state() != ON_TIMING {
+        return;
+    }
+    record(Event::HistVal {
+        name,
+        value,
+        runtime: true,
+    });
+}
+
+/// Deterministic histogram sample (data-derived sizes, not times).
+pub fn hist(name: &'static str, value: u64) {
+    if state() == OFF {
+        return;
+    }
+    record(Event::HistVal {
+        name,
+        value,
+        runtime: false,
+    });
+}
+
+/// Appends the point `(x, y)` to the float series `name` (e.g. per-epoch
+/// training loss with `x` = epoch).
+pub fn series(name: &'static str, x: u64, y: f64) {
+    if state() == OFF {
+        return;
+    }
+    record(Event::Series {
+        name,
+        index: None,
+        x,
+        y,
+    });
+}
+
+/// [`series`] with a sub-stream index (e.g. one utilization series per
+/// expert).
+pub fn series_at(name: &'static str, index: u64, x: u64, y: f64) {
+    if state() == OFF {
+        return;
+    }
+    record(Event::Series {
+        name,
+        index: Some(index),
+        x,
+        y,
+    });
+}
+
+/// The innermost open span on this thread ([`ROOT`] when none) — capture
+/// it before fanning work out to the pool, then open worker-side spans
+/// with [`span_under`].
+pub fn current() -> SpanId {
+    SPAN_STACK.with(|s| SpanId(s.borrow().last().copied().unwrap_or(0)))
+}
+
+/// FNV-1a over (parent, name, index) — the deterministic span identity.
+fn span_id(parent: u64, name: &str, index: Option<u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let eat = |h: u64, b: u8| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    for b in parent.to_le_bytes() {
+        h = eat(h, b);
+    }
+    h = eat(h, 0xff);
+    for b in name.bytes() {
+        h = eat(h, b);
+    }
+    h = eat(h, 0xff);
+    if let Some(i) = index {
+        for b in i.to_le_bytes() {
+            h = eat(h, b);
+        }
+    }
+    if h == 0 {
+        h = 1; // 0 is the root sentinel
+    }
+    h
+}
+
+/// An open span; records itself (and its accumulated metrics) on drop.
+/// Two spans with the same (parent, name, index) merge at drain time:
+/// durations and metrics sum, the repeat count increments.
+pub struct Span {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    index: Option<u64>,
+    start_us: u64,
+    armed: bool,
+    metrics: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// This span's identity, for parenting worker-side children.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.id)
+    }
+
+    /// Accumulates `v` into the span metric `key` (bytes, rows, …).
+    pub fn add(&mut self, key: &'static str, v: u64) {
+        if !self.armed {
+            return;
+        }
+        match self.metrics.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, total)) => *total += v,
+            None => self.metrics.push((key, v)),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if stack.last() == Some(&self.id) {
+                stack.pop();
+            }
+        });
+        let dur_us = if timing_enabled() {
+            sink::clock_us().saturating_sub(self.start_us)
+        } else {
+            0
+        };
+        record(Event::Span {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            index: self.index,
+            dur_us,
+            metrics: std::mem::take(&mut self.metrics),
+        });
+    }
+}
+
+fn open_span(parent: u64, name: &'static str, index: Option<u64>) -> Span {
+    if state() == OFF {
+        return Span {
+            id: 0,
+            parent: 0,
+            name,
+            index: None,
+            start_us: 0,
+            armed: false,
+            metrics: Vec::new(),
+        };
+    }
+    let id = span_id(parent, name, index);
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Span {
+        id,
+        parent,
+        name,
+        index,
+        start_us: now_us(),
+        armed: true,
+        metrics: Vec::new(),
+    }
+}
+
+/// Opens a span under this thread's innermost open span.
+pub fn span(name: &'static str) -> Span {
+    open_span(current().0, name, None)
+}
+
+/// Opens an indexed span (e.g. one per shard or per epoch) under this
+/// thread's innermost open span.
+pub fn span_at(name: &'static str, index: u64) -> Span {
+    open_span(current().0, name, Some(index))
+}
+
+/// Opens an indexed span under an explicit parent — the entry point for
+/// pool-task closures, where the submitting thread's span stack is not
+/// visible.
+pub fn span_under(parent: SpanId, name: &'static str, index: u64) -> Span {
+    open_span(parent.0, name, Some(index))
+}
+
+// ---------------------------------------------------------------------------
+// Drain: merge shards into a deterministic report
+// ---------------------------------------------------------------------------
+
+/// One merged span in depth-first tree order.
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    /// Deterministic identity ([`span_id`] of parent/name/index).
+    pub id: u64,
+    /// Parent identity (0 = root).
+    pub parent: u64,
+    /// Span name.
+    pub name: &'static str,
+    /// Caller-supplied index, when opened with `span_at`/`span_under`.
+    pub index: Option<u64>,
+    /// How many times this identity was opened and closed.
+    pub count: u64,
+    /// Summed wall-clock duration (0 when timing was disabled).
+    pub dur_us: u64,
+    /// Summed metrics, sorted by key.
+    pub metrics: Vec<(&'static str, u64)>,
+    /// Depth in the reconstructed tree (0 = top level).
+    pub depth: usize,
+}
+
+/// One merged counter.
+#[derive(Debug, Clone)]
+pub struct CounterRec {
+    /// Counter name.
+    pub name: &'static str,
+    /// Optional string key (per-column counters).
+    pub label: Option<String>,
+    /// Optional numeric key (per-expert / per-worker counters).
+    pub index: Option<u64>,
+    /// Summed value.
+    pub value: u64,
+    /// True for scheduling-dependent metrics (recorded only with timing).
+    pub runtime: bool,
+}
+
+/// One merged high-water gauge.
+#[derive(Debug, Clone)]
+pub struct GaugeRec {
+    /// Gauge name.
+    pub name: &'static str,
+    /// Optional numeric key.
+    pub index: Option<u64>,
+    /// Maximum observed value.
+    pub value: u64,
+    /// True for scheduling-dependent metrics.
+    pub runtime: bool,
+}
+
+/// One merged histogram.
+#[derive(Debug, Clone)]
+pub struct HistRec {
+    /// Histogram name.
+    pub name: &'static str,
+    /// Merged buckets.
+    pub hist: Histogram,
+    /// True for scheduling-dependent metrics.
+    pub runtime: bool,
+}
+
+/// One merged float series, points sorted by x.
+#[derive(Debug, Clone)]
+pub struct SeriesRec {
+    /// Series name.
+    pub name: &'static str,
+    /// Optional sub-stream index.
+    pub index: Option<u64>,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// A drained, fully merged snapshot of everything recorded since
+/// [`enable`]. All vectors are deterministically ordered.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Whether wall-clock timing was on for this session.
+    pub timing: bool,
+    /// Spans in depth-first tree order.
+    pub spans: Vec<SpanRec>,
+    /// Counters sorted by (name, label, index).
+    pub counters: Vec<CounterRec>,
+    /// Gauges sorted by (name, index).
+    pub gauges: Vec<GaugeRec>,
+    /// Histograms sorted by name.
+    pub hists: Vec<HistRec>,
+    /// Series sorted by (name, index).
+    pub series: Vec<SeriesRec>,
+}
+
+impl Report {
+    /// First span with `name`, in tree order.
+    pub fn span_named(&self, name: &str) -> Option<&SpanRec> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of every counter called `name` (over all labels/indexes).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+}
+
+struct SpanAgg {
+    parent: u64,
+    name: &'static str,
+    index: Option<u64>,
+    count: u64,
+    dur_us: u64,
+    metrics: Vec<(&'static str, u64)>,
+}
+
+/// Stops recording and returns the merged report. The merge is
+/// deterministic: every ordering derives from names, indexes and ids —
+/// never from shard membership or arrival order.
+pub fn drain() -> Report {
+    let timing = timing_enabled();
+    STATE.store(OFF, Ordering::SeqCst);
+    let mut events: Vec<Event> = Vec::new();
+    for shard in &SHARDS {
+        events.append(&mut shard.lock().unwrap());
+    }
+
+    let mut spans: HashMap<u64, SpanAgg> = HashMap::new();
+    type CounterKey = (&'static str, Option<String>, Option<u64>, bool);
+    type SeriesKey = (&'static str, Option<u64>);
+    let mut counters: BTreeMap<CounterKey, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<(&'static str, Option<u64>, bool), u64> = BTreeMap::new();
+    let mut hists: BTreeMap<(&'static str, bool), Histogram> = BTreeMap::new();
+    let mut series: BTreeMap<SeriesKey, Vec<(u64, f64)>> = BTreeMap::new();
+
+    for ev in events {
+        match ev {
+            Event::Span {
+                id,
+                parent,
+                name,
+                index,
+                dur_us,
+                metrics,
+            } => {
+                let agg = spans.entry(id).or_insert_with(|| SpanAgg {
+                    parent,
+                    name,
+                    index,
+                    count: 0,
+                    dur_us: 0,
+                    metrics: Vec::new(),
+                });
+                agg.count += 1;
+                agg.dur_us += dur_us;
+                for (k, v) in metrics {
+                    match agg.metrics.iter_mut().find(|(mk, _)| *mk == k) {
+                        Some((_, total)) => *total += v,
+                        None => agg.metrics.push((k, v)),
+                    }
+                }
+            }
+            Event::Count {
+                name,
+                label,
+                index,
+                delta,
+                runtime,
+            } => {
+                *counters.entry((name, label, index, runtime)).or_insert(0) += delta;
+            }
+            Event::Gauge {
+                name,
+                index,
+                value,
+                runtime,
+            } => {
+                let slot = gauges.entry((name, index, runtime)).or_insert(0);
+                *slot = (*slot).max(value);
+            }
+            Event::HistVal {
+                name,
+                value,
+                runtime,
+            } => {
+                hists.entry((name, runtime)).or_default().record(value);
+            }
+            Event::Series { name, index, x, y } => {
+                series.entry((name, index)).or_default().push((x, y));
+            }
+        }
+    }
+
+    // Span tree: children of every parent in (name, index, id) order,
+    // emitted depth-first. Orphans (parent closed after the drain, or
+    // never closed) surface as extra roots rather than vanishing.
+    let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for (&id, agg) in &spans {
+        children.entry(agg.parent).or_default().push(id);
+    }
+    let key_of = |id: u64, spans: &HashMap<u64, SpanAgg>| {
+        let a = &spans[&id];
+        (a.name, a.index, id)
+    };
+    for ids in children.values_mut() {
+        ids.sort_by_key(|&id| key_of(id, &spans));
+    }
+    let mut roots: Vec<u64> = children.get(&0).cloned().unwrap_or_default();
+    let mut orphans: Vec<u64> = spans
+        .keys()
+        .copied()
+        .filter(|id| {
+            let p = spans[id].parent;
+            p != 0 && !spans.contains_key(&p)
+        })
+        .collect();
+    orphans.sort_by_key(|&id| key_of(id, &spans));
+    roots.extend(orphans);
+
+    let mut ordered: Vec<SpanRec> = Vec::with_capacity(spans.len());
+    let mut stack: Vec<(u64, usize)> = roots.into_iter().rev().map(|id| (id, 0)).collect();
+    let mut visited: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    while let Some((id, depth)) = stack.pop() {
+        if !visited.insert(id) {
+            continue; // hash-collision cycle guard
+        }
+        let agg = &spans[&id];
+        let mut metrics = agg.metrics.clone();
+        metrics.sort_by_key(|&(k, _)| k);
+        ordered.push(SpanRec {
+            id,
+            parent: agg.parent,
+            name: agg.name,
+            index: agg.index,
+            count: agg.count,
+            dur_us: agg.dur_us,
+            metrics,
+            depth,
+        });
+        if let Some(kids) = children.get(&id) {
+            for &kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+
+    Report {
+        timing,
+        spans: ordered,
+        counters: counters
+            .into_iter()
+            .map(|((name, label, index, runtime), value)| CounterRec {
+                name,
+                label,
+                index,
+                value,
+                runtime,
+            })
+            .collect(),
+        gauges: gauges
+            .into_iter()
+            .map(|((name, index, runtime), value)| GaugeRec {
+                name,
+                index,
+                value,
+                runtime,
+            })
+            .collect(),
+        hists: hists
+            .into_iter()
+            .map(|((name, runtime), hist)| HistRec {
+                name,
+                hist,
+                runtime,
+            })
+            .collect(),
+        series: series
+            .into_iter()
+            .map(|((name, index), mut points)| {
+                points.sort_by_key(|&(x, y)| (x, y.to_bits()));
+                SeriesRec {
+                    name,
+                    index,
+                    points,
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is a process-global; every test here funnels through
+    // one #[test] fn to avoid cross-test interleaving.
+    #[test]
+    fn recorder_end_to_end() {
+        span_ids_are_deterministic();
+        disabled_recorder_accepts_and_drops_everything();
+        spans_merge_and_order_deterministically();
+        runtime_metrics_are_dropped_without_timing();
+        parallel_recording_merges_shards_deterministically();
+    }
+
+    fn span_ids_are_deterministic() {
+        let a = span_id(0, "compress", None);
+        let b = span_id(0, "compress", None);
+        assert_eq!(a, b);
+        assert_ne!(a, span_id(0, "compress", Some(0)));
+        assert_ne!(a, span_id(a, "compress", None));
+        assert_ne!(span_id(0, "shard", Some(1)), span_id(0, "shard", Some(2)));
+    }
+
+    fn disabled_recorder_accepts_and_drops_everything() {
+        disable();
+        let _ = drain();
+        counter("x", 1);
+        hist("h", 2);
+        series("s", 0, 1.0);
+        {
+            let mut sp = span("dead");
+            sp.add("k", 1);
+            assert_eq!(sp.id().raw(), 0);
+        }
+        let r = drain();
+        assert!(r.spans.is_empty() && r.counters.is_empty());
+        assert!(r.hists.is_empty() && r.series.is_empty());
+    }
+
+    fn spans_merge_and_order_deterministically() {
+        enable(false);
+        for i in (0..3u64).rev() {
+            let root = span("run");
+            let mut sp = span_under(root.id(), "shard", i);
+            sp.add("bytes", 10 * (i + 1));
+        }
+        counter("c", 1);
+        counter("c", 2);
+        counter_at("per", 1, 5);
+        counter_labeled("col", "age", 7);
+        let r = drain();
+        assert!(!r.timing);
+        let names: Vec<_> = r.spans.iter().map(|s| (s.name, s.index, s.depth)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("run", None, 0),
+                ("shard", Some(0), 1),
+                ("shard", Some(1), 1),
+                ("shard", Some(2), 1),
+            ]
+        );
+        assert_eq!(r.spans[0].count, 3, "repeated span identities merge");
+        assert_eq!(r.spans[1].metrics, vec![("bytes", 10)]);
+        assert_eq!(r.counter_total("c"), 3);
+        assert_eq!(r.counter_total("per"), 5);
+        assert_eq!(
+            r.counters.iter().find(|c| c.name == "col").unwrap().label,
+            Some("age".to_owned())
+        );
+        assert_eq!(r.spans[0].dur_us, 0, "no wall clock without timing");
+    }
+
+    fn runtime_metrics_are_dropped_without_timing() {
+        enable(false);
+        counter_rt("steals", 0, 1);
+        gauge_max_rt("qhw", 0, 9);
+        hist_rt("lat", 100);
+        let r = drain();
+        assert!(r.counters.is_empty() && r.gauges.is_empty() && r.hists.is_empty());
+
+        enable(true);
+        counter_rt("steals", 0, 1);
+        gauge_max_rt("qhw", 0, 9);
+        gauge_max_rt("qhw", 0, 4);
+        hist_rt("lat", 100);
+        let r = drain();
+        assert!(r.timing);
+        assert_eq!(r.counter_total("steals"), 1);
+        assert_eq!(r.gauges[0].value, 9);
+        assert_eq!(r.hists[0].hist.count, 1);
+    }
+
+    /// Same event stream recorded from 1 vs 8 threads must drain to the
+    /// same report (shard membership must not leak into the output).
+    fn parallel_recording_merges_shards_deterministically() {
+        let run = |threads: usize| {
+            enable(false);
+            let root_id = {
+                let root = span("job");
+                root.id()
+            };
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    scope.spawn(move || {
+                        for i in 0..16u64 {
+                            if i % threads as u64 != t as u64 {
+                                continue;
+                            }
+                            let mut sp = span_under(root_id, "task", i);
+                            sp.add("n", i);
+                            counter("done", 1);
+                            series_at("util", i % 2, i, i as f64);
+                        }
+                    });
+                }
+            });
+            drain()
+        };
+        let a = run(1);
+        let b = run(8);
+        let flat = |r: &Report| -> Vec<String> {
+            let spans = r.spans.iter().map(|s| {
+                format!(
+                    "{}:{}:{}:{:?}:{}:{:?}",
+                    s.id, s.parent, s.name, s.index, s.count, s.metrics
+                )
+            });
+            let ctrs = r
+                .counters
+                .iter()
+                .map(|c| format!("{}:{:?}:{}", c.name, c.index, c.value));
+            let series = r
+                .series
+                .iter()
+                .map(|s| format!("{}:{:?}:{:?}", s.name, s.index, s.points));
+            spans.chain(ctrs).chain(series).collect()
+        };
+        assert_eq!(flat(&a), flat(&b));
+    }
+}

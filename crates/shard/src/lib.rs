@@ -217,15 +217,26 @@ impl<W: Write> ShardWriter<W> {
 
     /// Appends one shard blob covering `row_count` rows.
     pub fn push_shard(&mut self, row_count: usize, blob: &[u8]) -> Result<(), ShardError> {
+        let index = self.rows.len() as u64;
+        let mut sp = ds_obs::span_at("shard_flush", index);
+        sp.add("bytes", blob.len() as u64);
         let row_count =
             u32::try_from(row_count).map_err(|_| ShardError::Invalid("shard row count > u32"))?;
         let len =
             i64::try_from(blob.len()).map_err(|_| ShardError::Invalid("shard blob > i64 bytes"))?;
+        // CRC before the write so the blob is still hot in cache and the
+        // two costs can be attributed separately.
+        let t0 = ds_obs::now_us();
+        let crc = crc32::crc32(blob);
+        let t1 = ds_obs::now_us();
+        ds_obs::hist_rt("shard.crc_us", t1.saturating_sub(t0));
         self.sink.write_all(blob)?;
+        ds_obs::hist_rt("shard.flush_us", ds_obs::now_us().saturating_sub(t1));
+        ds_obs::counter_at("shard.bytes", index, blob.len() as u64);
         self.written += blob.len() as u64;
         self.rows.push(row_count);
         self.lens.push(len);
-        self.crcs.push(crc32::crc32(blob));
+        self.crcs.push(crc);
         self.total_rows += u64::from(row_count);
         Ok(())
     }

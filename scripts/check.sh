@@ -36,6 +36,10 @@ if [ "$mode" = "full" ]; then
   echo "==> shard_probe (smoke)"
   SMOKE=1 BENCH_OUT=target/BENCH_shard.smoke.json \
     cargo run --release -q -p ds-bench --bin shard_probe
+
+  echo "==> obs_probe (smoke)"
+  SMOKE=1 BENCH_OUT=target/BENCH_obs.smoke.json \
+    cargo run --release -q -p ds-bench --bin obs_probe
 fi
 
 echo "OK"

@@ -1,0 +1,45 @@
+//! Trace determinism: with timing disabled, the serialized ds-obs report
+//! of a full sharded compress + decompress is byte-identical no matter
+//! how many pool threads ran the work. Runtime-class scheduler metrics
+//! (steals, queue depths, latencies) are dropped unless timing is on, so
+//! the remaining span tree, counters, and series depend only on the
+//! input — not on how it was scheduled.
+//!
+//! One test function on purpose: the recorder is process-global, so this
+//! file must not run other recorder-touching tests concurrently.
+
+use ds_core::{compress_sharded_to, decompress, DsArchive, DsConfig};
+use ds_table::gen::Dataset;
+
+#[test]
+fn timing_free_trace_is_identical_across_thread_limits() {
+    let t = Dataset::Monitor.generate(300, 9);
+    let cfg = DsConfig {
+        error_threshold: 0.05,
+        code_size: 2,
+        n_experts: 2,
+        max_epochs: 3,
+        shard_rows: 64,
+        ..Default::default()
+    };
+
+    let run = |limit: usize| {
+        ds_exec::with_thread_limit(limit, || {
+            ds_obs::enable(false);
+            let out = compress_sharded_to(&t, &cfg, Vec::new()).expect("compresses");
+            let archive = DsArchive::from_bytes(out.sink);
+            decompress(&archive).expect("decodes");
+            ds_obs::sink::to_jsonl(&ds_obs::drain())
+        })
+    };
+
+    let t1 = run(1);
+    let t2 = run(2);
+    let t8 = run(8);
+    assert!(
+        t1.contains("\"shard\"") && t1.contains("\"decode_shard\""),
+        "trace must actually cover the sharded pipeline:\n{t1}"
+    );
+    assert_eq!(t1, t2, "trace differs between 1 and 2 threads");
+    assert_eq!(t1, t8, "trace differs between 1 and 8 threads");
+}

@@ -3,7 +3,10 @@
 //! reads must agree with slices of the full decode (and touch only the
 //! intersecting shards), and results must not depend on the thread count.
 
-use ds_core::{compress, decompress, decompress_rows, decompress_rows_with_stats, DsConfig};
+use ds_core::{
+    compress, compress_sharded_to, decompress, decompress_rows, decompress_rows_with_stats,
+    DsConfig,
+};
 use ds_table::csv::write_csv;
 use ds_table::gen::Dataset;
 use ds_table::{Column, Table};
@@ -131,4 +134,50 @@ fn legacy_monolithic_archives_still_decode() {
     let (part, stats) = decompress_rows_with_stats(&archive, 30..90).expect("ranged decode");
     assert_eq!((stats.shards_total, stats.shards_decoded), (1, 1));
     assert_eq!(write_csv(&part), write_csv(&full.slice_rows(30..90)));
+}
+
+/// A sink that fails when a shard's row range lands in it: the error must
+/// name the failing shard index and its row range, not surface as a bare
+/// I/O error.
+#[test]
+fn shard_failure_names_the_shard_and_row_range() {
+    /// Accepts the first `write` call (shard 0's blob) wholesale, then
+    /// fails — so shard 1 is the first shard that cannot be flushed.
+    struct FailingSink {
+        writes_done: usize,
+    }
+    impl std::io::Write for FailingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.writes_done == 0 {
+                self.writes_done = 1;
+                Ok(buf.len())
+            } else {
+                Err(std::io::Error::other("disk full (synthetic)"))
+            }
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let t = Dataset::Monitor.generate(100, 5);
+    let cfg = DsConfig {
+        error_threshold: 0.05,
+        max_epochs: 2,
+        shard_rows: 40,
+        ..Default::default()
+    };
+    let err = compress_sharded_to(&t, &cfg, FailingSink { writes_done: 0 })
+        .err()
+        .expect("second shard flush must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("shard 1"), "error must name the shard: {msg}");
+    assert!(
+        msg.contains("rows 40..80"),
+        "error must name the row range: {msg}"
+    );
+    assert!(
+        msg.contains("disk full"),
+        "error must keep the cause: {msg}"
+    );
 }
