@@ -3,7 +3,7 @@
 //!
 //! * recorder overhead: wall time of the same compression with the
 //!   recorder off, on (deterministic events only), and on with timing;
-//! * stage durations harvested from the trace spans (preprocess, train,
+//! * stage durations harvested from the trace spans (ingest, train,
 //!   encode, shard_flush, decompress) plus event volume.
 //!
 //! ```text
@@ -89,7 +89,7 @@ fn main() {
             "{{\"host_threads\": {}, \"ds_threads\": {}, \"smoke\": {}, ",
             "\"rows\": {}, \"shards\": {}, ",
             "\"off_ms\": {:.3}, \"obs_ms\": {:.3}, \"timing_ms\": {:.3}, ",
-            "\"preprocess_us\": {}, \"train_us\": {}, \"encode_us\": {}, ",
+            "\"ingest_us\": {}, \"train_us\": {}, \"encode_us\": {}, ",
             "\"shard_flush_us\": {}, \"decompress_us\": {}, ",
             "\"report_events\": {}, \"col_bytes_total\": {}}}\n",
         ),
@@ -101,7 +101,7 @@ fn main() {
         off_ms,
         on_ms,
         timing_ms,
-        span_us(&report, "preprocess"),
+        span_us(&report, "ingest"),
         span_us(&report, "train"),
         span_us(&report, "encode"),
         span_us(&report, "shard_flush"),
@@ -125,8 +125,8 @@ fn main() {
     );
     println!("recorder off {off_ms:.3} ms, on {on_ms:.3} ms, timing {timing_ms:.3} ms");
     println!(
-        "stages: preprocess {} us, train {} us, encode {} us, flush {} us, decompress {} us",
-        span_us(&report, "preprocess"),
+        "stages: ingest {} us, train {} us, encode {} us, flush {} us, decompress {} us",
+        span_us(&report, "ingest"),
         span_us(&report, "train"),
         span_us(&report, "encode"),
         span_us(&report, "shard_flush"),

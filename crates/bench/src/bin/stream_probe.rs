@@ -1,0 +1,212 @@
+//! `stream_probe` — measures the memory bound of the streaming ingest
+//! path (§3e): peak RSS and wall time of an in-memory sharded compress
+//! versus `--stream --chunk-rows N` over the same CSV, run as separate
+//! `dsqz` child processes so each run's high-water mark is isolated.
+//!
+//! The probe also checks the §3e identity contract end to end: the two
+//! archives must be byte-identical, and decompressing the streamed one
+//! must restore the input CSV exactly.
+//!
+//! ```text
+//! cargo run --release -p ds-bench --bin stream_probe          # 1M rows
+//! SMOKE=1 cargo run --release -p ds-bench --bin stream_probe  # CI-sized
+//! BENCH_OUT=/tmp/stream.json ...                              # custom path
+//! DSQZ_BIN=/path/to/dsqz ...                                  # custom CLI
+//! ```
+//!
+//! Results are appended as one JSON object per line so successive runs
+//! accumulate in `BENCH_stream.json`.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Locates the `dsqz` binary: `DSQZ_BIN` override, else a sibling of
+/// this probe in the same target directory.
+fn dsqz_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("DSQZ_BIN") {
+        return PathBuf::from(path);
+    }
+    let mut path = std::env::current_exe().expect("probe path");
+    path.pop();
+    path.push("dsqz");
+    if !path.is_file() {
+        panic!(
+            "dsqz not found at {} — build it first (cargo build --release -p ds-cli) \
+             or set DSQZ_BIN",
+            path.display()
+        );
+    }
+    path
+}
+
+/// Runs `dsqz` with `args`, polling `/proc/<pid>/status` for `VmHWM`
+/// (the process peak RSS, in kB) until it exits. Returns the peak and
+/// the wall time.
+fn run_measured(bin: &PathBuf, args: &[&str]) -> (u64, f64) {
+    let start = Instant::now();
+    let mut child = Command::new(bin).args(args).spawn().expect("spawn dsqz");
+    let status_path = format!("/proc/{}/status", child.id());
+    let mut peak_kb = 0u64;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&status_path) {
+            for line in text.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse::<u64>()
+                        .unwrap_or(0);
+                    peak_kb = peak_kb.max(kb);
+                }
+            }
+        }
+        match child.try_wait().expect("poll dsqz") {
+            Some(status) => {
+                assert!(status.success(), "dsqz {args:?} failed: {status}");
+                break;
+            }
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    (peak_kb, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Plain (unmeasured) `dsqz` invocation.
+fn run(bin: &PathBuf, args: &[&str]) {
+    let status = Command::new(bin).args(args).status().expect("spawn dsqz");
+    assert!(status.success(), "dsqz {args:?} failed: {status}");
+}
+
+fn main() {
+    let smoke = std::env::var("SMOKE").is_ok();
+    let rows: usize = if smoke { 20_000 } else { 1_000_000 };
+    let chunk_rows = 4096usize;
+    let bin = dsqz_bin();
+
+    let dir = std::env::temp_dir().join(format!("ds_stream_probe_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("in.csv");
+    let mem_out = dir.join("mem.dsqz");
+    let stream_out = dir.join("stream.dsqz");
+    let restored = dir.join("back.csv");
+
+    let rows_s = rows.to_string();
+    let chunk_s = chunk_rows.to_string();
+    run(
+        &bin,
+        &[
+            "gen",
+            "census",
+            &rows_s,
+            csv.to_str().expect("utf8 path"),
+            "--seed",
+            "42",
+        ],
+    );
+    let csv_bytes = std::fs::metadata(&csv).expect("input csv").len();
+
+    // Identical model / sampling settings on both sides; only the ingest
+    // strategy differs. shard_rows == chunk_rows keeps shard cuts equal.
+    let common = [
+        "--error",
+        "0",
+        "--epochs",
+        "2",
+        "--sample-frac",
+        "0.02",
+        "--seed",
+        "7",
+        "--shard-rows",
+        &chunk_s,
+        "--quiet",
+    ];
+
+    let mut mem_args = vec![
+        "compress",
+        csv.to_str().expect("utf8 path"),
+        mem_out.to_str().expect("utf8 path"),
+    ];
+    mem_args.extend_from_slice(&common);
+    let (mem_peak_kb, mem_ms) = run_measured(&bin, &mem_args);
+
+    let mut stream_args = vec![
+        "compress",
+        csv.to_str().expect("utf8 path"),
+        stream_out.to_str().expect("utf8 path"),
+        "--stream",
+        "--chunk-rows",
+        &chunk_s,
+    ];
+    stream_args.extend_from_slice(&common);
+    let (stream_peak_kb, stream_ms) = run_measured(&bin, &stream_args);
+
+    // §3e identity: both paths must emit the same container bytes.
+    let mem_bytes = std::fs::read(&mem_out).expect("in-memory archive");
+    let stream_bytes = std::fs::read(&stream_out).expect("streamed archive");
+    assert_eq!(
+        mem_bytes, stream_bytes,
+        "streaming output diverged from the in-memory path"
+    );
+
+    // Lossless roundtrip of the streamed archive.
+    run(
+        &bin,
+        &[
+            "decompress",
+            stream_out.to_str().expect("utf8 path"),
+            restored.to_str().expect("utf8 path"),
+        ],
+    );
+    let original = std::fs::read(&csv).expect("input csv");
+    let back = std::fs::read(&restored).expect("restored csv");
+    assert_eq!(original, back, "streamed archive did not roundtrip");
+
+    let ratio = stream_peak_kb as f64 / mem_peak_kb.max(1) as f64;
+    let line = format!(
+        concat!(
+            "{{\"smoke\": {}, \"rows\": {}, \"chunk_rows\": {}, ",
+            "\"csv_bytes\": {}, \"archive_bytes\": {}, ",
+            "\"in_memory_peak_kb\": {}, \"stream_peak_kb\": {}, ",
+            "\"peak_ratio\": {:.4}, ",
+            "\"in_memory_ms\": {:.1}, \"stream_ms\": {:.1}, ",
+            "\"identical\": true, \"roundtrip_ok\": true}}\n",
+        ),
+        smoke,
+        rows,
+        chunk_rows,
+        csv_bytes,
+        stream_bytes.len(),
+        mem_peak_kb,
+        stream_peak_kb,
+        ratio,
+        mem_ms,
+        stream_ms,
+    );
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_stream.json".into());
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out)
+        .expect("open BENCH_stream.json");
+    file.write_all(line.as_bytes()).expect("append run");
+
+    println!("rows={rows} chunk_rows={chunk_rows} smoke={smoke}");
+    println!(
+        "in-memory: peak {:.1} MB, {mem_ms:.1} ms",
+        mem_peak_kb as f64 / 1024.0
+    );
+    println!(
+        "streaming: peak {:.1} MB, {stream_ms:.1} ms ({:.1}% of in-memory peak)",
+        stream_peak_kb as f64 / 1024.0,
+        ratio * 100.0
+    );
+    println!("archives byte-identical, streamed roundtrip lossless");
+    println!("appended to {out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E]
-//!                 [--epochs N] [--seed S] [--shard-rows N] [--tune] [--quiet]
+//!                 [--epochs N] [--seed S] [--shard-rows N] [--sample-frac F]
+//!                 [--stream] [--chunk-rows N] [--tune] [--quiet]
 //!                 [--trace <f.jsonl>] [--stats]
 //! dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]
 //! dsqz inspect    <in.dsqz>
@@ -16,7 +17,15 @@
 //! before compressing. `--shard-rows N` writes the v2 sharded container
 //! (row groups of N rows, streamed to the output file as they encode);
 //! `--rows A..B` then decompresses only the shards intersecting that
-//! half-open row range.
+//! half-open row range. `--sample-frac F` trains the model on a seeded
+//! fraction of the rows instead of all of them.
+//!
+//! `--stream` compresses without ever loading the whole CSV: the file is
+//! read twice with `--chunk-rows` rows resident at a time (pass 1 infers
+//! the schema, folds column statistics, and reservoir-samples training
+//! rows; pass 2 encodes shard row groups). The output is a sharded
+//! container, byte-identical to the in-memory `--shard-rows` path for the
+//! same seed and config.
 //!
 //! `--trace <f.jsonl>` records a ds-obs trace of the run (one JSON object
 //! per span/metric; schema documented in `ds-obs::sink`) and `--stats`
@@ -27,8 +36,8 @@ mod args;
 
 use args::{ArgError, Parsed};
 use ds_core::{
-    compress, compress_sharded_to, decompress, decompress_rows_with_stats, inspect, tune,
-    DsArchive, DsConfig, TuneConfig,
+    compress, compress_csv_stream_to, compress_sharded_to, decompress, decompress_rows_with_stats,
+    inspect, tune, DsArchive, DsConfig, TuneConfig,
 };
 use ds_table::csv::{read_csv_infer, write_csv};
 use ds_table::gen::Dataset;
@@ -49,7 +58,7 @@ fn main() -> ExitCode {
 
 fn usage() -> &'static str {
     "usage:\n  \
-     dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--tune] [--quiet] [--trace <f.jsonl>] [--stats]\n  \
+     dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--sample-frac F] [--stream] [--chunk-rows N] [--tune] [--quiet] [--trace <f.jsonl>] [--stats]\n  \
      dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]\n  \
      dsqz inspect    <in.dsqz>\n  \
      dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>"
@@ -75,12 +84,48 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
     let epochs: usize = p.flag_or("epochs", 120)?;
     let seed: u64 = p.flag_or("seed", 0)?;
     let shard_rows: usize = p.flag_or("shard-rows", 0)?;
+    let sample_frac: f64 = p.flag_or("sample-frac", 1.0)?;
+    let chunk_rows: usize = p.flag_or("chunk-rows", 4096)?;
     let trace: String = p.flag_or("trace", String::new())?;
     let do_tune = p.switch("tune");
+    let do_stream = p.switch("stream");
     let quiet = p.switch("quiet");
     let stats = p.switch("stats");
     p.finish()?;
+    // Mirrors the DsConfig validation so a typo fails before any work.
+    if !(0.0..=1.0).contains(&sample_frac) || sample_frac == 0.0 {
+        return Err(format!(
+            "invalid --sample-frac `{sample_frac}`: must be in (0,1]"
+        ));
+    }
+    if chunk_rows == 0 {
+        return Err("--chunk-rows must be > 0".to_string());
+    }
+    if do_stream && do_tune {
+        return Err(
+            "--stream is incompatible with --tune (tuning needs the full table in memory)"
+                .to_string(),
+        );
+    }
     arm_obs(&trace, stats);
+
+    if do_stream {
+        return cmd_compress_stream(
+            &input,
+            &output,
+            error,
+            code,
+            experts,
+            epochs,
+            seed,
+            shard_rows,
+            sample_frac,
+            chunk_rows,
+            quiet,
+            &trace,
+            stats,
+        );
+    }
 
     let text = std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?;
     let table = read_csv_infer(&text).map_err(|e| format!("parse {input}: {e}"))?;
@@ -99,6 +144,7 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
         n_experts: experts,
         max_epochs: epochs,
         seed,
+        sample_frac,
         ..Default::default()
     };
     if do_tune {
@@ -164,6 +210,72 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
         );
     }
     finish_obs(&trace, stats)
+}
+
+/// The `--stream` half of `compress`: bounded-memory two-pass pipeline
+/// over the CSV file, producing a sharded container byte-identical to the
+/// in-memory `--shard-rows` path.
+#[allow(clippy::too_many_arguments)]
+fn cmd_compress_stream(
+    input: &str,
+    output: &str,
+    error: f64,
+    code: usize,
+    experts: usize,
+    epochs: usize,
+    seed: u64,
+    shard_rows: usize,
+    sample_frac: f64,
+    chunk_rows: usize,
+    quiet: bool,
+    trace: &str,
+    stats: bool,
+) -> Result<(), String> {
+    let cfg = DsConfig {
+        error_threshold: error,
+        code_size: code,
+        n_experts: experts,
+        max_epochs: epochs,
+        seed,
+        sample_frac,
+        // Streaming always writes the sharded container; default to the
+        // same row-group size as the reader chunks when not specified.
+        shard_rows: if shard_rows > 0 {
+            shard_rows
+        } else {
+            chunk_rows
+        },
+        ..Default::default()
+    };
+    let file = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+    let (out, info) = compress_csv_stream_to(
+        std::path::Path::new(input),
+        &cfg,
+        chunk_rows,
+        std::io::BufWriter::new(file),
+    )
+    .map_err(|e| format!("compression failed: {e}"))?;
+    if !quiet {
+        let (cats, nums) = {
+            let cat = info
+                .schema
+                .fields()
+                .iter()
+                .filter(|f| f.ty == ds_table::ColumnType::Categorical)
+                .count();
+            (cat, info.schema.len() - cat)
+        };
+        eprintln!(
+            "{input}: {} rows, {cats} categorical + {nums} numeric columns (streamed, {chunk_rows} rows/chunk)",
+            info.rows
+        );
+        let b = out.breakdown;
+        eprintln!(
+            "{output}: {} bytes in {} shard(s) [decoder {}, codes {}, failures {}, metadata {}]",
+            out.total_bytes, out.n_shards, b.decoder, b.codes, b.failures, b.metadata
+        );
+    }
+    finish_obs(trace, stats)
 }
 
 /// Turns the ds-obs recorder on when `--trace` or `--stats` was given.

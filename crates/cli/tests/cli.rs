@@ -253,10 +253,13 @@ fn trace_and_stats_cover_the_pipeline_and_are_thread_invariant() {
         );
     }
     for needle in [
-        "\"preprocess\"",
+        "\"ingest\"",
+        "\"stats\"",
+        "\"reservoir\"",
         "\"train\"",
         "\"materialize\"",
         "\"shard_flush\"",
+        "\"stream.peak_chunk_bytes\"",
         "\"col.bytes\"",
         "\"pipeline.expert_rows\"",
     ] {
@@ -288,6 +291,124 @@ fn trace_and_stats_cover_the_pipeline_and_are_thread_invariant() {
     assert!(dt.contains("\"decompress.rows\""), "decode trace:\n{dt}");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streaming_compress_matches_in_memory_and_roundtrips() {
+    let dir = tmpdir("stream");
+    let csv = dir.join("s.csv");
+    let mem = dir.join("mem.dsqz");
+    let stream = dir.join("stream.dsqz");
+    let back = dir.join("s_back.csv");
+
+    assert!(dsqz()
+        .args(["gen", "census", "500", csv.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // In-memory sharded container...
+    assert!(dsqz()
+        .args([
+            "compress",
+            csv.to_str().unwrap(),
+            mem.to_str().unwrap(),
+            "--epochs",
+            "6",
+            "--shard-rows",
+            "100",
+            "--sample-frac",
+            "0.5",
+            "--quiet",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    // ...and the streaming path with a chunk size that straddles shard
+    // boundaries must produce byte-identical output.
+    let out = dsqz()
+        .args([
+            "compress",
+            csv.to_str().unwrap(),
+            stream.to_str().unwrap(),
+            "--epochs",
+            "6",
+            "--shard-rows",
+            "100",
+            "--sample-frac",
+            "0.5",
+            "--stream",
+            "--chunk-rows",
+            "73",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stream compress failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("streamed"), "stream stderr: {stderr}");
+    assert_eq!(
+        std::fs::read(&mem).unwrap(),
+        std::fs::read(&stream).unwrap(),
+        "--stream must be byte-identical to the in-memory sharded path"
+    );
+
+    // The streamed container decompresses back to the original CSV.
+    assert!(dsqz()
+        .args([
+            "decompress",
+            stream.to_str().unwrap(),
+            back.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert_eq!(
+        std::fs::read_to_string(&csv).unwrap(),
+        std::fs::read_to_string(&back).unwrap()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stream_flag_validation() {
+    // --stream and --tune cannot combine.
+    let out = dsqz()
+        .args([
+            "compress", "a.csv", "b.dsqz", "--stream", "--tune", "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("incompatible"));
+
+    // Out-of-range --sample-frac fails fast, before touching the input.
+    for bad in ["0", "1.5", "-0.1"] {
+        let out = dsqz()
+            .args(["compress", "a.csv", "b.dsqz", "--sample-frac", bad])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--sample-frac {bad} accepted");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("sample-frac"),
+            "missing flag name in error for {bad}"
+        );
+    }
+
+    // Zero chunk rows is rejected.
+    let out = dsqz()
+        .args([
+            "compress",
+            "a.csv",
+            "b.dsqz",
+            "--stream",
+            "--chunk-rows",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("chunk-rows"));
 }
 
 #[test]

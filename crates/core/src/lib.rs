@@ -47,6 +47,7 @@ pub mod cluster;
 pub mod materialize;
 pub mod pipeline;
 pub mod preprocess;
+pub mod stream;
 pub mod tune;
 
 pub use archive::{container_kind, inspect, ArchiveInfo, ContainerKind, DsArchive, SizeBreakdown};
@@ -54,6 +55,7 @@ pub use pipeline::{
     compress, compress_sharded_to, decompress, decompress_rows, decompress_rows_with_stats,
     DsConfig, ShardedCompression, ShardedDecodeStats, TrainedCompressor,
 };
+pub use stream::{compress_csv_stream_to, compress_stream_to, CsvStreamInfo};
 pub use tune::{tune, TuneConfig, TuneOutcome};
 
 /// Errors surfaced by the DeepSqueeze pipeline.

@@ -98,15 +98,15 @@ impl Default for DsConfig {
 }
 
 impl DsConfig {
-    fn preprocess_options(&self, table: &Table) -> Result<PreprocessOptions> {
+    pub(crate) fn preprocess_options(&self, ncols: usize) -> Result<PreprocessOptions> {
         let error_thresholds = match &self.per_column_errors {
             Some(v) => {
-                if v.len() != table.ncols() {
+                if v.len() != ncols {
                     return Err(DsError::InvalidConfig("per_column_errors arity mismatch"));
                 }
                 v.clone()
             }
-            None => vec![self.error_threshold; table.ncols()],
+            None => vec![self.error_threshold; ncols],
         };
         Ok(PreprocessOptions {
             error_thresholds,
@@ -139,7 +139,7 @@ impl TrainedCompressor {
         }
         let prep = {
             let mut sp = ds_obs::span("preprocess");
-            let prep = preprocess(table, &cfg.preprocess_options(table)?)?;
+            let prep = preprocess(table, &cfg.preprocess_options(table.ncols())?)?;
             sp.add("rows", table.nrows() as u64);
             sp.add("cols", table.ncols() as u64);
             prep
@@ -237,6 +237,77 @@ impl TrainedCompressor {
             cfg,
             nrows,
         }
+    }
+
+    /// Trains on an already-selected sample under already-fitted column
+    /// plans — stage three of the streaming pipeline, where the plans come
+    /// from a one-pass [`crate::preprocess::TableStats`] fold and the
+    /// sample from a deterministic reservoir. `total_rows` is the full
+    /// source's row count (the sample may be much smaller); it becomes the
+    /// compressor's `nrows` so shard accounting sees the real table size.
+    ///
+    /// With `sample == table` this is behaviourally identical to
+    /// [`train`](Self::train) at `sample_frac = 1.0`: the plans fitted by
+    /// the chunked fold match whole-table `preprocess` exactly, and the
+    /// model sees the same matrix in the same order.
+    pub(crate) fn train_from_sample(
+        plans: &[ColPlan],
+        sample: &Table,
+        total_rows: usize,
+        cfg: &DsConfig,
+    ) -> Result<Self> {
+        let (prep, _patches) = {
+            let mut sp = ds_obs::span("apply_plans");
+            let out = crate::preprocess::apply_plans(sample, plans)?;
+            sp.add("rows", sample.nrows() as u64);
+            out
+        };
+        if prep.model_cols.is_empty() || total_rows == 0 || sample.nrows() == 0 {
+            return Ok(TrainedCompressor {
+                prep,
+                model: None,
+                report: TrainReport::default(),
+                cfg: cfg.clone(),
+                nrows: total_rows,
+            });
+        }
+        let spec = ModelSpec {
+            heads: prep.heads.clone(),
+            code_size: cfg.code_size,
+            hidden: (prep.heads.len() * 2).max(4),
+            linear_single_layer: cfg.linear_single_layer,
+            numeric_loss_weight: cfg.numeric_loss_weight,
+            aux_width: 4,
+        };
+        let moe_cfg = MoeConfig {
+            n_experts: cfg.n_experts,
+            batch_size: cfg.batch_size,
+            max_epochs: cfg.max_epochs,
+            tol: cfg.tol,
+            lr: cfg.lr,
+            lr_decay: cfg.lr_decay,
+            seed: cfg.seed,
+        };
+        let (mut model, report) = {
+            let mut sp = ds_obs::span("train");
+            let out = MoeAutoencoder::train(&spec, &prep.x, &prep.cat_targets, &moe_cfg)?;
+            sp.add("rows", prep.x.rows() as u64);
+            sp.add("epochs", out.1.epochs_run as u64);
+            out
+        };
+        if cfg.weight_truncate_bits > 0 {
+            if cfg.weight_truncate_bits >= 24 {
+                return Err(DsError::InvalidConfig("weight_truncate_bits must be < 24"));
+            }
+            model.truncate_weights(cfg.weight_truncate_bits);
+        }
+        Ok(TrainedCompressor {
+            prep,
+            model: Some(model),
+            report,
+            cfg: cfg.clone(),
+            nrows: total_rows,
+        })
     }
 
     /// Materializes the archive for the table this compressor was trained
@@ -364,11 +435,15 @@ pub struct ShardedCompression<W> {
     pub breakdown: SizeBreakdown,
 }
 
-/// Trains one model on the whole table, then compresses row groups of
-/// `cfg.shard_rows` rows independently on the pool, streaming each shard
-/// blob into `sink` in index order as soon as it and its predecessors
-/// have encoded — later shards are still encoding while earlier ones hit
-/// the sink. The produced bytes are identical for any `DS_THREADS`.
+/// Compresses an in-memory table into a v2 sharded container: one model
+/// trained on the whole table, row groups of `cfg.shard_rows` rows
+/// compressed independently on the pool and streamed into `sink` in index
+/// order. The produced bytes are identical for any `DS_THREADS`.
+///
+/// This is a thin adapter: the table is wrapped in a
+/// [`ds_table::stream::TableSource`] and run through the exact same staged
+/// pipeline as true streaming input ([`crate::stream::compress_stream_to`]),
+/// so the in-memory and streaming paths cannot drift apart.
 ///
 /// The decoder weights are stored once in the container manifest (shards
 /// carry empty decoder blobs), so sharding does not multiply the §6.1
@@ -378,90 +453,8 @@ pub fn compress_sharded_to<W: std::io::Write>(
     cfg: &DsConfig,
     sink: W,
 ) -> Result<ShardedCompression<W>> {
-    if cfg.shard_rows == 0 {
-        return Err(DsError::InvalidConfig("shard_rows must be > 0"));
-    }
-    if cfg.order_free {
-        // Shard blobs carry patches addressed by row index; order-free
-        // storage would scramble them (same rule as compress_batch).
-        return Err(DsError::InvalidConfig(
-            "order-free storage is incompatible with sharding",
-        ));
-    }
-    // The root span opens before training so preprocess/train nest under
-    // it; its id is captured for the per-shard encode spans, which run on
-    // pool workers where this thread's span stack is not visible.
-    let root = ds_obs::span("compress");
-    let root_id = root.id();
-    let trained = TrainedCompressor::train(table, cfg)?;
-    let nrows = table.nrows();
-    let shard_rows = cfg.shard_rows;
-    // An empty table still gets one (zero-row) shard so the container
-    // self-describes the schema.
-    let n_shards = if nrows == 0 {
-        1
-    } else {
-        nrows.div_ceil(shard_rows)
-    };
-    let shared = trained.decoder_blob();
-    let mut breakdown = SizeBreakdown {
-        decoder: shared.len(),
-        ..Default::default()
-    };
-    let mut writer = ds_shard::ShardWriter::new(sink);
-    writer.set_shared(shared);
-    let mut first_err: Option<DsError> = None;
-    // A failing shard's error names the shard and its row range — "shard
-    // 7 (rows 448..512): …" — instead of surfacing as a bare codec error.
-    let shard_failed = |i: usize, e: DsError| {
-        let lo = i * shard_rows;
-        let hi = (lo + shard_rows).min(nrows);
-        DsError::ShardFailed {
-            shard: i,
-            rows: lo..hi,
-            source: Box::new(e),
-        }
-    };
-    ds_exec::parallel_map_consume(
-        n_shards,
-        |i| {
-            let mut sp = ds_obs::span_under(root_id, "shard", i as u64);
-            let lo = i * shard_rows;
-            let hi = (lo + shard_rows).min(nrows);
-            sp.add("rows", (hi - lo) as u64);
-            trained.compress_batch_opts(&table.slice_rows(lo..hi), true)
-        },
-        |i, result| {
-            if first_err.is_some() {
-                return;
-            }
-            match result {
-                Ok(archive) => {
-                    let b = archive.breakdown();
-                    breakdown.codes += b.codes;
-                    breakdown.failures += b.failures;
-                    let lo = i * shard_rows;
-                    let rows = (lo + shard_rows).min(nrows) - lo;
-                    if let Err(e) = writer.push_shard(rows, archive.as_bytes()) {
-                        first_err = Some(shard_failed(i, e.into()));
-                    }
-                }
-                Err(e) => first_err = Some(shard_failed(i, e)),
-            }
-        },
-    );
-    if let Some(e) = first_err {
-        return Err(e);
-    }
-    let (sink, total_bytes) = writer.finish()?;
-    let accounted = breakdown.decoder + breakdown.codes + breakdown.failures;
-    breakdown.metadata = (total_bytes as usize).saturating_sub(accounted);
-    Ok(ShardedCompression {
-        sink,
-        total_bytes,
-        n_shards,
-        breakdown,
-    })
+    let source = ds_table::stream::TableSource::new(table, cfg.shard_rows.max(1));
+    crate::stream::compress_stream_to(&source, cfg, sink)
 }
 
 /// Decompresses an archive back into a table.

@@ -20,11 +20,11 @@
 use crate::{DsError, Result};
 use ds_codec::dict::Dictionary;
 use ds_codec::quant::Quantizer;
-use ds_codec::{ByteReader, ByteWriter};
+use ds_codec::{ByteReader, ByteWriter, CodecError};
 use ds_nn::autoencoder::Head;
 use ds_nn::Mat;
-use ds_table::{Column, Table};
-use std::collections::HashMap;
+use ds_table::{Column, ColumnType, Schema, Table};
+use std::collections::BTreeSet;
 
 /// How one original column participates in the pipeline.
 #[derive(Debug, Clone)]
@@ -202,179 +202,374 @@ pub struct PreprocessOptions {
     pub quantize_numerics: bool,
 }
 
-/// Runs preprocessing over a table.
-pub fn preprocess(table: &Table, opts: &PreprocessOptions) -> Result<Preprocessed> {
-    if opts.error_thresholds.len() != table.ncols() {
-        return Err(DsError::InvalidConfig(
-            "one error threshold per column required",
-        ));
-    }
-    if opts.max_train_card < 3 {
-        return Err(DsError::InvalidConfig("max_train_card must be >= 3"));
-    }
-    let n = table.nrows();
+/// Hard cap on a streaming dictionary's size. A categorical column that
+/// exceeds this many distinct values is forced onto the columnar
+/// [`ColPlan::Fallback`] path — unbounded dictionaries would defeat the
+/// streaming pipeline's O(chunk + sample + model) memory contract, and a
+/// column this wide is a poor model input anyway. The rule is monotone
+/// (applied identically however the rows are chunked) so plans never
+/// depend on chunk size.
+pub const DICT_CAP: usize = 1 << 16;
 
-    let mut plans = Vec::with_capacity(table.ncols());
-    let mut true_codes: Vec<Option<Vec<u32>>> = Vec::with_capacity(table.ncols());
+/// `f64` → `u64` key that sorts (as unsigned) exactly like
+/// [`f64::total_cmp`] orders the floats. Lets a `BTreeSet<u64>` reproduce
+/// the sorted-dedup-by-bits behaviour of [`Quantizer::fit`] incrementally.
+fn total_order_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | 0x8000_0000_0000_0000
+    }
+}
 
-    for (i, col) in table.columns().iter().enumerate() {
-        match col {
-            Column::Num(values) => {
-                let error = opts.error_thresholds[i];
-                if !(0.0..=1.0).contains(&error) {
-                    return Err(DsError::InvalidConfig("error threshold not in [0,1]"));
+/// Inverse of [`total_order_key`].
+fn total_order_value(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & 0x7FFF_FFFF_FFFF_FFFF)
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// One-pass accumulator for a numeric column: the running min/max, NaN
+/// sighting, and (only when a lossless `error = 0` quantizer will be fit)
+/// the distinct value set in total order.
+#[derive(Debug, Clone)]
+pub struct NumColStats {
+    min: f64,
+    max: f64,
+    count: usize,
+    saw_nan: bool,
+    distinct: Option<BTreeSet<u64>>,
+}
+
+impl NumColStats {
+    pub(crate) fn new(track_distinct: bool) -> Self {
+        NumColStats {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+            saw_nan: false,
+            distinct: track_distinct.then(BTreeSet::new),
+        }
+    }
+
+    pub(crate) fn push(&mut self, v: f64) {
+        self.count += 1;
+        if v.is_nan() {
+            self.saw_nan = true;
+            return;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if let Some(d) = &mut self.distinct {
+            d.insert(total_order_key(v));
+        }
+    }
+
+    fn merge(&mut self, other: &NumColStats) {
+        self.count += other.count;
+        self.saw_nan |= other.saw_nan;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if let (Some(d), Some(o)) = (&mut self.distinct, &other.distinct) {
+            d.extend(o.iter().copied());
+        }
+    }
+}
+
+/// One-pass accumulator for a categorical column: the first-appearance
+/// dictionary plus per-code frequencies, capped at [`DICT_CAP`] distinct
+/// values (past the cap the column is marked for fallback and the
+/// dictionary is dropped, bounding memory).
+#[derive(Debug, Clone)]
+pub struct CatColStats {
+    dict: Dictionary,
+    freq: Vec<u64>,
+    count: usize,
+    overflowed: bool,
+}
+
+impl CatColStats {
+    pub(crate) fn new() -> Self {
+        CatColStats {
+            dict: Dictionary::new(),
+            freq: Vec::new(),
+            count: 0,
+            overflowed: false,
+        }
+    }
+
+    pub(crate) fn push(&mut self, v: &str) {
+        self.count += 1;
+        if self.overflowed {
+            return;
+        }
+        let code = self.dict.intern(v) as usize;
+        if self.dict.len() > DICT_CAP {
+            self.overflow();
+            return;
+        }
+        if code == self.freq.len() {
+            self.freq.push(0);
+        }
+        self.freq[code] += 1;
+    }
+
+    fn overflow(&mut self) {
+        self.overflowed = true;
+        self.dict = Dictionary::new();
+        self.freq = Vec::new();
+    }
+
+    /// Ordered merge: `other` must hold the rows that followed `self`'s.
+    fn merge(&mut self, other: &CatColStats) {
+        self.count += other.count;
+        if self.overflowed {
+            return;
+        }
+        if other.overflowed {
+            self.overflow();
+            return;
+        }
+        for (value, &n) in other.dict.values().zip(&other.freq) {
+            let code = self.dict.intern(value) as usize;
+            if self.dict.len() > DICT_CAP {
+                self.overflow();
+                return;
+            }
+            if code == self.freq.len() {
+                self.freq.push(0);
+            }
+            self.freq[code] += n;
+        }
+    }
+}
+
+/// Streaming statistics for one column.
+#[derive(Debug, Clone)]
+pub enum ColumnStats {
+    /// Numeric column accumulator.
+    Num(NumColStats),
+    /// Categorical column accumulator.
+    Cat(CatColStats),
+}
+
+/// Mergeable one-pass statistics over a whole table, fed chunk by chunk.
+/// This is pass 1 of the streaming pipeline: after the last chunk,
+/// [`TableStats::into_plans`] produces exactly the [`ColPlan`]s that
+/// [`preprocess`] would fit on the concatenation of every chunk.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    schema: Schema,
+    opts: PreprocessOptions,
+    cols: Vec<ColumnStats>,
+    rows: usize,
+}
+
+impl TableStats {
+    /// Creates an empty accumulator, validating the options against the
+    /// schema (threshold arity and range, `max_train_card`).
+    pub fn new(schema: &Schema, opts: &PreprocessOptions) -> Result<Self> {
+        if opts.error_thresholds.len() != schema.len() {
+            return Err(DsError::InvalidConfig(
+                "one error threshold per column required",
+            ));
+        }
+        if opts.max_train_card < 3 {
+            return Err(DsError::InvalidConfig("max_train_card must be >= 3"));
+        }
+        let mut cols = Vec::with_capacity(schema.len());
+        for (f, &error) in schema.fields().iter().zip(&opts.error_thresholds) {
+            match f.ty {
+                ColumnType::Numeric => {
+                    if !(0.0..=1.0).contains(&error) {
+                        return Err(DsError::InvalidConfig("error threshold not in [0,1]"));
+                    }
+                    let track = error == 0.0 && opts.quantize_numerics;
+                    cols.push(ColumnStats::Num(NumColStats::new(track)));
                 }
-                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-                let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let (min, max) = if values.is_empty() {
-                    (0.0, 0.0)
-                } else {
-                    (min, max)
-                };
-                if opts.quantize_numerics {
-                    let quantizer = Quantizer::fit(values, error)?;
-                    true_codes.push(Some(quantizer.encode_column(values)));
+                ColumnType::Categorical => cols.push(ColumnStats::Cat(CatColStats::new())),
+            }
+        }
+        Ok(TableStats {
+            schema: schema.clone(),
+            opts: opts.clone(),
+            cols,
+            rows: 0,
+        })
+    }
+
+    /// Assembles an accumulator from already-filled per-column stats (the
+    /// CSV probe fills dual-mode stats before the schema is known). Runs
+    /// the same option validation as [`TableStats::new`].
+    pub(crate) fn from_parts(
+        schema: Schema,
+        opts: PreprocessOptions,
+        cols: Vec<ColumnStats>,
+        rows: usize,
+    ) -> Result<Self> {
+        let mut validated = TableStats::new(&schema, &opts)?;
+        if cols.len() != validated.cols.len() {
+            return Err(DsError::InvalidConfig("column stats arity mismatch"));
+        }
+        validated.cols = cols;
+        validated.rows = rows;
+        Ok(validated)
+    }
+
+    /// Folds one chunk of rows into the statistics. Chunks must share the
+    /// accumulator's schema and arrive in row order.
+    pub fn update(&mut self, chunk: &Table) -> Result<()> {
+        if chunk.schema() != &self.schema {
+            return Err(DsError::InvalidConfig("chunk schema mismatch"));
+        }
+        for (col, stats) in chunk.columns().iter().zip(&mut self.cols) {
+            match (col, stats) {
+                (Column::Num(values), ColumnStats::Num(s)) => {
+                    for &v in values {
+                        s.push(v);
+                    }
+                }
+                (Column::Cat(values), ColumnStats::Cat(s)) => {
+                    for v in values {
+                        s.push(v);
+                    }
+                }
+                _ => return Err(DsError::InvalidConfig("chunk schema mismatch")),
+            }
+        }
+        self.rows += chunk.nrows();
+        Ok(())
+    }
+
+    /// Rows folded in so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Assembles two partial accumulations: `other` must cover the rows
+    /// immediately following `self`'s (dictionary codes are assigned in
+    /// first-appearance order, so merging is ordered, not commutative).
+    pub fn merge(&mut self, other: &TableStats) -> Result<()> {
+        if other.schema != self.schema {
+            return Err(DsError::InvalidConfig("chunk schema mismatch"));
+        }
+        for (dst, src) in self.cols.iter_mut().zip(&other.cols) {
+            match (dst, src) {
+                (ColumnStats::Num(d), ColumnStats::Num(s)) => d.merge(s),
+                (ColumnStats::Cat(d), ColumnStats::Cat(s)) => d.merge(s),
+                _ => return Err(DsError::InvalidConfig("chunk schema mismatch")),
+            }
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+
+    /// Finalizes the accumulated statistics into per-column plans —
+    /// identical to what [`preprocess`] fits on the same rows.
+    pub fn into_plans(self) -> Result<Vec<ColPlan>> {
+        let rows = self.rows;
+        let opts = &self.opts;
+        let mut plans = Vec::with_capacity(self.cols.len());
+        for (stats, &error) in self.cols.into_iter().zip(&opts.error_thresholds) {
+            match stats {
+                ColumnStats::Num(s) => {
+                    let (min, max) = if s.count == 0 {
+                        (0.0, 0.0)
+                    } else {
+                        (s.min, s.max)
+                    };
+                    if !opts.quantize_numerics {
+                        plans.push(ColPlan::NumericRaw { min, max, error });
+                        continue;
+                    }
+                    if s.saw_nan {
+                        // Same failure Quantizer::fit reports on NaN input.
+                        return Err(DsError::Codec(CodecError::InvalidParameter(
+                            "quantizer: NaN input",
+                        )));
+                    }
+                    let quantizer = if error == 0.0 {
+                        let distinct = s.distinct.ok_or(DsError::InvalidConfig(
+                            "internal: distinct tracking missing for exact quantizer",
+                        ))?;
+                        let values = distinct.into_iter().map(total_order_value).collect();
+                        Quantizer::Exact { values }
+                    } else {
+                        let range = max - min;
+                        let buckets = if range <= 0.0 {
+                            1
+                        } else {
+                            (1.0 / (2.0 * error)).ceil() as u32
+                        };
+                        Quantizer::Uniform { min, max, buckets }
+                    };
                     plans.push(ColPlan::Numeric {
                         quantizer,
                         min,
                         max,
                     });
-                } else {
-                    true_codes.push(None);
-                    plans.push(ColPlan::NumericRaw { min, max, error });
                 }
-            }
-            Column::Cat(values) => {
-                let (dict, codes) = Dictionary::encode_column(values);
-                let distinct = dict.len();
-                let too_wide =
-                    n > 0 && distinct > 64 && distinct as f64 > opts.high_card_ratio * n as f64;
-                if too_wide {
-                    plans.push(ColPlan::Fallback);
-                    true_codes.push(None);
-                } else if distinct <= 2 {
-                    plans.push(ColPlan::Binary { dict });
-                    true_codes.push(Some(codes));
-                } else if distinct <= opts.max_train_card {
-                    let class_to_code = (0..distinct as u32).collect();
-                    plans.push(ColPlan::Cat {
-                        dict,
-                        model_card: distinct,
-                        class_to_code,
-                    });
-                    true_codes.push(Some(codes));
-                } else {
-                    // Skew clipping: top (max_train_card - 1) values keep a
-                    // class; everything else shares OTHER.
-                    let mut freq: HashMap<u32, u64> = HashMap::new();
-                    for &c in &codes {
-                        *freq.entry(c).or_default() += 1;
+                ColumnStats::Cat(s) => {
+                    let distinct = s.dict.len();
+                    let too_wide = rows > 0
+                        && distinct > 64
+                        && distinct as f64 > opts.high_card_ratio * rows as f64;
+                    if s.overflowed || too_wide {
+                        plans.push(ColPlan::Fallback);
+                    } else if distinct <= 2 {
+                        plans.push(ColPlan::Binary { dict: s.dict });
+                    } else if distinct <= opts.max_train_card {
+                        let class_to_code = (0..distinct as u32).collect();
+                        plans.push(ColPlan::Cat {
+                            dict: s.dict,
+                            model_card: distinct,
+                            class_to_code,
+                        });
+                    } else {
+                        // Skew clipping: top (max_train_card - 1) values
+                        // keep a class; everything else shares OTHER.
+                        let mut by_freq: Vec<(u32, u64)> = s
+                            .freq
+                            .iter()
+                            .enumerate()
+                            .map(|(c, &n)| (c as u32, n))
+                            .collect();
+                        // Sort by (count desc, code asc) for determinism.
+                        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                        let keep = opts.max_train_card - 1;
+                        let class_to_code: Vec<u32> =
+                            by_freq.iter().take(keep).map(|&(c, _)| c).collect();
+                        plans.push(ColPlan::Cat {
+                            dict: s.dict,
+                            model_card: opts.max_train_card,
+                            class_to_code,
+                        });
                     }
-                    // ds-lint: allow(deterministic-iteration) -- collected pairs are fully sorted on the next statement before any order-sensitive use
-                    let mut by_freq: Vec<(u32, u64)> = freq.into_iter().collect();
-                    // Sort by (count desc, code asc) for determinism.
-                    by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                    let keep = opts.max_train_card - 1;
-                    let class_to_code: Vec<u32> =
-                        by_freq.iter().take(keep).map(|&(c, _)| c).collect();
-                    plans.push(ColPlan::Cat {
-                        dict,
-                        model_card: opts.max_train_card,
-                        class_to_code,
-                    });
-                    true_codes.push(Some(codes));
                 }
             }
         }
+        Ok(plans)
     }
+}
 
-    // Model-visible columns and heads.
-    let mut model_cols = Vec::new();
-    let mut heads = Vec::new();
-    for (i, plan) in plans.iter().enumerate() {
-        if let Some(h) = plan.head() {
-            model_cols.push(i);
-            heads.push(h);
-        }
-    }
-    if model_cols.is_empty() && table.ncols() > 0 {
-        // Entirely fallback table: legal, the pipeline skips the model.
-    }
-
-    // Build the input matrix and categorical targets.
-    let mut x = Mat::zeros(n, model_cols.len());
-    let mut cat_targets: Vec<Vec<u32>> = Vec::new();
-    for (slot, &i) in model_cols.iter().enumerate() {
-        match (&plans[i], table.column(i).expect("valid index")) {
-            (
-                ColPlan::Numeric {
-                    quantizer,
-                    min,
-                    max,
-                },
-                Column::Num(_),
-            ) => {
-                let codes = true_codes[i].as_ref().expect("numeric has codes");
-                let span = (max - min).max(f64::MIN_POSITIVE);
-                for (r, &code) in codes.iter().enumerate() {
-                    let mid = quantizer.value_of(code);
-                    x.set(r, slot, (((mid - min) / span).clamp(0.0, 1.0)) as f32);
-                }
-            }
-            (ColPlan::NumericRaw { min, max, .. }, Column::Num(values)) => {
-                let span = (max - min).max(f64::MIN_POSITIVE);
-                for (r, &v) in values.iter().enumerate() {
-                    x.set(r, slot, (((v - min) / span).clamp(0.0, 1.0)) as f32);
-                }
-            }
-            (ColPlan::Binary { .. }, Column::Cat(_)) => {
-                let codes = true_codes[i].as_ref().expect("binary has codes");
-                for (r, &code) in codes.iter().enumerate() {
-                    x.set(r, slot, code as f32);
-                }
-            }
-            (
-                ColPlan::Cat {
-                    model_card,
-                    class_to_code,
-                    ..
-                },
-                Column::Cat(_),
-            ) => {
-                let codes = true_codes[i].as_ref().expect("cat has codes");
-                // global code → model class (OTHER = model_card - 1).
-                let mut code_to_class: HashMap<u32, u32> = HashMap::new();
-                for (class, &code) in class_to_code.iter().enumerate() {
-                    code_to_class.insert(code, class as u32);
-                }
-                let other = (*model_card - 1) as u32;
-                let has_other = class_to_code.len() < *model_card;
-                let mut targets = Vec::with_capacity(n);
-                let denom = (*model_card - 1).max(1) as f32;
-                for (r, &code) in codes.iter().enumerate() {
-                    let class = match code_to_class.get(&code) {
-                        Some(&c) => c,
-                        None if has_other => other,
-                        // Without an OTHER class every code is mapped.
-                        None => unreachable!("full class map covers all codes"),
-                    };
-                    targets.push(class);
-                    x.set(r, slot, class as f32 / denom);
-                }
-                cat_targets.push(targets);
-            }
-            _ => unreachable!("plan/column type mismatch is prevented at construction"),
-        }
-    }
-
-    Ok(Preprocessed {
-        plans,
-        model_cols,
-        heads,
-        x,
-        cat_targets,
-        true_codes,
-    })
+/// Runs preprocessing over a table.
+///
+/// Implemented as the degenerate one-chunk case of the streaming stages:
+/// accumulate [`TableStats`], finalize plans, then encode the same rows
+/// through [`apply_plans`] — so the in-memory and streaming pipelines fit
+/// byte-identical plans by construction. On the fitting table the plans
+/// represent every cell, so the encoder's patch list is empty and the
+/// resulting [`Preprocessed`] matches what the historical single-pass
+/// implementation produced.
+pub fn preprocess(table: &Table, opts: &PreprocessOptions) -> Result<Preprocessed> {
+    let mut stats = TableStats::new(table.schema(), opts)?;
+    stats.update(table)?;
+    let plans = stats.into_plans()?;
+    let (prep, _patches) = apply_plans(table, &plans)?;
+    Ok(prep)
 }
 
 /// A cell that the fitted plans cannot represent (unseen categorical
@@ -742,5 +937,113 @@ mod tests {
         let map = vec![10u32, 20, 30];
         assert_eq!(class_of_code(&map, 4, 20), 1);
         assert_eq!(class_of_code(&map, 4, 99), 3); // OTHER
+    }
+
+    fn plan_bytes(plans: &[ColPlan]) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        for p in plans {
+            p.write_to(&mut w);
+        }
+        w.into_vec()
+    }
+
+    #[test]
+    fn chunked_stats_fit_identical_plans() {
+        // Every column family at once: skewed categoricals, binaries,
+        // high-card fallbacks, exact and bucketed numerics.
+        for (t, error) in [
+            (gen::criteo_like(500, 9), 0.05),
+            (gen::census_like(500, 9), 0.0),
+            (gen::forest_like(300, 4), 0.1),
+        ] {
+            let o = opts(t.ncols(), error);
+            let whole = preprocess(&t, &o).unwrap();
+            for chunk_rows in [1usize, 7, 64, t.nrows() + 1] {
+                let mut stats = TableStats::new(t.schema(), &o).unwrap();
+                let mut lo = 0;
+                while lo < t.nrows() {
+                    stats
+                        .update(&t.slice_rows(lo..(lo + chunk_rows).min(t.nrows())))
+                        .unwrap();
+                    lo += chunk_rows;
+                }
+                assert_eq!(stats.rows(), t.nrows());
+                let plans = stats.into_plans().unwrap();
+                assert_eq!(
+                    plan_bytes(&plans),
+                    plan_bytes(&whole.plans),
+                    "chunk_rows={chunk_rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_merge_is_ordered_concatenation() {
+        let t = gen::census_like(400, 13);
+        let o = opts(t.ncols(), 0.0);
+        let mut whole = TableStats::new(t.schema(), &o).unwrap();
+        whole.update(&t).unwrap();
+
+        let mut front = TableStats::new(t.schema(), &o).unwrap();
+        front.update(&t.slice_rows(0..150)).unwrap();
+        let mut back = TableStats::new(t.schema(), &o).unwrap();
+        back.update(&t.slice_rows(150..400)).unwrap();
+        front.merge(&back).unwrap();
+        assert_eq!(front.rows(), 400);
+        assert_eq!(
+            plan_bytes(&front.into_plans().unwrap()),
+            plan_bytes(&whole.into_plans().unwrap())
+        );
+
+        // Schema mismatch refused.
+        let other = gen::corel_like(10, 1);
+        let o2 = opts(other.ncols(), 0.0);
+        let s2 = TableStats::new(other.schema(), &o2).unwrap();
+        let mut s1 = TableStats::new(t.schema(), &o).unwrap();
+        assert!(s1.merge(&s2).is_err());
+        assert!(s1.update(&other).is_err());
+    }
+
+    #[test]
+    fn dictionary_cap_forces_fallback() {
+        let values: Vec<String> = (0..DICT_CAP + 10).map(|i| format!("u{i}")).collect();
+        let n = values.len();
+        let t = ds_table::Table::from_columns(vec![("c".into(), ds_table::Column::Cat(values))])
+            .unwrap();
+        // high_card_ratio 2.0 would normally keep this column on the
+        // model; the cap overrides it.
+        let o = PreprocessOptions {
+            error_thresholds: vec![0.0],
+            high_card_ratio: 2.0,
+            max_train_card: 64,
+            quantize_numerics: true,
+        };
+        let mut stats = TableStats::new(t.schema(), &o).unwrap();
+        stats.update(&t).unwrap();
+        assert_eq!(stats.rows(), n);
+        let plans = stats.into_plans().unwrap();
+        assert!(matches!(plans[0], ColPlan::Fallback));
+    }
+
+    #[test]
+    fn total_order_key_roundtrips_and_sorts() {
+        let mut vals = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            2.5,
+            f64::INFINITY,
+        ];
+        for v in vals {
+            assert_eq!(total_order_value(total_order_key(v)).to_bits(), v.to_bits());
+        }
+        let mut keys: Vec<u64> = vals.iter().map(|&v| total_order_key(v)).collect();
+        keys.sort_unstable();
+        vals.sort_by(f64::total_cmp);
+        let back: Vec<u64> = vals.iter().map(|&v| total_order_key(v)).collect();
+        assert_eq!(keys, back);
     }
 }

@@ -1,0 +1,771 @@
+//! Staged streaming compression: bounded-memory, two-pass pipeline (§3e).
+//!
+//! The monolithic `&Table` entry points are adapters over the stages in
+//! this module, which consume any [`RowSource`] — an iterator of
+//! fixed-size [`Table`] chunks that can be rewound for a second pass:
+//!
+//! 1. **Ingest** (pass 1) — fold every chunk into a mergeable
+//!    [`TableStats`] accumulator and, simultaneously, collect a seeded
+//!    reservoir sample of rows.
+//! 2. **Stats** — convert the accumulator into the per-column plans
+//!    whole-table `preprocess` would have fitted (proven equivalent by
+//!    the chunked-plan tests in [`crate::preprocess`]).
+//! 3. **Train** — fit the mixture on the sample only
+//!    ([`TrainedCompressor::train_from_sample`]).
+//! 4. **Encode** (pass 2) — re-read the source, regroup chunks into
+//!    exact `shard_rows` row groups, and push each encoded group through
+//!    the shared [`ds_shard::ShardWriter`] in index order.
+//!
+//! Peak memory is O(chunk + sample + model), never O(table).
+//!
+//! ## Determinism contract
+//!
+//! For a fixed seed, the produced container is byte-identical across
+//! `DS_THREADS` settings *and* across chunk sizes. Thread-independence
+//! comes from the ordered consume of `parallel_map_consume`;
+//! chunk-independence holds because (a) the stats fold visits values in
+//! row order regardless of partitioning, (b) the reservoir keeps row `i`
+//! based only on `hash(seed, i)` — no per-chunk state — and (c) the
+//! regrouper cuts shard boundaries at absolute row multiples of
+//! `shard_rows`.
+
+use crate::archive::SizeBreakdown;
+use crate::pipeline::{DsConfig, ShardedCompression, TrainedCompressor};
+use crate::preprocess::{CatColStats, ColumnStats, NumColStats, TableStats};
+use crate::{DsError, Result};
+use ds_table::csv::CsvChunks;
+use ds_table::stream::{rows_to_table, CsvFileSource, RowSource};
+use ds_table::{ColumnType, Field, Schema, Table, TableError};
+use std::io::Write;
+use std::path::Path;
+
+// ---------------------------------------------------------------------------
+// Reservoir: deterministic hash-threshold row selection
+// ---------------------------------------------------------------------------
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Keeps row `i` iff `hash(seed, i) < frac · 2⁶⁴` — a Bernoulli sample
+/// keyed by *absolute* row index, so the selection is identical no matter
+/// how the stream is chunked or which thread sees the row. The seed is
+/// derived as `cfg.seed ^ 0x5A17`, matching the salt the in-memory
+/// trainer uses for its shuffle sample.
+struct Reservoir {
+    seed: u64,
+    threshold: u64,
+    all: bool,
+}
+
+impl Reservoir {
+    fn new(frac: f64, seed: u64) -> Self {
+        let all = frac >= 1.0;
+        // 2^64 as f64; the cast saturates, so frac → 1 keeps every row.
+        let threshold = (frac.max(0.0) * 18_446_744_073_709_551_616.0) as u64;
+        Reservoir {
+            seed: seed ^ 0x5A17,
+            threshold,
+            all,
+        }
+    }
+
+    fn keep(&self, row: u64) -> bool {
+        self.all || splitmix64(self.seed ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15)) < self.threshold
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regrouper: chunk-size-independent shard boundaries
+// ---------------------------------------------------------------------------
+
+/// Re-cuts arbitrarily-sized chunks into row groups of exactly
+/// `shard_rows` rows (final group possibly short), with boundaries at
+/// absolute row multiples of `shard_rows` — the step that makes shard
+/// bytes independent of the reader's chunk size.
+struct Regrouper {
+    shard_rows: usize,
+    buf: Vec<Table>,
+    buffered: usize,
+}
+
+impl Regrouper {
+    fn new(shard_rows: usize) -> Self {
+        Regrouper {
+            shard_rows: shard_rows.max(1),
+            buf: Vec::new(),
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs one chunk; returns every complete group it closed.
+    fn push(&mut self, chunk: Table) -> Result<Vec<Table>> {
+        if chunk.nrows() == 0 {
+            return Ok(Vec::new());
+        }
+        // Fast path: aligned chunk, nothing buffered — pass it through
+        // (the in-memory adapter always lands here: chunk == shard).
+        if self.buf.is_empty() && chunk.nrows() == self.shard_rows {
+            return Ok(vec![chunk]);
+        }
+        self.buffered += chunk.nrows();
+        self.buf.push(chunk);
+        if self.buffered < self.shard_rows {
+            return Ok(Vec::new());
+        }
+        let merged = Table::concat(&self.buf).map_err(DsError::Table)?;
+        self.buf.clear();
+        let mut out = Vec::new();
+        let mut lo = 0usize;
+        while lo + self.shard_rows <= merged.nrows() {
+            out.push(merged.slice_rows(lo..lo + self.shard_rows));
+            lo += self.shard_rows;
+        }
+        let rest = merged.slice_rows(lo..merged.nrows());
+        self.buffered = rest.nrows();
+        if rest.nrows() > 0 {
+            self.buf.push(rest);
+        }
+        Ok(out)
+    }
+
+    /// The final short group, if any rows remain buffered.
+    fn finish(&mut self) -> Result<Option<Table>> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        self.buffered = 0;
+        if self.buf.len() == 1 {
+            return Ok(self.buf.pop());
+        }
+        let merged = Table::concat(&self.buf).map_err(DsError::Table)?;
+        self.buf.clear();
+        Ok(Some(merged))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The staged pipeline
+// ---------------------------------------------------------------------------
+
+fn validate_cfg(cfg: &DsConfig) -> Result<()> {
+    if cfg.shard_rows == 0 {
+        return Err(DsError::InvalidConfig("shard_rows must be > 0"));
+    }
+    if cfg.order_free {
+        // Shard blobs carry patches addressed by row index; order-free
+        // storage would scramble them (same rule as compress_batch).
+        return Err(DsError::InvalidConfig(
+            "order-free storage is incompatible with sharding",
+        ));
+    }
+    if !(0.0..=1.0).contains(&cfg.sample_frac) || cfg.sample_frac == 0.0 {
+        return Err(DsError::InvalidConfig("sample_frac must be in (0,1]"));
+    }
+    Ok(())
+}
+
+/// Guarantees training sees at least one row: a tiny `sample_frac` can
+/// leave the reservoir empty, in which case the source's first row is
+/// used — deterministic across chunk sizes, since row 0 is row 0 in
+/// every partition.
+fn finalize_sample(source: &dyn RowSource, sample: Table, total_rows: usize) -> Result<Table> {
+    let mut sp = ds_obs::span("reservoir");
+    let mut sample = sample;
+    if sample.nrows() == 0 && total_rows > 0 {
+        if let Some(first) = source.chunks()?.next() {
+            sample = first?.slice_rows(0..1);
+        }
+    }
+    sp.add("rows", sample.nrows() as u64);
+    Ok(sample)
+}
+
+/// Compresses any [`RowSource`] into a v2 sharded container via the
+/// staged two-pass pipeline (see module docs). `compress_sharded_to` is a
+/// thin adapter over this function; true streaming callers hand in a
+/// [`CsvFileSource`] (or use [`compress_csv_stream_to`], which also
+/// infers the schema in its first pass).
+pub fn compress_stream_to<W: Write>(
+    source: &dyn RowSource,
+    cfg: &DsConfig,
+    sink: W,
+) -> Result<ShardedCompression<W>> {
+    validate_cfg(cfg)?;
+    // The root span opens before ingest so every stage nests under it; its
+    // id is captured for the per-shard encode spans, which run on pool
+    // workers where this thread's span stack is not visible.
+    let root = ds_obs::span("compress");
+    let root_id = root.id();
+    let schema = source.schema().clone();
+    let opts = cfg.preprocess_options(schema.len())?;
+    let reservoir = Reservoir::new(cfg.sample_frac, cfg.seed);
+
+    // Pass 1: one-pass stats fold + reservoir selection.
+    let mut stats = TableStats::new(&schema, &opts)?;
+    let mut parts: Vec<Table> = Vec::new();
+    {
+        let mut sp = ds_obs::span("ingest");
+        let mut n_chunks = 0u64;
+        let mut row_base = 0u64;
+        for chunk in source.chunks()? {
+            let chunk = chunk?;
+            n_chunks += 1;
+            ds_obs::gauge_max("stream.peak_chunk_bytes", 0, chunk.mem_size() as u64);
+            stats.update(&chunk)?;
+            let n = chunk.nrows();
+            if reservoir.all {
+                if n > 0 {
+                    parts.push(chunk);
+                }
+            } else {
+                let picked: Vec<usize> = (0..n)
+                    .filter(|&r| reservoir.keep(row_base + r as u64))
+                    .collect();
+                if !picked.is_empty() {
+                    parts.push(chunk.take(&picked));
+                }
+            }
+            row_base += n as u64;
+        }
+        sp.add("rows", row_base);
+        sp.add("chunks", n_chunks);
+    }
+    let total_rows = stats.rows();
+    let plans = {
+        let _sp = ds_obs::span("stats");
+        stats.into_plans()?
+    };
+    let sample = if parts.is_empty() {
+        Table::empty(schema.clone())
+    } else if parts.len() == 1 {
+        match parts.pop() {
+            Some(t) => t,
+            None => Table::empty(schema.clone()),
+        }
+    } else {
+        let merged = Table::concat(&parts).map_err(DsError::Table)?;
+        parts.clear();
+        merged
+    };
+    let sample = finalize_sample(source, sample, total_rows)?;
+    let trained = TrainedCompressor::train_from_sample(&plans, &sample, total_rows, cfg)?;
+    drop(sample);
+
+    // Pass 2: re-read, regroup, encode, stream out.
+    write_shards(
+        source,
+        &trained,
+        cfg.shard_rows,
+        total_rows,
+        &schema,
+        root_id,
+        sink,
+    )
+}
+
+/// One window of complete row groups: encode on the pool, push into the
+/// writer in index order. `shard_base`/`rows_base` are the global shard
+/// index and row offset of `groups[0]`.
+fn encode_window<W: Write>(
+    trained: &TrainedCompressor,
+    groups: &[Table],
+    shard_base: usize,
+    rows_base: usize,
+    root_id: ds_obs::SpanId,
+    writer: &mut ds_shard::ShardWriter<W>,
+    breakdown: &mut SizeBreakdown,
+) -> Result<()> {
+    let mut offsets = Vec::with_capacity(groups.len());
+    let mut lo = rows_base;
+    for g in groups {
+        offsets.push(lo);
+        lo += g.nrows();
+    }
+    let mut first_err: Option<DsError> = None;
+    // A failing shard's error names the shard and its row range — "shard
+    // 7 (rows 448..512): …" — instead of surfacing as a bare codec error.
+    let shard_failed = |j: usize, e: DsError| {
+        let lo = offsets.get(j).copied().unwrap_or(rows_base);
+        let rows = groups.get(j).map(Table::nrows).unwrap_or(0);
+        DsError::ShardFailed {
+            shard: shard_base + j,
+            rows: lo..lo + rows,
+            source: Box::new(e),
+        }
+    };
+    ds_exec::parallel_map_consume(
+        groups.len(),
+        |j| {
+            let mut sp = ds_obs::span_under(root_id, "shard", (shard_base + j) as u64);
+            match groups.get(j) {
+                Some(g) => {
+                    sp.add("rows", g.nrows() as u64);
+                    trained.compress_batch_opts(g, true)
+                }
+                None => Err(DsError::InvalidConfig(
+                    "internal: window index out of range",
+                )),
+            }
+        },
+        |j, result| {
+            if first_err.is_some() {
+                return;
+            }
+            match result {
+                Ok(archive) => {
+                    let b = archive.breakdown();
+                    breakdown.codes += b.codes;
+                    breakdown.failures += b.failures;
+                    let rows = groups.get(j).map(Table::nrows).unwrap_or(0);
+                    if let Err(e) = writer.push_shard(rows, archive.as_bytes()) {
+                        first_err = Some(shard_failed(j, e.into()));
+                    }
+                }
+                Err(e) => first_err = Some(shard_failed(j, e)),
+            }
+        },
+    );
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Pass 2: re-read `source`, cut `shard_rows` groups, and encode them in
+/// bounded windows (2× the pool width) so at most O(window · shard) rows
+/// are resident while later chunks are still being read.
+fn write_shards<W: Write>(
+    source: &dyn RowSource,
+    trained: &TrainedCompressor,
+    shard_rows: usize,
+    total_rows: usize,
+    schema: &Schema,
+    root_id: ds_obs::SpanId,
+    sink: W,
+) -> Result<ShardedCompression<W>> {
+    let shared = trained.decoder_blob();
+    let mut breakdown = SizeBreakdown {
+        decoder: shared.len(),
+        ..Default::default()
+    };
+    let mut writer = ds_shard::ShardWriter::new(sink);
+    writer.set_shared(shared);
+    // Window size only affects scheduling, never bytes: groups are always
+    // consumed in global index order.
+    let window = ds_exec::effective_threads().saturating_mul(2).max(2);
+    let mut regroup = Regrouper::new(shard_rows);
+    let mut pending: Vec<Table> = Vec::new();
+    let mut shard_base = 0usize;
+    let mut rows_flushed = 0usize;
+    let mut rows_seen = 0usize;
+    let flush = |pending: &mut Vec<Table>,
+                 shard_base: &mut usize,
+                 rows_flushed: &mut usize,
+                 take: usize,
+                 writer: &mut ds_shard::ShardWriter<W>,
+                 breakdown: &mut SizeBreakdown|
+     -> Result<()> {
+        let groups: Vec<Table> = pending.drain(..take.min(pending.len())).collect();
+        encode_window(
+            trained,
+            &groups,
+            *shard_base,
+            *rows_flushed,
+            root_id,
+            writer,
+            breakdown,
+        )?;
+        *shard_base += groups.len();
+        *rows_flushed += groups.iter().map(Table::nrows).sum::<usize>();
+        Ok(())
+    };
+    for chunk in source.chunks()? {
+        let chunk = chunk?;
+        rows_seen += chunk.nrows();
+        pending.extend(regroup.push(chunk)?);
+        while pending.len() >= window {
+            flush(
+                &mut pending,
+                &mut shard_base,
+                &mut rows_flushed,
+                window,
+                &mut writer,
+                &mut breakdown,
+            )?;
+        }
+    }
+    if rows_seen != total_rows {
+        // The two passes disagree: the underlying data changed between
+        // them (file rewritten mid-compression, non-rewindable source...).
+        return Err(DsError::InvalidConfig("row source changed between passes"));
+    }
+    if let Some(tail) = regroup.finish()? {
+        pending.push(tail);
+    }
+    if total_rows == 0 && shard_base == 0 && pending.is_empty() {
+        // An empty source still gets one (zero-row) shard so the
+        // container self-describes the schema.
+        pending.push(Table::empty(schema.clone()));
+    }
+    while !pending.is_empty() {
+        flush(
+            &mut pending,
+            &mut shard_base,
+            &mut rows_flushed,
+            window,
+            &mut writer,
+            &mut breakdown,
+        )?;
+    }
+    let (sink, total_bytes) = writer.finish()?;
+    let accounted = breakdown.decoder + breakdown.codes + breakdown.failures;
+    breakdown.metadata = (total_bytes as usize).saturating_sub(accounted);
+    Ok(ShardedCompression {
+        sink,
+        total_bytes,
+        n_shards: shard_base,
+        breakdown,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CSV front end: schema inference + compression in two file passes
+// ---------------------------------------------------------------------------
+
+/// Pass-1 census facts of a CSV streaming compression.
+pub struct CsvStreamInfo {
+    /// Data rows in the file (header excluded).
+    pub rows: usize,
+    /// Schema inferred by the probe — identical to what
+    /// `ds_table::csv::read_csv_infer` infers on the whole file.
+    pub schema: Schema,
+}
+
+/// Dual-mode per-column probe: numeric and categorical statistics are
+/// tracked simultaneously during pass 1 because the column's type is not
+/// known until every cell has been seen.
+struct ColProbe {
+    num: NumColStats,
+    cat: CatColStats,
+    numeric_failures: u64,
+}
+
+impl ColProbe {
+    fn new(track_distinct: bool) -> Self {
+        ColProbe {
+            num: NumColStats::new(track_distinct),
+            cat: CatColStats::new(),
+            numeric_failures: 0,
+        }
+    }
+
+    fn push(&mut self, value: &str) {
+        self.cat.push(value);
+        // Same cell test as read_csv_infer: finite f64 after trimming.
+        match value.trim().parse::<f64>().ok().filter(|x| x.is_finite()) {
+            Some(x) => self.num.push(x),
+            None => self.numeric_failures += 1,
+        }
+    }
+}
+
+/// Streaming CSV compression: reads the file twice with `chunk_rows` rows
+/// resident at a time. Pass 1 infers the schema (with `read_csv_infer`'s
+/// exact rules), folds column statistics, and reservoir-samples training
+/// rows; pass 2 re-reads and encodes shard row groups. For a fixed seed
+/// the output is byte-identical to loading the whole file and calling
+/// [`crate::compress_sharded_to`] with the same config.
+pub fn compress_csv_stream_to<W: Write>(
+    path: &Path,
+    cfg: &DsConfig,
+    chunk_rows: usize,
+    sink: W,
+) -> Result<(ShardedCompression<W>, CsvStreamInfo)> {
+    validate_cfg(cfg)?;
+    let chunk_rows = chunk_rows.max(1);
+    let root = ds_obs::span("compress");
+    let root_id = root.id();
+
+    // Pass 1 runs over raw string records (the schema is not yet known).
+    let file = std::fs::File::open(path).map_err(|e| TableError::Io(e.to_string()))?;
+    let mut chunks = CsvChunks::new(std::io::BufReader::new(file), chunk_rows)?;
+    let header: Vec<String> = chunks.header().to_vec();
+    if header.iter().any(String::is_empty) {
+        return Err(DsError::Table(TableError::Csv {
+            line: 1,
+            what: "empty column name in header",
+        }));
+    }
+    let opts = cfg.preprocess_options(header.len())?;
+    let reservoir = Reservoir::new(cfg.sample_frac, cfg.seed);
+    let mut probes: Vec<ColProbe> = opts
+        .error_thresholds
+        .iter()
+        .map(|&e| ColProbe::new(e == 0.0 && opts.quantize_numerics))
+        .collect();
+    let mut sample_rows: Vec<Vec<String>> = Vec::new();
+    let mut total_rows = 0usize;
+    {
+        let mut sp = ds_obs::span("ingest");
+        let mut n_chunks = 0u64;
+        while let Some(records) = chunks.next_chunk()? {
+            n_chunks += 1;
+            let mut chunk_bytes = 0usize;
+            for (r, record) in records.iter().enumerate() {
+                for (value, probe) in record.iter().zip(probes.iter_mut()) {
+                    chunk_bytes += value.len() + 24;
+                    probe.push(value);
+                }
+                if reservoir.keep((total_rows + r) as u64) {
+                    sample_rows.push(record.clone());
+                }
+            }
+            total_rows += records.len();
+            ds_obs::gauge_max("stream.peak_chunk_bytes", 0, chunk_bytes as u64);
+        }
+        sp.add("rows", total_rows as u64);
+        sp.add("chunks", n_chunks);
+    }
+    drop(chunks);
+
+    // Resolve each column exactly as read_csv_infer does: numeric iff the
+    // column is non-empty and every cell parsed as a finite number.
+    let fields: Vec<Field> = header
+        .iter()
+        .zip(&probes)
+        .map(|(name, p)| {
+            if total_rows > 0 && p.numeric_failures == 0 {
+                Field::numeric(name.clone())
+            } else {
+                Field::categorical(name.clone())
+            }
+        })
+        .collect();
+    let schema = Schema::new(fields).map_err(DsError::Table)?;
+    let cols: Vec<ColumnStats> = schema
+        .fields()
+        .iter()
+        .zip(probes)
+        .map(|(f, p)| match f.ty {
+            ColumnType::Numeric => ColumnStats::Num(p.num),
+            ColumnType::Categorical => ColumnStats::Cat(p.cat),
+        })
+        .collect();
+    let stats = TableStats::from_parts(schema.clone(), opts, cols, total_rows)?;
+    let plans = {
+        let _sp = ds_obs::span("stats");
+        stats.into_plans()?
+    };
+
+    let source = CsvFileSource::new(path, schema.clone(), chunk_rows);
+    // Typed conversion of the sampled rows cannot hit numeric parse
+    // errors: a column is only numeric when every cell parsed in pass 1.
+    let sample = rows_to_table(&schema, sample_rows, 0).map_err(DsError::Table)?;
+    let sample = finalize_sample(&source, sample, total_rows)?;
+    let trained = TrainedCompressor::train_from_sample(&plans, &sample, total_rows, cfg)?;
+    drop(sample);
+
+    let out = write_shards(
+        &source,
+        &trained,
+        cfg.shard_rows,
+        total_rows,
+        &schema,
+        root_id,
+        sink,
+    )?;
+    Ok((
+        out,
+        CsvStreamInfo {
+            rows: total_rows,
+            schema,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_sharded_to, decompress, DsArchive};
+    use ds_table::gen;
+    use ds_table::stream::TableSource;
+
+    fn quick_cfg() -> DsConfig {
+        DsConfig {
+            error_threshold: 0.05,
+            max_epochs: 3,
+            shard_rows: 16,
+            seed: 9,
+            ..DsConfig::default()
+        }
+    }
+
+    #[test]
+    fn reservoir_keys_on_absolute_row_index() {
+        let full = Reservoir::new(1.0, 7);
+        assert!((0..100).all(|i| full.keep(i)));
+
+        let half = Reservoir::new(0.5, 7);
+        let a: Vec<bool> = (0..10_000).map(|i| half.keep(i)).collect();
+        let b: Vec<bool> = (0..10_000).map(|i| half.keep(i)).collect();
+        assert_eq!(a, b); // pure function of (seed, index)
+        let kept = a.iter().filter(|&&k| k).count();
+        assert!((3_500..6_500).contains(&kept), "kept {kept} of 10000");
+        // Different seed, different selection.
+        let other: Vec<bool> = (0..10_000)
+            .map(|i| Reservoir::new(0.5, 8).keep(i))
+            .collect();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn regrouper_boundaries_are_chunk_size_independent() {
+        let t = gen::monitor_like(100, 3);
+        let cut = |chunk: usize| -> Vec<Table> {
+            let mut rg = Regrouper::new(16);
+            let mut groups = Vec::new();
+            let src = TableSource::new(&t, chunk);
+            for c in src.chunks().unwrap() {
+                groups.extend(rg.push(c.unwrap()).unwrap());
+            }
+            if let Some(tail) = rg.finish().unwrap() {
+                groups.push(tail);
+            }
+            groups
+        };
+        let reference = cut(16);
+        assert_eq!(
+            reference.iter().map(Table::nrows).collect::<Vec<_>>(),
+            [16, 16, 16, 16, 16, 16, 4]
+        );
+        for chunk in [1, 7, 16, 23, 64, 101] {
+            let groups = cut(chunk);
+            assert_eq!(groups.len(), reference.len(), "chunk={chunk}");
+            for (g, r) in groups.iter().zip(&reference) {
+                assert_eq!(g, r, "chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_bytes_match_in_memory_adapter_across_chunk_sizes() {
+        let t = gen::census_like(200, 11);
+        let cfg = quick_cfg();
+        let reference = compress_sharded_to(&t, &cfg, Vec::new()).unwrap();
+        for chunk in [1, 7, 64, 201] {
+            let src = TableSource::new(&t, chunk);
+            let out = compress_stream_to(&src, &cfg, Vec::new()).unwrap();
+            assert_eq!(out.sink, reference.sink, "chunk={chunk}");
+            assert_eq!(out.n_shards, reference.n_shards);
+        }
+        // And the container still decompresses to the right table shape.
+        let archive = DsArchive {
+            bytes: reference.sink,
+            breakdown: reference.breakdown,
+            failure_stats: Vec::new(),
+        };
+        let restored = decompress(&archive).unwrap();
+        assert_eq!(restored.nrows(), t.nrows());
+    }
+
+    #[test]
+    fn empty_source_still_writes_one_shard() {
+        let t = gen::monitor_like(10, 1).slice_rows(0..0);
+        let src = TableSource::new(&t, 8);
+        let out = compress_stream_to(&src, &quick_cfg(), Vec::new()).unwrap();
+        assert_eq!(out.n_shards, 1);
+        let archive = DsArchive {
+            bytes: out.sink,
+            breakdown: out.breakdown,
+            failure_stats: Vec::new(),
+        };
+        assert_eq!(decompress(&archive).unwrap().nrows(), 0);
+    }
+
+    #[test]
+    fn changing_source_between_passes_is_detected() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Shrinking {
+            table: Table,
+            passes: AtomicUsize,
+        }
+        impl RowSource for Shrinking {
+            fn schema(&self) -> &Schema {
+                self.table.schema()
+            }
+            fn chunk_rows(&self) -> usize {
+                8
+            }
+            fn chunks(
+                &self,
+            ) -> ds_table::Result<Box<dyn Iterator<Item = ds_table::Result<Table>> + '_>>
+            {
+                let pass = self.passes.fetch_add(1, Ordering::SeqCst);
+                let rows = if pass == 0 { 20 } else { 15 };
+                Ok(Box::new(std::iter::once(Ok(self
+                    .table
+                    .slice_rows(0..rows)))))
+            }
+        }
+
+        let src = Shrinking {
+            table: gen::monitor_like(20, 5),
+            passes: AtomicUsize::new(0),
+        };
+        let err = match compress_stream_to(&src, &quick_cfg(), Vec::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("expected pass mismatch to fail"),
+        };
+        assert!(matches!(err, DsError::InvalidConfig(m) if m.contains("between passes")));
+    }
+
+    #[test]
+    fn stream_rejects_bad_configs() {
+        let t = gen::monitor_like(10, 1);
+        let src = TableSource::new(&t, 4);
+        let no_shards = DsConfig {
+            shard_rows: 0,
+            ..quick_cfg()
+        };
+        assert!(compress_stream_to(&src, &no_shards, Vec::new()).is_err());
+        let order_free = DsConfig {
+            order_free: true,
+            ..quick_cfg()
+        };
+        assert!(compress_stream_to(&src, &order_free, Vec::new()).is_err());
+        let bad_frac = DsConfig {
+            sample_frac: 0.0,
+            ..quick_cfg()
+        };
+        assert!(compress_stream_to(&src, &bad_frac, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn sampled_streaming_archive_roundtrips() {
+        let t = gen::forest_like(300, 4);
+        let cfg = DsConfig {
+            sample_frac: 0.1,
+            ..quick_cfg()
+        };
+        let src = TableSource::new(&t, 37);
+        let out = compress_stream_to(&src, &cfg, Vec::new()).unwrap();
+        // Chunk-size invariance holds with sampling too: the reservoir is
+        // keyed by absolute row index, not by chunk.
+        let again = compress_stream_to(&TableSource::new(&t, 301), &cfg, Vec::new()).unwrap();
+        assert_eq!(out.sink, again.sink);
+        // Sampling only changes what the model trains on; reconstruction
+        // guarantees are plan-level and must hold for every row.
+        let archive = DsArchive {
+            bytes: out.sink,
+            breakdown: out.breakdown,
+            failure_stats: Vec::new(),
+        };
+        let restored = decompress(&archive).unwrap();
+        assert_eq!(restored.nrows(), t.nrows());
+    }
+}

@@ -248,6 +248,22 @@ pub fn gauge_max_rt(name: &'static str, index: u64, value: u64) {
     });
 }
 
+/// Deterministic high-water gauge: the drain keeps the maximum value.
+/// For data-derived peaks (chunk sizes, dictionary widths) that must be
+/// reproducible across thread counts — unlike [`gauge_max_rt`], recorded
+/// whenever the recorder is on.
+pub fn gauge_max(name: &'static str, index: u64, value: u64) {
+    if state() == OFF {
+        return;
+    }
+    record(Event::Gauge {
+        name,
+        index: Some(index),
+        value,
+        runtime: false,
+    });
+}
+
 /// Runtime-class histogram sample (latencies, queue dwell times).
 pub fn hist_rt(name: &'static str, value: u64) {
     if state() != ON_TIMING {

@@ -15,6 +15,7 @@
 
 pub mod csv;
 pub mod gen;
+pub mod stream;
 
 mod column;
 mod schema;
@@ -47,13 +48,25 @@ pub enum TableError {
         /// What went wrong.
         what: &'static str,
     },
-    /// CSV structural error (unbalanced quotes, wrong field count...).
+    /// CSV structural error (unbalanced quotes, bad escapes...).
     Csv {
         /// One-based line number where the error was detected.
         line: usize,
         /// What went wrong.
         what: &'static str,
     },
+    /// A CSV record whose field count disagrees with the header.
+    CsvRagged {
+        /// One-based line number the record started on.
+        line: usize,
+        /// Field count of the header.
+        expected: usize,
+        /// Field count of the offending record.
+        found: usize,
+    },
+    /// An I/O failure while streaming rows (message of the OS error;
+    /// `std::io::Error` itself is not `Clone`/`Eq`).
+    Io(String),
     /// A generator or sampler was given an invalid parameter.
     InvalidParameter(&'static str),
 }
@@ -70,6 +83,15 @@ impl std::fmt::Display for TableError {
                 write!(f, "parse error at row {row}, column {col}: {what}")
             }
             TableError::Csv { line, what } => write!(f, "csv error at line {line}: {what}"),
+            TableError::CsvRagged {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "csv error at line {line}: expected {expected} fields, found {found}"
+            ),
+            TableError::Io(what) => write!(f, "io error: {what}"),
             TableError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
         }
     }

@@ -37,6 +37,24 @@ impl Table {
         })
     }
 
+    /// A zero-row table under `schema` — the shape streaming sources hand
+    /// out when the input has no data rows.
+    pub fn empty(schema: Schema) -> Table {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| match f.ty {
+                ColumnType::Categorical => Column::Cat(Vec::new()),
+                ColumnType::Numeric => Column::Num(Vec::new()),
+            })
+            .collect();
+        Table {
+            schema,
+            columns,
+            nrows: 0,
+        }
+    }
+
     /// Builds a table from `(name, column)` pairs, inferring the schema.
     pub fn from_columns(named: Vec<(String, Column)>) -> Result<Self> {
         let fields = named
@@ -109,6 +127,20 @@ impl Table {
             }
         }
         header + body
+    }
+
+    /// Approximate resident bytes of the cell payload (8 per number,
+    /// string length per categorical cell). Used by the streaming
+    /// pipeline's `stream.peak_chunk_bytes` gauge; deliberately counts
+    /// content, not allocator capacity, so the figure is deterministic.
+    pub fn mem_size(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| match c {
+                Column::Num(v) => v.len() * 8,
+                Column::Cat(v) => v.iter().map(|s| s.len() + 24).sum(),
+            })
+            .sum()
     }
 
     /// A new table containing the rows at `indexes`, in order.

@@ -40,6 +40,10 @@ if [ "$mode" = "full" ]; then
   echo "==> obs_probe (smoke)"
   SMOKE=1 BENCH_OUT=target/BENCH_obs.smoke.json \
     cargo run --release -q -p ds-bench --bin obs_probe
+
+  echo "==> stream_probe (smoke)"
+  SMOKE=1 BENCH_OUT=target/BENCH_stream.smoke.json \
+    cargo run --release -q -p ds-bench --bin stream_probe
 fi
 
 echo "OK"

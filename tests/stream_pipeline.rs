@@ -1,0 +1,151 @@
+//! Streaming-ingest integration tests (§3e): the chunked CSV reader must
+//! reassemble exactly what the whole-file parser produces — including
+//! quoted fields spanning chunk and refill boundaries — and the staged
+//! streaming compressor must emit byte-identical containers to the
+//! in-memory path, for any chunk size and any thread count.
+
+use ds_core::{compress_csv_stream_to, compress_sharded_to, DsConfig};
+use ds_table::csv::{read_csv, read_csv_infer, write_csv, CsvChunks};
+use ds_table::gen;
+use ds_table::stream::rows_to_table;
+use ds_table::{Column, Table};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ds_stream_pl_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Strategy: a table whose categorical cells draw from an alphabet that
+/// forces CSV escaping — commas, double quotes, and embedded newlines —
+/// so quoted fields routinely span chunk_rows and refill boundaries.
+fn arb_nasty_table() -> impl Strategy<Value = Table> {
+    let ncols = 1usize..=4;
+    let nrows = 1usize..=40;
+    (ncols, nrows).prop_flat_map(|(ncols, nrows)| {
+        // Cells are never fully empty: a single-column row whose only
+        // cell is "" renders as a bare empty line, which CSV cannot
+        // distinguish from a trailing newline (a documented quirk shared
+        // with the whole-file parser).
+        let cell = prop::collection::vec(0usize..7, 1..6).prop_map(|picks| {
+            picks
+                .into_iter()
+                .map(|p| ["a", "b", ",", "\"", "\n", "x y", "7"][p])
+                .collect::<String>()
+        });
+        let col = prop_oneof![
+            prop::collection::vec(cell, nrows..=nrows).prop_map(Column::Cat),
+            prop::collection::vec(-100.0f64..100.0, nrows..=nrows)
+                .prop_map(|v| Column::Num(v.into_iter().map(|x| x.round()).collect())),
+        ];
+        prop::collection::vec(col, ncols..=ncols).prop_map(|cols| {
+            let named = cols
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (format!("col{i}"), c))
+                .collect();
+            Table::from_columns(named).expect("equal lengths by construction")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CsvChunks reassembly ≡ read_csv for chunk sizes {1, 7, 64, rows+1},
+    /// with a deliberately tiny refill buffer so quoted fields (including
+    /// embedded newlines) split across both chunk and refill boundaries.
+    #[test]
+    fn chunked_reader_reassembles_any_escapable_table(t in arb_nasty_table()) {
+        let text = write_csv(&t);
+        let whole = read_csv(&text, t.schema().clone()).expect("own CSV parses");
+        prop_assert_eq!(&whole, &t);
+        for chunk_rows in [1, 7, 64, t.nrows() + 1] {
+            let mut chunks = CsvChunks::with_capacity(text.as_bytes(), chunk_rows, 3)
+                .expect("header parses");
+            let mut parts = Vec::new();
+            let mut base = 0usize;
+            while let Some(rows) = chunks.next_chunk().expect("chunk parses") {
+                prop_assert!(rows.len() <= chunk_rows);
+                let n = rows.len();
+                parts.push(rows_to_table(t.schema(), rows, base).expect("typed chunk"));
+                base += n;
+            }
+            prop_assert_eq!(base, t.nrows());
+            let reassembled = Table::concat(&parts).expect("same schema");
+            prop_assert_eq!(&reassembled, &t);
+        }
+    }
+}
+
+/// Streaming CSV compression is byte-identical to loading the file and
+/// running the in-memory sharded path — across chunk sizes, with and
+/// without reservoir sampling.
+#[test]
+fn streaming_csv_compress_matches_in_memory_bytes() {
+    let dir = tmpdir("identity");
+    let text = write_csv(&gen::census_like(300, 17));
+    let path = dir.join("c.csv");
+    std::fs::write(&path, &text).unwrap();
+    // The in-memory reference is what the CLI would load: the re-parsed
+    // CSV (inference may type digit-string categoricals as numeric).
+    let t = read_csv_infer(&text).unwrap();
+
+    for sample_frac in [1.0, 0.3] {
+        let cfg = DsConfig {
+            error_threshold: 0.05,
+            max_epochs: 4,
+            shard_rows: 64,
+            seed: 23,
+            sample_frac,
+            ..DsConfig::default()
+        };
+        let reference = compress_sharded_to(&t, &cfg, Vec::new()).unwrap();
+        for chunk_rows in [7, 64, 100, 301] {
+            let (out, info) = compress_csv_stream_to(&path, &cfg, chunk_rows, Vec::new()).unwrap();
+            assert_eq!(info.rows, t.nrows());
+            assert_eq!(&info.schema, t.schema(), "schema inference must agree");
+            assert_eq!(
+                out.sink, reference.sink,
+                "chunk_rows={chunk_rows} sample_frac={sample_frac}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The determinism contract: for a fixed seed, streaming output does not
+/// depend on the thread count.
+#[test]
+fn streaming_bytes_are_thread_count_invariant() {
+    let dir = tmpdir("threads");
+    let t = gen::monitor_like(250, 5);
+    let path = dir.join("m.csv");
+    std::fs::write(&path, write_csv(&t)).unwrap();
+
+    let cfg = DsConfig {
+        error_threshold: 0.1,
+        max_epochs: 4,
+        shard_rows: 50,
+        seed: 7,
+        sample_frac: 0.5,
+        ..DsConfig::default()
+    };
+    let outputs: Vec<Vec<u8>> = [1usize, 2, 8]
+        .into_iter()
+        .map(|limit| {
+            ds_exec::with_thread_limit(limit, || {
+                compress_csv_stream_to(&path, &cfg, 33, Vec::new())
+                    .unwrap()
+                    .0
+                    .sink
+            })
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 threads");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 threads");
+    let _ = std::fs::remove_dir_all(&dir);
+}
