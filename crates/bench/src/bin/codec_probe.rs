@@ -1,0 +1,190 @@
+//! `codec_probe` — before/after probe for the accelerated codec hot
+//! loops. Times each loop with the scalar reference (`DS_SIMD=off`
+//! semantics) vs the runtime-dispatched fast path and writes
+//! `BENCH_codec.json`:
+//!
+//! * bitpack pack + unpack at a dictionary-code-like width;
+//! * delta encode + decode over a mostly-small-delta stream;
+//! * crc32 over a shard-sized buffer.
+//!
+//! ```text
+//! cargo run --release -p ds-bench --bin codec_probe          # full sizes
+//! SMOKE=1 cargo run --release -p ds-bench --bin codec_probe  # CI-sized
+//! BENCH_OUT=/tmp/codec.json ...                              # custom path
+//! ```
+//!
+//! Every pair is required to be byte-identical (asserted here, property-
+//! tested in ds-codec); the probe measures the speed difference only.
+
+use ds_codec::crc32::crc32;
+use ds_codec::{bitpack, delta};
+use ds_obs::sink::time_best_ms as time_best;
+use ds_simd::Level;
+use std::hint::black_box;
+
+struct Probe {
+    name: &'static str,
+    detail: String,
+    scalar_ms: f64,
+    fast_ms: f64,
+}
+
+impl Probe {
+    fn speedup(&self) -> f64 {
+        if self.fast_ms > 0.0 {
+            self.scalar_ms / self.fast_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times `f` under the scalar reference and under the detected level.
+fn pair(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let scalar_ms = time_best(reps, || ds_simd::with_level(Level::Scalar, &mut f));
+    let fast_ms = time_best(reps, || ds_simd::with_level(ds_simd::detected(), &mut f));
+    (scalar_ms, fast_ms)
+}
+
+fn main() {
+    let smoke = std::env::var("SMOKE").is_ok();
+    let reps = if smoke { 3 } else { 5 };
+    let n = if smoke { 1 << 16 } else { 1 << 21 };
+    let mut probes = Vec::new();
+
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        state
+    };
+
+    // ---- bitpack ----------------------------------------------------------
+    {
+        // 11-bit codes: a typical dictionary/bucket-index width.
+        let codes: Vec<u64> = (0..n).map(|_| next() & 0x7FF).collect();
+        let packed = bitpack::encode(&codes);
+        assert_eq!(
+            ds_simd::with_level(Level::Scalar, || bitpack::encode(&codes)),
+            packed,
+            "pack fast path must be byte-identical"
+        );
+        let (scalar_ms, fast_ms) = pair(reps, || {
+            black_box(bitpack::encode(black_box(&codes)));
+        });
+        probes.push(Probe {
+            name: "bitpack_pack",
+            detail: format!("{n} x 11-bit codes"),
+            scalar_ms,
+            fast_ms,
+        });
+        let (scalar_ms, fast_ms) = pair(reps, || {
+            black_box(bitpack::decode(black_box(&packed)).unwrap());
+        });
+        probes.push(Probe {
+            name: "bitpack_unpack",
+            detail: format!("{n} x 11-bit codes"),
+            scalar_ms,
+            fast_ms,
+        });
+    }
+
+    // ---- delta ------------------------------------------------------------
+    {
+        // Mostly-small deltas with occasional jumps — the truncated-code
+        // and failure-index shape delta encoding exists for.
+        let mut acc = 0i64;
+        let ints: Vec<i64> = (0..n)
+            .map(|i| {
+                let step = if i % 61 == 0 {
+                    (next() >> 16) as i64
+                } else {
+                    ((next() >> 59) as i64) - 16
+                };
+                acc = acc.wrapping_add(step);
+                acc
+            })
+            .collect();
+        let encoded = delta::encode_i64(&ints);
+        assert_eq!(
+            ds_simd::with_level(Level::Scalar, || delta::encode_i64(&ints)),
+            encoded,
+            "delta fast path must be byte-identical"
+        );
+        let (scalar_ms, fast_ms) = pair(reps, || {
+            black_box(delta::encode_i64(black_box(&ints)));
+        });
+        probes.push(Probe {
+            name: "delta_encode",
+            detail: format!("{n} x i64, mostly small deltas"),
+            scalar_ms,
+            fast_ms,
+        });
+        let (scalar_ms, fast_ms) = pair(reps, || {
+            black_box(delta::decode_i64(black_box(&encoded)).unwrap());
+        });
+        probes.push(Probe {
+            name: "delta_decode",
+            detail: format!("{n} x i64, mostly small deltas"),
+            scalar_ms,
+            fast_ms,
+        });
+    }
+
+    // ---- crc32 ------------------------------------------------------------
+    {
+        let buf: Vec<u8> = (0..n * 8).map(|_| (next() >> 32) as u8).collect();
+        assert_eq!(
+            ds_simd::with_level(Level::Scalar, || crc32(&buf)),
+            ds_simd::with_level(ds_simd::detected(), || crc32(&buf)),
+            "crc32 fast path must be state-identical"
+        );
+        let (scalar_ms, fast_ms) = pair(reps, || {
+            black_box(crc32(black_box(&buf)));
+        });
+        probes.push(Probe {
+            name: "crc32",
+            detail: format!("{} KiB buffer, slice-by-16 vs byte table", (n * 8) >> 10),
+            scalar_ms,
+            fast_ms,
+        });
+    }
+
+    // ---- report -----------------------------------------------------------
+    let kernel = ds_simd::active();
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"simd_kernel\": \"{}\",\n", kernel.name()));
+    json.push_str(&format!("  \"simd_lanes\": {},\n", kernel.lanes()));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    for (i, p) in probes.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{}\": {{ \"detail\": \"{}\", \"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.3} }}{}\n",
+            p.name,
+            p.detail,
+            p.scalar_ms,
+            p.fast_ms,
+            p.speedup(),
+            if i + 1 < probes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_codec.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_codec.json");
+
+    println!(
+        "simd_kernel={} lanes={} smoke={smoke}",
+        kernel.name(),
+        kernel.lanes()
+    );
+    for p in &probes {
+        println!(
+            "{:<14} {:<34} scalar {:>9.3} ms  simd {:>9.3} ms  speedup {:>5.2}x",
+            p.name,
+            p.detail,
+            p.scalar_ms,
+            p.fast_ms,
+            p.speedup()
+        );
+    }
+    println!("wrote {out}");
+}

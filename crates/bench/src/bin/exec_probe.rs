@@ -2,7 +2,8 @@
 //! layer. Times three workloads serial (`with_thread_limit(1)`) vs
 //! parallel (ambient thread budget) and writes `BENCH_exec.json`:
 //!
-//! * blocked matmul, 512×512×512;
+//! * blocked matmul, 512×512×512 — serial vs parallel, and additionally
+//!   scalar-kernel vs runtime-dispatched SIMD kernel (`matmul_simd`);
 //! * one MoE training epoch on the synthetic correlated dataset;
 //! * full materialization (codes + failures + archive assembly).
 //!
@@ -12,8 +13,9 @@
 //! BENCH_OUT=/tmp/exec.json ...                              # custom path
 //! ```
 //!
-//! The speedup on a single-core host is honestly ~1.0×; the JSON records
-//! `host_threads` so readers can judge the numbers in context.
+//! The parallel speedup on a single-core host is honestly ~1.0×; the JSON
+//! records `host_threads`, the detected `cpu_features` and the chosen
+//! `simd_kernel`/`simd_lanes` so readers can judge the numbers in context.
 
 use ds_core::{DsConfig, TrainedCompressor};
 use ds_nn::{Head, Mat, ModelSpec, MoeAutoencoder, MoeConfig};
@@ -66,6 +68,31 @@ fn main() {
             detail: format!("{dim}x{dim}x{dim} f32"),
             serial_ms,
             parallel_ms,
+        });
+
+        // Same product, scalar kernel vs the runtime-dispatched SIMD
+        // kernel — the tentpole number. Both serial, so the comparison
+        // isolates the kernel and not the thread pool.
+        let scalar_ms = time_best(reps, || {
+            ds_exec::with_thread_limit(1, || {
+                ds_simd::with_level(ds_simd::Level::Scalar, || {
+                    black_box(a.matmul(&b));
+                });
+            });
+        });
+        let simd_ms = time_best(reps, || {
+            ds_exec::with_thread_limit(1, || {
+                black_box(a.matmul(&b));
+            });
+        });
+        probes.push(Probe {
+            name: "matmul_simd",
+            detail: format!(
+                "{dim}x{dim}x{dim} f32, scalar vs {} kernel (serial)",
+                ds_simd::detected().name()
+            ),
+            serial_ms: scalar_ms,
+            parallel_ms: simd_ms,
         });
     }
 
@@ -147,10 +174,22 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(0);
     let ds_threads = ds_exec::effective_threads();
+    let cpu_features = ds_simd::detected_features();
+    let kernel = ds_simd::active();
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     json.push_str(&format!("  \"ds_threads\": {ds_threads},\n"));
+    json.push_str(&format!(
+        "  \"cpu_features\": [{}],\n",
+        cpu_features
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("  \"simd_kernel\": \"{}\",\n", kernel.name()));
+    json.push_str(&format!("  \"simd_lanes\": {},\n", kernel.lanes()));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     for (i, p) in probes.iter().enumerate() {
         json.push_str(&format!(
@@ -168,7 +207,11 @@ fn main() {
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_exec.json".into());
     std::fs::write(&out, &json).expect("write BENCH_exec.json");
 
-    println!("host_threads={host_threads} ds_threads={ds_threads} smoke={smoke}");
+    println!(
+        "host_threads={host_threads} ds_threads={ds_threads} simd_kernel={} lanes={} smoke={smoke}",
+        kernel.name(),
+        kernel.lanes()
+    );
     for p in &probes {
         println!(
             "{:<12} {:<38} serial {:>9.3} ms  parallel {:>9.3} ms  speedup {:>5.2}x",

@@ -1,0 +1,54 @@
+//! Fast-path gate shared by the codec hot loops.
+//!
+//! `DS_SIMD=off` must force every accelerated loop in this crate back to
+//! its reference implementation, so the fast paths all ask this one
+//! question instead of probing CPU features themselves. The answer comes
+//! from [`ds_simd::active`] — the same per-call resolution the ds-nn
+//! kernels use — and each decision is recorded through the
+//! (zero-cost-when-disabled) ds-obs counters, so a trace shows which
+//! loops actually ran accelerated.
+//!
+//! Every fast path gated here is byte-identical to its reference loop by
+//! construction (and property-tested to be): the gate selects a speed,
+//! never a format.
+
+/// Resolves the active SIMD level once and records the choice under
+/// `counter` (labeled `avx2`/`neon`/`scalar`).
+pub(crate) fn level(counter: &'static str) -> ds_simd::Level {
+    let level = ds_simd::active();
+    ds_obs::counter_labeled(counter, level.name(), 1);
+    level
+}
+
+/// True when an accelerated (non-scalar) level is active. Used by the
+/// portable fast paths — unrolled scalar loops that beat the reference
+/// byte-at-a-time code on any architecture but must still yield to
+/// `DS_SIMD=off`.
+pub(crate) fn accelerated(counter: &'static str) -> bool {
+    level(counter) != ds_simd::Level::Scalar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_level_disables_acceleration() {
+        ds_simd::with_level(ds_simd::Level::Scalar, || {
+            assert!(!accelerated("codec.test_gate"));
+            assert_eq!(level("codec.test_gate"), ds_simd::Level::Scalar);
+        });
+    }
+
+    #[test]
+    fn gate_follows_detected_level() {
+        let detected = ds_simd::detected();
+        ds_simd::with_level(detected, || {
+            assert_eq!(level("codec.test_gate"), detected);
+            assert_eq!(
+                accelerated("codec.test_gate"),
+                detected != ds_simd::Level::Scalar
+            );
+        });
+    }
+}

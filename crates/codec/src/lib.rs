@@ -23,6 +23,7 @@ pub mod bitstream;
 pub mod crc32;
 pub mod delta;
 pub mod dict;
+mod dispatch;
 pub mod gzlike;
 pub mod huffman;
 pub mod lzss;

@@ -14,6 +14,41 @@ fn empty_input() {
     assert_eq!(crc32(b""), 0);
 }
 
+/// The canonical check value must hold regardless of which kernel the
+/// runtime dispatch picks — slice-by-16 on accelerated hosts, the byte
+/// table under `DS_SIMD=off`.
+#[test]
+fn canonical_check_value_at_every_level() {
+    // Long enough that the slice-by-16 path actually engages (≥ 16
+    // bytes), with the classic 9-byte vector as its tail.
+    let mut padded = Vec::from(&b"0000000000000000"[..]);
+    padded.extend_from_slice(b"123456789");
+    let reference = ds_simd::with_level(ds_simd::Level::Scalar, || crc32(&padded));
+    let fast = ds_simd::with_level(ds_simd::detected(), || crc32(&padded));
+    assert_eq!(fast, reference);
+    ds_simd::with_level(ds_simd::detected(), || {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    });
+}
+
+/// A resumable accumulator must be able to cross kernel levels mid-stream
+/// without corrupting its state: the state format is a plain CRC register,
+/// not kernel-specific.
+#[test]
+fn incremental_across_levels_matches_one_shot() {
+    let data: Vec<u8> = (0..40_000u32)
+        .map(|i| (i.wrapping_mul(2_654_435_761) >> 21) as u8)
+        .collect();
+    let one_shot = crc32(&data);
+    let mut acc = Crc32::new();
+    let (a, rest) = data.split_at(10_001);
+    let (b, c) = rest.split_at(20_000);
+    ds_simd::with_level(ds_simd::detected(), || acc.update(a));
+    ds_simd::with_level(ds_simd::Level::Scalar, || acc.update(b));
+    ds_simd::with_level(ds_simd::detected(), || acc.update(c));
+    assert_eq!(acc.finish(), one_shot);
+}
+
 #[test]
 fn one_mib_incremental_matches_one_shot() {
     // 1 MiB of a deterministic non-trivial pattern, folded in both as a

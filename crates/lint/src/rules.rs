@@ -1,4 +1,4 @@
-//! The rule engine: six lexical invariant checks plus suppression
+//! The rule engine: seven lexical invariant checks plus suppression
 //! handling. See DESIGN.md §3c for the rationale behind each rule and the
 //! exemption policy.
 
@@ -18,6 +18,8 @@ pub const DET_ITER: &str = "deterministic-iteration";
 pub const WALLCLOCK: &str = "no-wallclock-nondeterminism";
 /// Rule: every `unsafe` block/impl carries a `// SAFETY:` comment.
 pub const UNSAFE_CONTRACT: &str = "unsafe-contract";
+/// Rule: `#[target_feature]` kernels stay unsafe, private, and dispatched.
+pub const TARGET_FEATURE_GATE: &str = "target-feature-gate";
 /// Meta-rule: malformed or reason-less suppression comments.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
 
@@ -46,6 +48,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         UNSAFE_CONTRACT,
         "every `unsafe` block or impl needs a `// SAFETY:` comment on the preceding lines",
+    ),
+    (
+        TARGET_FEATURE_GATE,
+        "`#[target_feature]` fns must be unsafe, non-pub, and live behind a runtime detection gate",
     ),
     (
         BAD_SUPPRESSION,
@@ -123,6 +129,9 @@ pub fn check_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     }
     if cfg.rule_applies(UNSAFE_CONTRACT, rel_path) {
         check_unsafe_contract(&lexed, &mut raw, &mk);
+    }
+    if cfg.rule_applies(TARGET_FEATURE_GATE, rel_path) {
+        check_target_feature_gate(&lexed, &mut raw, &mk);
     }
 
     let mut out: Vec<Finding> = raw
@@ -759,6 +768,93 @@ fn check_unsafe_contract(
             UNSAFE_CONTRACT,
             "unsafe without a `// SAFETY:` comment on the preceding lines".to_string(),
         ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// target-feature-gate
+// ---------------------------------------------------------------------------
+
+/// Identifiers whose presence marks a file as carrying a runtime dispatch
+/// gate: the std detection macros, or the ds-simd dispatch layer (whose
+/// `detected()` wraps them).
+const GATE_MARKERS: &[&str] = &[
+    "is_x86_feature_detected",
+    "is_aarch64_feature_detected",
+    "ds_simd",
+];
+
+/// A `#[target_feature]` fn compiles instructions the host may not have;
+/// calling one on the wrong CPU is immediate UB (illegal instruction at
+/// best). The workspace convention keeps such kernels honest three ways:
+/// they stay `unsafe fn` (so every call site owes a SAFETY argument), stay
+/// private (so no other crate can reach them around the dispatch layer),
+/// and their file contains a runtime detection gate that proves the
+/// feature before any call.
+fn check_target_feature_gate(
+    lexed: &Lexed,
+    out: &mut Vec<Finding>,
+    mk: &impl Fn(u32, u32, &'static str, String) -> Finding,
+) {
+    let t = &lexed.toks;
+    let gated = t
+        .iter()
+        .any(|tk| tk.kind == TokKind::Ident && GATE_MARKERS.contains(&tk.text.as_str()));
+    for i in 0..t.len().saturating_sub(2) {
+        if !(t[i].is_punct("#") && t[i + 1].is_punct("[") && t[i + 2].is_ident("target_feature")) {
+            continue;
+        }
+        let close = matching_bracket(t, i + 1);
+        // Walk from the attribute to its `fn`, noting the modifiers.
+        let mut j = close + 1;
+        let mut is_pub = false;
+        let mut is_unsafe = false;
+        let mut name = String::new();
+        while j < t.len() && j <= close + 24 {
+            if t[j].is_punct("#") && t.get(j + 1).is_some_and(|n| n.is_punct("[")) {
+                j = matching_bracket(t, j + 1) + 1; // another attribute
+                continue;
+            }
+            if t[j].is_ident("pub") {
+                is_pub = true;
+            } else if t[j].is_ident("unsafe") {
+                is_unsafe = true;
+            } else if t[j].is_ident("fn") {
+                if let Some(id) = t.get(j + 1) {
+                    name.clone_from(&id.text);
+                }
+                break;
+            }
+            j += 1;
+        }
+        if name.is_empty() {
+            continue; // attribute on something other than a named fn
+        }
+        let (line, col) = (t[i].line, t[i].col);
+        if !is_unsafe {
+            out.push(mk(
+                line,
+                col,
+                TARGET_FEATURE_GATE,
+                format!("`#[target_feature]` fn `{name}` must be `unsafe fn` so every call site owes a SAFETY argument"),
+            ));
+        }
+        if is_pub {
+            out.push(mk(
+                line,
+                col,
+                TARGET_FEATURE_GATE,
+                format!("`#[target_feature]` fn `{name}` must not be `pub`; expose it through the runtime dispatch layer"),
+            ));
+        }
+        if !gated {
+            out.push(mk(
+                line,
+                col,
+                TARGET_FEATURE_GATE,
+                format!("`#[target_feature]` fn `{name}` has no runtime detection gate in this file (is_x86_feature_detected / ds_simd)"),
+            ));
+        }
     }
 }
 

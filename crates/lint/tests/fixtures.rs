@@ -18,7 +18,7 @@ fn lint_fixtures() -> Vec<Finding> {
     let toml = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
     let cfg = Config::parse(&toml).expect("fixture config parses");
     let (files, findings) = lint_root(&root, &cfg).expect("lint_root");
-    assert_eq!(files, 7, "fixture tree should scan exactly 7 files");
+    assert_eq!(files, 8, "fixture tree should scan exactly 8 files");
     findings
 }
 
@@ -88,6 +88,22 @@ fn rule_scoping_follows_config_paths() {
     assert_eq!(
         rule_lines(&findings, "crates/obs/src/lib.rs"),
         vec![("bad-suppression", 5), ("no-wallclock-nondeterminism", 5),]
+    );
+}
+
+#[test]
+fn target_feature_fns_must_be_unsafe_private_and_gated() {
+    let findings = lint_fixtures();
+    // kernel_pub (line 4 attribute): pub + no gate marker in the file.
+    // kernel_safe (line 10 attribute): not unsafe + no gate marker.
+    assert_eq!(
+        rule_lines(&findings, "crates/other/src/bad_simd.rs"),
+        vec![
+            ("target-feature-gate", 4),
+            ("target-feature-gate", 4),
+            ("target-feature-gate", 10),
+            ("target-feature-gate", 10),
+        ]
     );
 }
 

@@ -3,3 +3,20 @@
 pub fn get(buf: &[u8], i: usize) -> Option<u8> {
     buf.get(i).copied()
 }
+
+// A well-gated SIMD kernel: unsafe, private, and behind runtime detection.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(x: f32) -> f32 {
+    x + 1.0
+}
+
+#[cfg(target_arch = "x86_64")]
+pub fn bump(x: f32) -> f32 {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 feature was detected on this host just above.
+        unsafe { kernel(x) }
+    } else {
+        x + 1.0
+    }
+}

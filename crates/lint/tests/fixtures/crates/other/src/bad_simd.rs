@@ -1,0 +1,13 @@
+//! Fixture: `#[target_feature]` kernels violating every gate requirement
+//! (pub, safe-to-call, and no runtime detection anywhere in the file).
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn kernel_pub(x: *mut f32) {
+    *x += 1.0;
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+fn kernel_safe(x: f32) -> f32 {
+    x + 1.0
+}

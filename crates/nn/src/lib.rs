@@ -4,7 +4,10 @@
 //! the paper's model construction stage (§5) needs:
 //!
 //! * [`mat`] — row-major `f32` matrices with the handful of BLAS-like
-//!   operations backpropagation requires.
+//!   operations backpropagation requires, backed by AVX2/NEON/scalar
+//!   micro-kernels selected at runtime through `ds-simd` (all variants
+//!   implement one fixed accumulation schedule, so the selection never
+//!   changes an output bit).
 //! * [`dense`] — fully connected layers with Xavier initialization.
 //! * [`adam`] — the Adam optimizer.
 //! * [`autoencoder`] — the paper's autoencoder: a symmetric encoder/decoder
@@ -30,6 +33,7 @@ pub mod dense;
 pub mod mat;
 pub mod moe;
 pub mod serialize;
+mod simd;
 
 pub use autoencoder::{Autoencoder, DecodedBatch, Head, ModelSpec};
 pub use mat::Mat;

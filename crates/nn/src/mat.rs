@@ -1,17 +1,22 @@
 //! Row-major `f32` matrices with the operations backpropagation needs.
 //!
-//! Small products use a clean scalar `ikj` kernel; once `m·k·n` crosses
-//! [`PAR_MIN_ELEMS`], `matmul` / `matmul_t` switch to cache-blocked,
-//! register-tiled kernels whose row ranges fan out over the `ds-exec`
-//! pool. Both paths accumulate every output element strictly in ascending
-//! `p` order, and the kernel choice depends only on the shapes — so
-//! results are bit-identical across any `DS_THREADS` setting (the
-//! determinism contract decompression relies on). No BLAS dependency
-//! required.
+//! The products run on the [`crate::simd`] micro-kernels (AVX2/NEON/
+//! scalar, selected once per call via `ds_simd::active()` *before* any
+//! fan-out, so pool workers inherit the caller's choice). Once `m·k·n`
+//! crosses [`PAR_MIN_ELEMS`] the row ranges additionally fan out over the
+//! `ds-exec` pool. Every kernel variant implements the same fixed
+//! accumulation schedule (`matmul`/`t_matmul`: strictly ascending `p` per
+//! element; `matmul_t`: 8-lane partial sums + a pinned reduction tree —
+//! see DESIGN.md §3f), and chunk boundaries depend only on the shapes —
+//! so results are bit-identical across any `DS_THREADS` *and* `DS_SIMD`
+//! setting (the determinism contract decompression relies on). No BLAS
+//! dependency required.
 
-/// Product volume (`m·k·n`) below which the scalar kernels run; above it
-/// the blocked kernels dispatch row chunks through `ds-exec`. Chosen so
-/// per-minibatch products (≈ 128×70×40) stay on the low-overhead scalar
+use crate::simd;
+
+/// Product volume (`m·k·n`) below which the kernels run on the calling
+/// thread; above it they dispatch row chunks through `ds-exec`. Chosen so
+/// per-minibatch products (≈ 128×70×40) stay on the low-overhead serial
 /// path while full-table encode/decode products go wide.
 const PAR_MIN_ELEMS: usize = 1 << 20;
 
@@ -19,146 +24,12 @@ const PAR_MIN_ELEMS: usize = 1 << 20;
 /// worker count — so chunk boundaries are reproducible everywhere.
 const ROW_CHUNK: usize = 64;
 
-/// Depth (`k`) panel width for the blocked `matmul` kernel: a panel of B
-/// (`KC × n` floats) is streamed repeatedly while it is still cache-hot.
-const KC: usize = 256;
-
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mat {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
-}
-
-/// Blocked/tiled kernel for `out[row0..row0+r] = A[row0..row0+r] · B`.
-///
-/// Loop order is `kb → row-quad → p → j`: for a fixed output row, `p`
-/// ascends within each `kb` panel and panels ascend, so every element is
-/// accumulated in exactly the same order as the scalar `ikj` kernel.
-/// Four output rows share each streamed `B` row (register tiling).
-fn matmul_rows_blocked(
-    a: &[f32],
-    b: &[f32],
-    k: usize,
-    n: usize,
-    row0: usize,
-    out_rows: &mut [f32],
-) {
-    let r = out_rows.len() / n;
-    let mut kb = 0;
-    while kb < k {
-        let kend = (kb + KC).min(k);
-        let mut i = 0;
-        // 4-row micro-kernel.
-        while i + 4 <= r {
-            let quad = &mut out_rows[i * n..(i + 4) * n];
-            let (q0, rest) = quad.split_at_mut(n);
-            let (q1, rest) = rest.split_at_mut(n);
-            let (q2, q3) = rest.split_at_mut(n);
-            let a0 = &a[(row0 + i) * k..(row0 + i + 1) * k];
-            let a1 = &a[(row0 + i + 1) * k..(row0 + i + 2) * k];
-            let a2 = &a[(row0 + i + 2) * k..(row0 + i + 3) * k];
-            let a3 = &a[(row0 + i + 3) * k..(row0 + i + 4) * k];
-            for p in kb..kend {
-                let (c0, c1, c2, c3) = (a0[p], a1[p], a2[p], a3[p]);
-                // Adding a `±0.0 · b` term is an exact no-op for finite
-                // `b`, so this skip cannot change results — it only
-                // exploits ReLU sparsity, like the scalar kernel's skip.
-                if c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                let iter = q0
-                    .iter_mut()
-                    .zip(q1.iter_mut())
-                    .zip(q2.iter_mut())
-                    .zip(q3.iter_mut())
-                    .zip(b_row.iter());
-                for ((((o0, o1), o2), o3), &bv) in iter {
-                    *o0 += c0 * bv;
-                    *o1 += c1 * bv;
-                    *o2 += c2 * bv;
-                    *o3 += c3 * bv;
-                }
-            }
-            i += 4;
-        }
-        // Remainder rows, one at a time.
-        while i < r {
-            let o_row = &mut out_rows[i * n..(i + 1) * n];
-            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
-            for (p, &c) in a_row.iter().enumerate().take(kend).skip(kb) {
-                if c == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                    *o += c * bv;
-                }
-            }
-            i += 1;
-        }
-        kb = kend;
-    }
-}
-
-/// Tiled kernel for `out[row0..row0+r] = A[row0..row0+r] · Bᵀ`.
-///
-/// Each output element is an independent dot product accumulated in
-/// ascending `p` order — identical maths to the scalar row-dot kernel.
-/// Four `B` rows are held per pass so they stay in registers/L1 across
-/// the chunk's `A` rows.
-fn matmul_t_rows_tiled(
-    a: &[f32],
-    b: &[f32],
-    k: usize,
-    n: usize,
-    row0: usize,
-    out_rows: &mut [f32],
-) {
-    let r = out_rows.len() / n;
-    let mut j = 0;
-    while j + 4 <= n {
-        let b0 = &b[j * k..(j + 1) * k];
-        let b1 = &b[(j + 1) * k..(j + 2) * k];
-        let b2 = &b[(j + 2) * k..(j + 3) * k];
-        let b3 = &b[(j + 3) * k..(j + 4) * k];
-        for i in 0..r {
-            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            let iter = a_row
-                .iter()
-                .zip(b0.iter())
-                .zip(b1.iter())
-                .zip(b2.iter())
-                .zip(b3.iter());
-            for ((((&av, &v0), &v1), &v2), &v3) in iter {
-                s0 += av * v0;
-                s1 += av * v1;
-                s2 += av * v2;
-                s3 += av * v3;
-            }
-            let o_row = &mut out_rows[i * n..(i + 1) * n];
-            o_row[j] = s0;
-            o_row[j + 1] = s1;
-            o_row[j + 2] = s2;
-            o_row[j + 3] = s3;
-        }
-        j += 4;
-    }
-    while j < n {
-        let b_row = &b[j * k..(j + 1) * k];
-        for i in 0..r {
-            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            out_rows[i * n + j] = acc;
-        }
-        j += 1;
-    }
 }
 
 impl Mat {
@@ -225,32 +96,23 @@ impl Mat {
 
     /// `self · other` (shapes `(m,k) · (k,n) → (m,n)`).
     ///
-    /// Bit-identical results for every thread setting: the scalar and
-    /// blocked kernels accumulate each element in the same `p` order,
-    /// and which kernel runs depends only on the shapes.
+    /// Bit-identical results for every `DS_THREADS` and `DS_SIMD`
+    /// setting: all kernel variants accumulate each element in the same
+    /// `p` order, the level is resolved once here (before any fan-out),
+    /// and chunk boundaries depend only on the shapes.
     pub fn matmul(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        let level = ds_simd::active();
+        ds_obs::counter_labeled("nn.simd_kernel", level.name(), 1);
         let mut out = Mat::zeros(m, n);
         if m * k * n < PAR_MIN_ELEMS {
-            for i in 0..m {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                let o_row = &mut out.data[i * n..(i + 1) * n];
-                for (p, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue; // ReLU activations are often sparse
-                    }
-                    let b_row = &other.data[p * n..(p + 1) * n];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            simd::matmul_rows(level, &self.data, &other.data, k, n, 0, &mut out.data);
             return out;
         }
         let (a, b) = (&self.data, &other.data);
         ds_exec::parallel_chunks_mut(&mut out.data, ROW_CHUNK * n, |_, start, out_rows| {
-            matmul_rows_blocked(a, b, k, n, start / n, out_rows);
+            simd::matmul_rows(level, a, b, k, n, start / n, out_rows);
         });
         out
     }
@@ -260,50 +122,33 @@ impl Mat {
     pub fn t_matmul(&self, other: &Mat) -> Mat {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        let level = ds_simd::active();
+        ds_obs::counter_labeled("nn.simd_kernel", level.name(), 1);
         let mut out = Mat::zeros(m, n);
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        simd::t_matmul(level, &self.data, &other.data, k, m, n, &mut out.data);
         out
     }
 
     /// `self · otherᵀ` (shapes `(m,k) · (n,k)ᵀ → (m,n)`), used to push
     /// gradients back through a layer.
     ///
-    /// Every element is an independent `p`-ascending dot product in both
-    /// kernels, so results are bit-identical across thread settings.
+    /// Every element is an independent lane-group dot product (8
+    /// ascending partial sums + a pinned reduction tree — DESIGN.md §3f)
+    /// in every kernel variant, so results are bit-identical across
+    /// thread counts and SIMD levels.
     pub fn matmul_t(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        let level = ds_simd::active();
+        ds_obs::counter_labeled("nn.simd_kernel", level.name(), 1);
         let mut out = Mat::zeros(m, n);
         if m * k * n < PAR_MIN_ELEMS {
-            for i in 0..m {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                let o_row = &mut out.data[i * n..(i + 1) * n];
-                for (j, o) in o_row.iter_mut().enumerate() {
-                    let b_row = &other.data[j * k..(j + 1) * k];
-                    let mut acc = 0.0;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
-            }
+            simd::matmul_t_rows(level, &self.data, &other.data, k, n, 0, &mut out.data);
             return out;
         }
         let (a, b) = (&self.data, &other.data);
         ds_exec::parallel_chunks_mut(&mut out.data, ROW_CHUNK * n, |_, start, out_rows| {
-            matmul_t_rows_tiled(a, b, k, n, start / n, out_rows);
+            simd::matmul_t_rows(level, a, b, k, n, start / n, out_rows);
         });
         out
     }
@@ -476,26 +321,46 @@ mod tests {
         out
     }
 
-    fn naive_matmul_t(a: &Mat, b: &Mat) -> Mat {
-        let (m_, k, n) = (a.rows(), a.cols(), b.rows());
+    /// Independent re-statement of the lane-group dot schedule from
+    /// DESIGN.md §3f: 8 ascending partial sums, tail in lanes
+    /// `0..k%8`, then the pinned reduction tree. `matmul_t` must
+    /// reproduce this exactly at every level and shape.
+    fn lane_group_dot(a: &[f32], b: &[f32]) -> f32 {
+        let k = a.len();
+        let full = k - k % 8;
+        let mut lanes = [0.0f32; 8];
+        for g in (0..full).step_by(8) {
+            for l in 0..8 {
+                lanes[l] += a[g + l] * b[g + l];
+            }
+        }
+        for l in 0..(k - full) {
+            lanes[l] += a[full + l] * b[full + l];
+        }
+        let q0 = lanes[0] + lanes[4];
+        let q1 = lanes[1] + lanes[5];
+        let q2 = lanes[2] + lanes[6];
+        let q3 = lanes[3] + lanes[7];
+        (q0 + q2) + (q1 + q3)
+    }
+
+    fn reference_matmul_t(a: &Mat, b: &Mat) -> Mat {
+        let (m_, n) = (a.rows(), b.rows());
         let mut out = Mat::zeros(m_, n);
         for i in 0..m_ {
             for j in 0..n {
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += a.get(i, p) * b.get(j, p);
-                }
-                out.set(i, j, acc);
+                out.set(i, j, lane_group_dot(a.row(i), b.row(j)));
             }
         }
         out
     }
 
-    /// The blocked kernels must reproduce the scalar accumulation order
-    /// exactly — checked on shapes large enough to force the blocked
-    /// path (above PAR_MIN_ELEMS), with odd dimensions for edge rows.
+    /// The shipped kernels must reproduce the documented accumulation
+    /// schedules exactly — checked on shapes large enough to force the
+    /// parallel blocked path (above PAR_MIN_ELEMS), with odd dimensions
+    /// for edge rows and lane-group tails.
     #[test]
-    fn blocked_kernels_bit_match_naive_order() {
+    fn kernels_bit_match_reference_schedules() {
         // 131*129*67 ≈ 1.13M ≥ PAR_MIN_ELEMS → blocked path.
         let a = arb_mat(131, 129, 1);
         let b = arb_mat(129, 67, 2);
@@ -505,8 +370,16 @@ mod tests {
 
         let bt = arb_mat(67, 129, 3);
         let blocked_t = ds_exec::with_thread_limit(1, || a.matmul_t(&bt));
-        let naive_t = naive_matmul_t(&a, &bt);
-        assert_eq!(blocked_t.data(), naive_t.data());
+        let reference_t = reference_matmul_t(&a, &bt);
+        assert_eq!(blocked_t.data(), reference_t.data());
+
+        // Small-path shapes use the same schedules.
+        let sa = arb_mat(13, 21, 4);
+        let sbt = arb_mat(9, 21, 5);
+        assert_eq!(
+            sa.matmul_t(&sbt).data(),
+            reference_matmul_t(&sa, &sbt).data()
+        );
     }
 
     #[test]
@@ -523,6 +396,33 @@ mod tests {
                 parallel.1.data(),
                 "matmul_t, limit {limit}"
             );
+        }
+    }
+
+    /// Bit-compare helper: `f32` equality would let `-0.0 == 0.0` slip.
+    fn bits(m: &Mat) -> Vec<u32> {
+        m.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// `DS_SIMD=off` (scalar fallback) and the detected level must agree
+    /// bit-for-bit on all three products, small and blocked paths alike.
+    /// Vacuous on scalar-only hosts — the identity still holds.
+    #[test]
+    fn simd_level_never_changes_results() {
+        use ds_simd::Level;
+        let shapes = [(13usize, 21usize, 9usize), (131, 129, 67)];
+        for (seed, &(m_, k, n)) in shapes.iter().enumerate() {
+            let a = arb_mat(m_, k, seed as u64 * 3 + 10);
+            let b = arb_mat(k, n, seed as u64 * 3 + 11);
+            let bt = arb_mat(n, k, seed as u64 * 3 + 12);
+            let at = arb_mat(k, m_, seed as u64 * 3 + 13);
+            let fast = (a.matmul(&b), a.matmul_t(&bt), at.t_matmul(&b));
+            let slow = ds_simd::with_level(Level::Scalar, || {
+                (a.matmul(&b), a.matmul_t(&bt), at.t_matmul(&b))
+            });
+            assert_eq!(bits(&fast.0), bits(&slow.0), "matmul {m_}x{k}x{n}");
+            assert_eq!(bits(&fast.1), bits(&slow.1), "matmul_t {m_}x{k}x{n}");
+            assert_eq!(bits(&fast.2), bits(&slow.2), "t_matmul {m_}x{k}x{n}");
         }
     }
 }

@@ -1,0 +1,716 @@
+//! SIMD micro-kernels behind runtime dispatch (`ds-simd`).
+//!
+//! Every kernel here exists in up to three variants — AVX2, NEON, and a
+//! portable scalar fallback — implementing one *fixed accumulation
+//! schedule*, so the selected [`Level`] never changes an output bit
+//! (DESIGN.md §3f). Two schedules cover all three products:
+//!
+//! * **Order-preserving axpy** ([`matmul_rows`], [`t_matmul`]): each
+//!   output element accumulates `o[j] += c · b[j]` in strictly ascending
+//!   `p` order. Vectorizing along `j` keeps every element's operation
+//!   sequence identical (one rounded mul, one rounded add per term — FMA
+//!   is deliberately *not* used), so AVX2/NEON/scalar agree bit-for-bit
+//!   by construction.
+//! * **Lane-group dot** ([`matmul_t_rows`]): a dot product holds
+//!   [`ds_simd::LANE_GROUP`] = 8 partial sums — lane `l` accumulates the
+//!   terms `p ≡ l (mod 8)` in ascending `p` — then reduces through the
+//!   pinned tree in [`reduce_lanes`]. The scalar fallback implements the
+//!   same 8 lanes and the same tree, making this schedule the reference
+//!   semantics; AVX2 maps it onto one 256-bit register, NEON onto two
+//!   128-bit ones, neither changing a single operation.
+//!
+//! Dispatch reads a [`Level`] chosen by the *caller* (`mat.rs` resolves
+//! `ds_simd::active()` once per public entry point, before any `ds-exec`
+//! fan-out) so pool workers use the caller's kernel, not their own
+//! thread-local view.
+//!
+//! The `#[target_feature]` functions are `unsafe`, private, and only
+//! reachable through the `match` on the runtime-detected level below —
+//! pinned by ds-lint's `target-feature-gate` rule.
+
+use ds_simd::Level;
+
+/// Depth (`k`) panel width for the blocked `matmul` kernel: a panel of B
+/// (`KC × n` floats) is streamed repeatedly while it is still cache-hot.
+const KC: usize = 256;
+
+// ---------------------------------------------------------------------------
+// out[row0..row0+r] = A[row0..row0+r] · B   (order-preserving axpy)
+// ---------------------------------------------------------------------------
+
+/// Blocked/tiled kernel for `out[row0..row0+r] = A[row0..row0+r] · B`.
+///
+/// Loop order is `kb → row-quad → p → j`: for a fixed output row, `p`
+/// ascends within each `kb` panel and panels ascend, so every element is
+/// accumulated in exactly the same order at every [`Level`]. Four output
+/// rows share each streamed `B` row (register tiling).
+pub(crate) fn matmul_rows(
+    level: Level,
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    if n == 0 || out_rows.is_empty() {
+        return;
+    }
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the Avx2 level is only ever produced by ds-simd after
+        // `is_x86_feature_detected!("avx2")` succeeded on this host.
+        Level::Avx2 => unsafe { matmul_rows_avx2(a, b, k, n, row0, out_rows) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is part of the aarch64 baseline; ds-simd only
+        // reports the Neon level when compiled for aarch64.
+        Level::Neon => unsafe { matmul_rows_neon(a, b, k, n, row0, out_rows) },
+        _ => matmul_rows_scalar(a, b, k, n, row0, out_rows),
+    }
+}
+
+/// Portable reference for [`matmul_rows`] — identical maths, plain Rust.
+fn matmul_rows_scalar(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out_rows: &mut [f32]) {
+    let r = out_rows.len() / n;
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let mut i = 0;
+        // 4-row micro-kernel.
+        while i + 4 <= r {
+            let quad = &mut out_rows[i * n..(i + 4) * n];
+            let (q0, rest) = quad.split_at_mut(n);
+            let (q1, rest) = rest.split_at_mut(n);
+            let (q2, q3) = rest.split_at_mut(n);
+            let a0 = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            let a1 = &a[(row0 + i + 1) * k..(row0 + i + 2) * k];
+            let a2 = &a[(row0 + i + 2) * k..(row0 + i + 3) * k];
+            let a3 = &a[(row0 + i + 3) * k..(row0 + i + 4) * k];
+            for p in kb..kend {
+                let (c0, c1, c2, c3) = (a0[p], a1[p], a2[p], a3[p]);
+                // Adding a `±0.0 · b` term is an exact no-op for finite
+                // `b`, so this skip cannot change results — it only
+                // exploits ReLU sparsity, like the scalar kernel's skip.
+                if c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                let iter = q0
+                    .iter_mut()
+                    .zip(q1.iter_mut())
+                    .zip(q2.iter_mut())
+                    .zip(q3.iter_mut())
+                    .zip(b_row.iter());
+                for ((((o0, o1), o2), o3), &bv) in iter {
+                    *o0 += c0 * bv;
+                    *o1 += c1 * bv;
+                    *o2 += c2 * bv;
+                    *o3 += c3 * bv;
+                }
+            }
+            i += 4;
+        }
+        // Remainder rows, one at a time.
+        while i < r {
+            let o_row = &mut out_rows[i * n..(i + 1) * n];
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for (p, &c) in a_row.iter().enumerate().take(kend).skip(kb) {
+                if c == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += c * bv;
+                }
+            }
+            i += 1;
+        }
+        kb = kend;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_rows_avx2(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let r = out_rows.len() / n;
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let mut i = 0;
+        while i + 4 <= r {
+            let quad = &mut out_rows[i * n..(i + 4) * n];
+            let (q0, rest) = quad.split_at_mut(n);
+            let (q1, rest) = rest.split_at_mut(n);
+            let (q2, q3) = rest.split_at_mut(n);
+            let a0 = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            let a1 = &a[(row0 + i + 1) * k..(row0 + i + 2) * k];
+            let a2 = &a[(row0 + i + 2) * k..(row0 + i + 3) * k];
+            let a3 = &a[(row0 + i + 3) * k..(row0 + i + 4) * k];
+            // The all-zero-quad skip predicate and the four coefficient
+            // loads are j-invariant, so evaluate them once per quad/panel,
+            // packing the surviving p's coefficients (and their B-row
+            // offsets) contiguously. The same p's are skipped as in the
+            // scalar schedule — only the redundant re-evaluation per
+            // j-block goes away.
+            let mut coef = [0.0f32; 4 * KC];
+            let mut boff = [0usize; KC];
+            let mut live = 0usize;
+            for p in kb..kend {
+                let (c0, c1, c2, c3) = (a0[p], a1[p], a2[p], a3[p]);
+                if c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
+                    continue;
+                }
+                coef[4 * live] = c0;
+                coef[4 * live + 1] = c1;
+                coef[4 * live + 2] = c2;
+                coef[4 * live + 3] = c3;
+                boff[live] = p * n;
+                live += 1;
+            }
+            // Register tiling along `j`: the 4×16 output block lives in
+            // eight ymm accumulators for the whole `p` panel, so the only
+            // per-`p` memory traffic is two B loads and four broadcasts.
+            // Per element this is still `mul` then `add` in ascending `p`
+            // order (never FMA), and spilling the accumulators to `out`
+            // between panels is exact — bit-identical to the scalar
+            // schedule.
+            let mut j = 0;
+            while j + 16 <= n {
+                let mut s00 = _mm256_loadu_ps(q0.as_ptr().add(j));
+                let mut s01 = _mm256_loadu_ps(q0.as_ptr().add(j + 8));
+                let mut s10 = _mm256_loadu_ps(q1.as_ptr().add(j));
+                let mut s11 = _mm256_loadu_ps(q1.as_ptr().add(j + 8));
+                let mut s20 = _mm256_loadu_ps(q2.as_ptr().add(j));
+                let mut s21 = _mm256_loadu_ps(q2.as_ptr().add(j + 8));
+                let mut s30 = _mm256_loadu_ps(q3.as_ptr().add(j));
+                let mut s31 = _mm256_loadu_ps(q3.as_ptr().add(j + 8));
+                for t in 0..live {
+                    let cp = coef.as_ptr().add(4 * t);
+                    let bp = b.as_ptr().add(boff[t] + j);
+                    let bv0 = _mm256_loadu_ps(bp);
+                    let bv1 = _mm256_loadu_ps(bp.add(8));
+                    let v0 = _mm256_set1_ps(*cp);
+                    s00 = _mm256_add_ps(s00, _mm256_mul_ps(v0, bv0));
+                    s01 = _mm256_add_ps(s01, _mm256_mul_ps(v0, bv1));
+                    let v1 = _mm256_set1_ps(*cp.add(1));
+                    s10 = _mm256_add_ps(s10, _mm256_mul_ps(v1, bv0));
+                    s11 = _mm256_add_ps(s11, _mm256_mul_ps(v1, bv1));
+                    let v2 = _mm256_set1_ps(*cp.add(2));
+                    s20 = _mm256_add_ps(s20, _mm256_mul_ps(v2, bv0));
+                    s21 = _mm256_add_ps(s21, _mm256_mul_ps(v2, bv1));
+                    let v3 = _mm256_set1_ps(*cp.add(3));
+                    s30 = _mm256_add_ps(s30, _mm256_mul_ps(v3, bv0));
+                    s31 = _mm256_add_ps(s31, _mm256_mul_ps(v3, bv1));
+                }
+                _mm256_storeu_ps(q0.as_mut_ptr().add(j), s00);
+                _mm256_storeu_ps(q0.as_mut_ptr().add(j + 8), s01);
+                _mm256_storeu_ps(q1.as_mut_ptr().add(j), s10);
+                _mm256_storeu_ps(q1.as_mut_ptr().add(j + 8), s11);
+                _mm256_storeu_ps(q2.as_mut_ptr().add(j), s20);
+                _mm256_storeu_ps(q2.as_mut_ptr().add(j + 8), s21);
+                _mm256_storeu_ps(q3.as_mut_ptr().add(j), s30);
+                _mm256_storeu_ps(q3.as_mut_ptr().add(j + 8), s31);
+                j += 16;
+            }
+            // One-vector block for 8 ≤ remaining < 16 columns.
+            while j + 8 <= n {
+                let mut s0 = _mm256_loadu_ps(q0.as_ptr().add(j));
+                let mut s1 = _mm256_loadu_ps(q1.as_ptr().add(j));
+                let mut s2 = _mm256_loadu_ps(q2.as_ptr().add(j));
+                let mut s3 = _mm256_loadu_ps(q3.as_ptr().add(j));
+                for t in 0..live {
+                    let cp = coef.as_ptr().add(4 * t);
+                    let bv = _mm256_loadu_ps(b.as_ptr().add(boff[t] + j));
+                    s0 = _mm256_add_ps(s0, _mm256_mul_ps(_mm256_set1_ps(*cp), bv));
+                    s1 = _mm256_add_ps(s1, _mm256_mul_ps(_mm256_set1_ps(*cp.add(1)), bv));
+                    s2 = _mm256_add_ps(s2, _mm256_mul_ps(_mm256_set1_ps(*cp.add(2)), bv));
+                    s3 = _mm256_add_ps(s3, _mm256_mul_ps(_mm256_set1_ps(*cp.add(3)), bv));
+                }
+                _mm256_storeu_ps(q0.as_mut_ptr().add(j), s0);
+                _mm256_storeu_ps(q1.as_mut_ptr().add(j), s1);
+                _mm256_storeu_ps(q2.as_mut_ptr().add(j), s2);
+                _mm256_storeu_ps(q3.as_mut_ptr().add(j), s3);
+                j += 8;
+            }
+            // Scalar tail columns, same p-ascending order per element.
+            while j < n {
+                let (mut s0, mut s1) = (q0[j], q1[j]);
+                let (mut s2, mut s3) = (q2[j], q3[j]);
+                for t in 0..live {
+                    let bv = b[boff[t] + j];
+                    s0 += coef[4 * t] * bv;
+                    s1 += coef[4 * t + 1] * bv;
+                    s2 += coef[4 * t + 2] * bv;
+                    s3 += coef[4 * t + 3] * bv;
+                }
+                q0[j] = s0;
+                q1[j] = s1;
+                q2[j] = s2;
+                q3[j] = s3;
+                j += 1;
+            }
+            i += 4;
+        }
+        while i < r {
+            let o_row = &mut out_rows[i * n..(i + 1) * n];
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for (p, &c) in a_row.iter().enumerate().take(kend).skip(kb) {
+                if c == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                axpy_avx2_body(o_row, c, b_row);
+            }
+            i += 1;
+        }
+        kb = kend;
+    }
+}
+
+/// `o[j] += c · b[j]` over a whole row, AVX2 body. `#[inline(always)]`
+/// into the `#[target_feature]` callers above/below — never called from
+/// non-AVX2 code.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn axpy_avx2_body(o: &mut [f32], c: f32, b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = o.len().min(b.len());
+    let cv = _mm256_set1_ps(c);
+    let mut j = 0;
+    while j + 8 <= n {
+        let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+        let ov = _mm256_loadu_ps(o.as_ptr().add(j));
+        _mm256_storeu_ps(
+            o.as_mut_ptr().add(j),
+            _mm256_add_ps(ov, _mm256_mul_ps(cv, bv)),
+        );
+        j += 8;
+    }
+    while j < n {
+        o[j] += c * b[j];
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn matmul_rows_neon(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    use std::arch::aarch64::*;
+    let r = out_rows.len() / n;
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let mut i = 0;
+        while i + 4 <= r {
+            let quad = &mut out_rows[i * n..(i + 4) * n];
+            let (q0, rest) = quad.split_at_mut(n);
+            let (q1, rest) = rest.split_at_mut(n);
+            let (q2, q3) = rest.split_at_mut(n);
+            let a0 = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            let a1 = &a[(row0 + i + 1) * k..(row0 + i + 2) * k];
+            let a2 = &a[(row0 + i + 2) * k..(row0 + i + 3) * k];
+            let a3 = &a[(row0 + i + 3) * k..(row0 + i + 4) * k];
+            for p in kb..kend {
+                let (c0, c1, c2, c3) = (a0[p], a1[p], a2[p], a3[p]);
+                if c0 == 0.0 && c1 == 0.0 && c2 == 0.0 && c3 == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                let (v0, v1) = (vdupq_n_f32(c0), vdupq_n_f32(c1));
+                let (v2, v3) = (vdupq_n_f32(c2), vdupq_n_f32(c3));
+                let mut j = 0;
+                // `mul` then `add` — never a fused multiply-accumulate.
+                while j + 4 <= n {
+                    let bv = vld1q_f32(b_row.as_ptr().add(j));
+                    let t0 = vld1q_f32(q0.as_ptr().add(j));
+                    vst1q_f32(q0.as_mut_ptr().add(j), vaddq_f32(t0, vmulq_f32(v0, bv)));
+                    let t1 = vld1q_f32(q1.as_ptr().add(j));
+                    vst1q_f32(q1.as_mut_ptr().add(j), vaddq_f32(t1, vmulq_f32(v1, bv)));
+                    let t2 = vld1q_f32(q2.as_ptr().add(j));
+                    vst1q_f32(q2.as_mut_ptr().add(j), vaddq_f32(t2, vmulq_f32(v2, bv)));
+                    let t3 = vld1q_f32(q3.as_ptr().add(j));
+                    vst1q_f32(q3.as_mut_ptr().add(j), vaddq_f32(t3, vmulq_f32(v3, bv)));
+                    j += 4;
+                }
+                while j < n {
+                    let bv = b_row[j];
+                    q0[j] += c0 * bv;
+                    q1[j] += c1 * bv;
+                    q2[j] += c2 * bv;
+                    q3[j] += c3 * bv;
+                    j += 1;
+                }
+            }
+            i += 4;
+        }
+        while i < r {
+            let o_row = &mut out_rows[i * n..(i + 1) * n];
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for (p, &c) in a_row.iter().enumerate().take(kend).skip(kb) {
+                if c == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                axpy_neon_body(o_row, c, b_row);
+            }
+            i += 1;
+        }
+        kb = kend;
+    }
+}
+
+/// NEON twin of [`axpy_avx2_body`].
+#[cfg(target_arch = "aarch64")]
+#[inline(always)]
+unsafe fn axpy_neon_body(o: &mut [f32], c: f32, b: &[f32]) {
+    use std::arch::aarch64::*;
+    let n = o.len().min(b.len());
+    let cv = vdupq_n_f32(c);
+    let mut j = 0;
+    while j + 4 <= n {
+        let bv = vld1q_f32(b.as_ptr().add(j));
+        let ov = vld1q_f32(o.as_ptr().add(j));
+        vst1q_f32(o.as_mut_ptr().add(j), vaddq_f32(ov, vmulq_f32(cv, bv)));
+        j += 4;
+    }
+    while j < n {
+        o[j] += c * b[j];
+        j += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// out[row0..row0+r] = A[row0..row0+r] · Bᵀ   (lane-group dot)
+// ---------------------------------------------------------------------------
+
+/// The pinned reduction tree closing every lane-group dot product:
+///
+/// ```text
+/// s = ((l0+l4) + (l2+l6)) + ((l1+l5) + (l3+l7))
+/// ```
+///
+/// This is the natural AVX2 shape (`extractf128`-add, `movehl`-add,
+/// `shuffle`-add); the scalar and NEON paths execute the same five adds
+/// in the same association, so the tree is part of the schedule, not an
+/// implementation detail.
+#[inline]
+fn reduce_lanes(l: [f32; 8]) -> f32 {
+    let q0 = l[0] + l[4];
+    let q1 = l[1] + l[5];
+    let q2 = l[2] + l[6];
+    let q3 = l[3] + l[7];
+    (q0 + q2) + (q1 + q3)
+}
+
+/// Lane-group partial sums of `Σ a[p]·x[p]`: lane `l` accumulates the
+/// terms `p ≡ l (mod 8)` in ascending `p`; the tail (`len % 8` terms)
+/// lands in lanes `0..len%8` only — untouched lanes are *not* folded
+/// with `+0.0`, which would quietly turn a `-0.0` partial sum positive.
+#[inline]
+fn dot_lanes_scalar(a: &[f32], x: &[f32]) -> [f32; 8] {
+    let len = a.len().min(x.len());
+    let full = len - len % 8;
+    let mut lanes = [0.0f32; 8];
+    let mut p = 0;
+    while p < full {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += a[p + l] * x[p + l];
+        }
+        p += 8;
+    }
+    for l in 0..(len - full) {
+        lanes[l] += a[full + l] * x[full + l];
+    }
+    lanes
+}
+
+/// Tiled kernel for `out[row0..row0+r] = A[row0..row0+r] · Bᵀ`.
+///
+/// Every output element is an independent lane-group dot product (8
+/// ascending partial sums + the [`reduce_lanes`] tree) — the same
+/// schedule at every [`Level`], so results are bit-identical across
+/// scalar/AVX2/NEON and any thread count.
+pub(crate) fn matmul_t_rows(
+    level: Level,
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    if n == 0 || out_rows.is_empty() {
+        return;
+    }
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only reported after runtime AVX2 detection.
+        Level::Avx2 => unsafe { matmul_t_rows_avx2(a, b, k, n, row0, out_rows) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64 builds.
+        Level::Neon => unsafe { matmul_t_rows_neon(a, b, k, n, row0, out_rows) },
+        _ => matmul_t_rows_scalar(a, b, k, n, row0, out_rows),
+    }
+}
+
+/// Portable reference for [`matmul_t_rows`]: the lane-group schedule in
+/// plain Rust. `B` rows are the outer loop so each stays cache-hot
+/// across the chunk's `A` rows.
+fn matmul_t_rows_scalar(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    let r = out_rows.len() / n;
+    for j in 0..n {
+        let b_row = &b[j * k..(j + 1) * k];
+        for i in 0..r {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            out_rows[i * n + j] = reduce_lanes(dot_lanes_scalar(a_row, b_row));
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_t_rows_avx2(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let r = out_rows.len() / n;
+    let full = k - k % 8;
+    for j in 0..n {
+        let b_row = &b[j * k..(j + 1) * k];
+        for i in 0..r {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            // Lane l of `acc` is exactly `lanes[l]` of the scalar
+            // schedule: the lanewise mul+add touches each partial sum
+            // with the same rounded ops in the same ascending-p order.
+            let mut acc = _mm256_setzero_ps();
+            let mut p = 0;
+            while p < full {
+                let av = _mm256_loadu_ps(a_row.as_ptr().add(p));
+                let xv = _mm256_loadu_ps(b_row.as_ptr().add(p));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(av, xv));
+                p += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            for l in 0..(k - full) {
+                lanes[l] += a_row[full + l] * b_row[full + l];
+            }
+            out_rows[i * n + j] = reduce_lanes(lanes);
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn matmul_t_rows_neon(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    use std::arch::aarch64::*;
+    let r = out_rows.len() / n;
+    let full = k - k % 8;
+    for j in 0..n {
+        let b_row = &b[j * k..(j + 1) * k];
+        for i in 0..r {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            // Two q-registers hold the 8-lane group: acc_lo = lanes 0..4,
+            // acc_hi = lanes 4..8 — same partial sums as scalar/AVX2.
+            let mut acc_lo = vdupq_n_f32(0.0);
+            let mut acc_hi = vdupq_n_f32(0.0);
+            let mut p = 0;
+            while p < full {
+                let a_lo = vld1q_f32(a_row.as_ptr().add(p));
+                let x_lo = vld1q_f32(b_row.as_ptr().add(p));
+                acc_lo = vaddq_f32(acc_lo, vmulq_f32(a_lo, x_lo));
+                let a_hi = vld1q_f32(a_row.as_ptr().add(p + 4));
+                let x_hi = vld1q_f32(b_row.as_ptr().add(p + 4));
+                acc_hi = vaddq_f32(acc_hi, vmulq_f32(a_hi, x_hi));
+                p += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            vst1q_f32(lanes.as_mut_ptr(), acc_lo);
+            vst1q_f32(lanes.as_mut_ptr().add(4), acc_hi);
+            for l in 0..(k - full) {
+                lanes[l] += a_row[full + l] * b_row[full + l];
+            }
+            out_rows[i * n + j] = reduce_lanes(lanes);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// out = Aᵀ · B   (order-preserving axpy, serial)
+// ---------------------------------------------------------------------------
+
+/// Kernel for `out = Aᵀ · B` (`A` is `k×m`, `B` is `k×n`, `out` is
+/// `m×n`, all row-major). Each output element accumulates in ascending
+/// `p` order with one rounded mul + add per term — bit-identical across
+/// levels, like [`matmul_rows`].
+pub(crate) fn t_matmul(
+    level: Level,
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only reported after runtime AVX2 detection.
+        Level::Avx2 => unsafe { t_matmul_avx2(a, b, k, m, n, out) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64 builds.
+        Level::Neon => unsafe { t_matmul_neon(a, b, k, m, n, out) },
+        _ => t_matmul_scalar(a, b, k, m, n, out),
+    }
+}
+
+/// Portable reference for [`t_matmul`].
+fn t_matmul_scalar(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &c) in a_row.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += c * bv;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn t_matmul_avx2(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &c) in a_row.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            axpy_avx2_body(&mut out[i * n..(i + 1) * n], c, b_row);
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn t_matmul_neon(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &c) in a_row.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            axpy_neon_body(&mut out[i * n..(i + 1) * n], c, b_row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reduction tree must match its documented association exactly.
+    #[test]
+    fn reduce_lanes_is_the_pinned_tree() {
+        let l = [1.0f32, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        let expect = ((1.0f32 + 16.0) + (4.0 + 64.0)) + ((2.0 + 32.0) + (8.0 + 128.0));
+        assert_eq!(reduce_lanes(l), expect);
+    }
+
+    /// Tail terms land only in lanes `0..k % 8`, in ascending order —
+    /// they are never spread across the high lanes or zero-padded into
+    /// a ninth group.
+    #[test]
+    fn dot_lanes_tail_lands_in_low_lanes_only() {
+        // k = 11: one full group + a 3-term tail owned by lanes 0..3.
+        let a: Vec<f32> = (0..11).map(|i| (i + 1) as f32).collect();
+        let x = vec![1.0f32; 11];
+        let lanes = dot_lanes_scalar(&a, &x);
+        assert_eq!(lanes[0], 1.0 + 9.0);
+        assert_eq!(lanes[1], 2.0 + 10.0);
+        assert_eq!(lanes[2], 3.0 + 11.0);
+        for l in 3..8 {
+            assert_eq!(lanes[l], (l + 1) as f32, "lane {l} must be untouched");
+        }
+    }
+
+    /// SIMD variants must agree with the scalar schedule bit-for-bit on
+    /// the live host level (vacuous on scalar-only hosts).
+    #[test]
+    fn host_level_matches_scalar_schedule() {
+        let level = ds_simd::detected();
+        let (r, k, n) = (7, 29, 13); // deliberately misaligned everywhere
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..r * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let bt: Vec<f32> = (0..n * k).map(|_| next()).collect();
+
+        let mut simd = vec![0.0f32; r * n];
+        let mut scalar = vec![0.0f32; r * n];
+        matmul_rows(level, &a, &b, k, n, 0, &mut simd);
+        matmul_rows(Level::Scalar, &a, &b, k, n, 0, &mut scalar);
+        assert_eq!(simd, scalar, "matmul_rows");
+
+        simd.fill(0.0);
+        scalar.fill(0.0);
+        matmul_t_rows(level, &a, &bt, k, n, 0, &mut simd);
+        matmul_t_rows(Level::Scalar, &a, &bt, k, n, 0, &mut scalar);
+        assert_eq!(simd, scalar, "matmul_t_rows");
+
+        // Aᵀ·B with A as k×m: reuse `a` as 29-row × 7-col.
+        let (tk, tm, tn) = (r, k, n); // 7×29ᵀ is 29×7 … keep shapes small
+        let a2: Vec<f32> = (0..tk * tm).map(|_| next()).collect();
+        let b2: Vec<f32> = (0..tk * tn).map(|_| next()).collect();
+        let mut o_simd = vec![0.0f32; tm * tn];
+        let mut o_scalar = vec![0.0f32; tm * tn];
+        t_matmul(level, &a2, &b2, tk, tm, tn, &mut o_simd);
+        t_matmul(Level::Scalar, &a2, &b2, tk, tm, tn, &mut o_scalar);
+        assert_eq!(o_simd, o_scalar, "t_matmul");
+    }
+}

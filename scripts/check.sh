@@ -21,17 +21,24 @@ cargo run -q -p ds-lint
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo test (DS_SIMD=off: scalar reference kernels)"
+DS_SIMD=off cargo test -q
+
 echo "==> sharded container tests"
 cargo test -q -p ds-shard
 cargo test -q --test shard_roundtrip --test truncation
 
 if [ "$mode" = "full" ]; then
   echo "==> release build"
-  cargo build --release -q
+  cargo build --release -q --workspace
 
   echo "==> exec_probe (smoke)"
   SMOKE=1 BENCH_OUT=target/BENCH_exec.smoke.json \
     cargo run --release -q -p ds-bench --bin exec_probe
+
+  echo "==> codec_probe (smoke)"
+  SMOKE=1 BENCH_OUT=target/BENCH_codec.smoke.json \
+    cargo run --release -q -p ds-bench --bin codec_probe
 
   echo "==> shard_probe (smoke)"
   SMOKE=1 BENCH_OUT=target/BENCH_shard.smoke.json \

@@ -1,0 +1,51 @@
+//! End-to-end SIMD determinism (§3f): runtime kernel selection must never
+//! change archive bytes. The same table compressed through the staged
+//! streaming pipeline with the scalar reference kernels (`DS_SIMD=off`
+//! semantics, via the scoped override) and with the detected level must
+//! produce byte-identical containers, at every thread count — the NN
+//! training path, the codec hot loops, and the checksums all sit behind
+//! the same lane-group determinism contract.
+
+use ds_core::{compress_stream_to, DsConfig};
+use ds_table::gen;
+use ds_table::stream::TableSource;
+
+fn archive_bytes(level: ds_simd::Level, threads: usize) -> Vec<u8> {
+    let t = gen::corel_like(600, 11);
+    let cfg = DsConfig {
+        error_threshold: 0.05,
+        code_size: 2,
+        n_experts: 2,
+        max_epochs: 4,
+        shard_rows: 128,
+        ..Default::default()
+    };
+    ds_exec::with_thread_limit(threads, || {
+        ds_simd::with_level(level, || {
+            let src = TableSource::new(&t, 128);
+            let mut out = Vec::new();
+            compress_stream_to(&src, &cfg, &mut out).expect("compress");
+            out
+        })
+    })
+}
+
+#[test]
+fn kernel_level_never_changes_archive_bytes() {
+    let scalar = archive_bytes(ds_simd::Level::Scalar, 1);
+    let auto = archive_bytes(ds_simd::detected(), 1);
+    assert_eq!(
+        scalar, auto,
+        "scalar and detected kernels must emit identical archives"
+    );
+    // Pool workers resolve their own level (the scoped override is
+    // thread-local), so these runs mix kernel levels across threads —
+    // the bytes still may not move.
+    for threads in [2, 8] {
+        assert_eq!(
+            archive_bytes(ds_simd::detected(), threads),
+            scalar,
+            "archive bytes must not depend on thread count x kernel level"
+        );
+    }
+}
