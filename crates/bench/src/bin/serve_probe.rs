@@ -1,0 +1,154 @@
+//! `serve_probe` — measures what the ds-serve layer buys over per-request
+//! cold decodes:
+//!
+//! * cold range-read latency (cache disabled: every read pays positioned
+//!   I/O plus shard decode) vs warm-cache latency for the same mid-table
+//!   10% range, and the resulting `warm_speedup`;
+//! * concurrent throughput of seeded random range reads against one
+//!   shared pre-warmed [`Archive`] at 1, 4, and 16 clients.
+//!
+//! ```text
+//! cargo run --release -p ds-bench --bin serve_probe          # full size
+//! SMOKE=1 cargo run --release -p ds-bench --bin serve_probe  # CI-sized
+//! BENCH_OUT=/tmp/serve.json ...                              # custom path
+//! ```
+//!
+//! Results are appended as one JSON object per line so successive runs
+//! accumulate in `BENCH_serve.json`.
+
+use ds_core::{compress, DsConfig};
+use ds_obs::sink::time_best_ms as time_best;
+use ds_serve::Archive;
+use ds_table::gen;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Tiny LCG so client workloads are seeded and replayable.
+fn next(state: &mut u64) -> usize {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 33) as usize
+}
+
+fn main() {
+    let smoke = std::env::var("SMOKE").is_ok();
+    let reps = if smoke { 3 } else { 5 };
+    let rows = if smoke { 1600 } else { 20000 };
+    let shard_rows = rows / 16; // 16 row groups
+
+    let t = gen::monitor_like(rows, 42);
+    let cfg = DsConfig {
+        error_threshold: 0.05,
+        code_size: 2,
+        n_experts: 2,
+        max_epochs: if smoke { 3 } else { 6 },
+        shard_rows,
+        ..Default::default()
+    };
+    let bytes = compress(&t, &cfg).expect("compress").as_bytes().to_vec();
+    let path = std::env::temp_dir().join(format!("serve_probe_{}.dsqz", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write archive file");
+    let open = || std::fs::File::open(&path).expect("open archive file");
+
+    // Mid-table 10% range: spans ~2-3 of the 16 shards.
+    let lo = (rows * 45) / 100;
+    let hi = (rows * 55) / 100;
+
+    // Cold: cache budget 0, so every read re-reads and re-decodes the
+    // intersecting shards (the per-request cost a cacheless server pays).
+    let cold = Archive::with_cache(open(), 0).expect("open cold");
+    let cold_ms = time_best(reps, || {
+        black_box(cold.read_rows(lo..hi).expect("cold read"));
+    });
+
+    // Warm: default budget, pre-warmed by one read of the same range;
+    // repeats are pure cache hits (slice + concat, no decode, no I/O).
+    let warm = Archive::open(open()).expect("open warm");
+    warm.read_rows(lo..hi).expect("warm-up read");
+    let warm_ms = time_best(reps, || {
+        black_box(warm.read_rows(lo..hi).expect("warm read"));
+    });
+    let warm_speedup = cold_ms / warm_ms.max(1e-9);
+
+    // Concurrent throughput: N clients, each doing seeded random range
+    // reads against one shared fully-warmed archive.
+    let per_client = if smoke { 16 } else { 64 };
+    let shared = Arc::new(Archive::open(open()).expect("open shared"));
+    shared.read_rows(0..rows).expect("pre-warm all shards");
+    let mut throughput = Vec::new();
+    for &clients in &[1usize, 4, 16] {
+        let ms = time_best(2, || {
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let archive = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        let mut state = (c as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                        for _ in 0..per_client {
+                            let a = next(&mut state) % (rows + 1);
+                            let b = next(&mut state) % (rows + 1);
+                            black_box(archive.read_rows(a.min(b)..a.max(b)).expect("client read"));
+                        }
+                    });
+                }
+            });
+        });
+        let rps = (clients * per_client) as f64 / (ms / 1000.0).max(1e-9);
+        throughput.push((clients, rps));
+    }
+
+    let stats = warm.cache_stats();
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0);
+    let ds_threads = ds_exec::effective_threads();
+
+    let line = format!(
+        concat!(
+            "{{\"host_threads\": {}, \"ds_threads\": {}, \"smoke\": {}, ",
+            "\"rows\": {}, \"shard_rows\": {}, \"shards\": {}, \"archive_bytes\": {}, ",
+            "\"range_rows\": {}, \"cold_range_ms\": {:.3}, \"warm_range_ms\": {:.3}, ",
+            "\"warm_speedup\": {:.2}, \"cache_bytes\": {}, ",
+            "\"conc1_rps\": {:.1}, \"conc4_rps\": {:.1}, \"conc16_rps\": {:.1}}}\n",
+        ),
+        host_threads,
+        ds_threads,
+        smoke,
+        rows,
+        shard_rows,
+        warm.n_shards(),
+        bytes.len(),
+        hi - lo,
+        cold_ms,
+        warm_ms,
+        warm_speedup,
+        stats.bytes,
+        throughput[0].1,
+        throughput[1].1,
+        throughput[2].1,
+    );
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out)
+        .expect("open BENCH_serve.json");
+    file.write_all(line.as_bytes()).expect("append run");
+    let _ = std::fs::remove_file(&path);
+
+    println!(
+        "rows={rows} shard_rows={shard_rows} shards={} archive={} B",
+        warm.n_shards(),
+        bytes.len()
+    );
+    println!(
+        "range read ({} rows): cold {cold_ms:.3} ms, warm {warm_ms:.3} ms ({warm_speedup:.1}x)",
+        hi - lo
+    );
+    for (clients, rps) in &throughput {
+        println!("throughput @ {clients:>2} client(s): {rps:.1} req/s");
+    }
+    println!("appended to {out}");
+}

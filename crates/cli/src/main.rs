@@ -6,6 +6,8 @@
 //!                 [--stream] [--chunk-rows N] [--tune] [--quiet]
 //!                 [--trace <f.jsonl>] [--stats]
 //! dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]
+//! dsqz serve      <in.dsqz> [--cache-mb N] [--listen HOST:PORT] [--max-conns N]
+//!                 [--trace <f.jsonl>] [--stats]
 //! dsqz inspect    <in.dsqz>
 //! dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>
 //! ```
@@ -26,6 +28,17 @@
 //! rows; pass 2 encodes shard row groups). The output is a sharded
 //! container, byte-identical to the in-memory `--shard-rows` path for the
 //! same seed and config.
+//!
+//! `serve` opens a sharded archive once and answers many row-range
+//! queries against it over a line protocol (`GET A..B` → CSV rows,
+//! `STAT` → archive/cache info, `QUIT`): stdin/stdout by default, or a
+//! thread-per-connection TCP listener with `--listen HOST:PORT` (port 0
+//! picks a free port; the bound address is printed to stderr). Decoded
+//! shards stay resident in an LRU cache bounded by `--cache-mb`, so
+//! repeated and overlapping reads skip both I/O and decode work. On a
+//! sharded archive, `decompress` also uses positioned reads — a
+//! `--rows A..B` query touches only the footer, the manifest, and the
+//! shards intersecting the range, never the whole file.
 //!
 //! `--trace <f.jsonl>` records a ds-obs trace of the run (one JSON object
 //! per span/metric; schema documented in `ds-obs::sink`) and `--stats`
@@ -60,6 +73,7 @@ fn usage() -> &'static str {
     "usage:\n  \
      dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--sample-frac F] [--stream] [--chunk-rows N] [--tune] [--quiet] [--trace <f.jsonl>] [--stats]\n  \
      dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]\n  \
+     dsqz serve      <in.dsqz> [--cache-mb N] [--listen HOST:PORT] [--max-conns N] [--trace <f.jsonl>] [--stats]\n  \
      dsqz inspect    <in.dsqz>\n  \
      dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>"
 }
@@ -69,6 +83,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     match parsed.command.as_str() {
         "compress" => cmd_compress(&mut parsed),
         "decompress" => cmd_decompress(&mut parsed),
+        "serve" => cmd_serve(&mut parsed),
         "inspect" => cmd_inspect(&mut parsed),
         "gen" => cmd_gen(&mut parsed),
         other => Err(format!("unknown command `{other}`")),
@@ -311,25 +326,134 @@ fn cmd_decompress(p: &mut Parsed) -> Result<(), String> {
     let stats = p.switch("stats");
     p.finish()?;
     arm_obs(&trace, stats);
-    let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
-    let archive = DsArchive::from_bytes(bytes);
-    if rows_spec.is_empty() {
-        let table = decompress(&archive).map_err(|e| format!("decode {input}: {e}"))?;
-        std::fs::write(&output, write_csv(&table)).map_err(|e| format!("write {output}: {e}"))?;
-        eprintln!("{output}: {} rows restored", table.nrows());
-    } else {
-        let range = parse_row_range(&rows_spec)?;
-        let (table, stats) = decompress_rows_with_stats(&archive, range)
-            .map_err(|e| format!("decode {input}: {e}"))?;
-        std::fs::write(&output, write_csv(&table)).map_err(|e| format!("write {output}: {e}"))?;
-        eprintln!(
-            "{output}: {} rows restored (decoded {}/{} shard(s))",
-            table.nrows(),
-            stats.shards_decoded,
-            stats.shards_total
-        );
+    // Sharded archives decode through positioned reads: only the footer,
+    // the manifest, and the shards intersecting the requested range are
+    // ever read from disk. Monolithic v1 archives (and anything the
+    // footer probe rejects) fall back to the legacy whole-file path.
+    let file = std::fs::File::open(&input).map_err(|e| format!("read {input}: {e}"))?;
+    match ds_serve::Archive::open(file) {
+        Ok(archive) => {
+            if rows_spec.is_empty() {
+                let out_file =
+                    std::fs::File::create(&output).map_err(|e| format!("create {output}: {e}"))?;
+                let mut sink = std::io::BufWriter::new(out_file);
+                let n = archive
+                    .stream_csv(0..archive.total_rows(), &mut sink, true)
+                    .map_err(|e| format!("decode {input}: {e}"))?;
+                eprintln!("{output}: {n} rows restored");
+            } else {
+                let range = parse_row_range(&rows_spec)?;
+                let (table, rstats) = archive
+                    .read_rows_with_stats(range)
+                    .map_err(|e| format!("decode {input}: {e}"))?;
+                std::fs::write(&output, write_csv(&table))
+                    .map_err(|e| format!("write {output}: {e}"))?;
+                eprintln!(
+                    "{output}: {} rows restored (decoded {}/{} shard(s))",
+                    table.nrows(),
+                    rstats.shards_decoded,
+                    rstats.shards_total
+                );
+            }
+        }
+        Err(ds_serve::ServeError::NotSharded) => {
+            let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
+            let archive = DsArchive::from_bytes(bytes);
+            if rows_spec.is_empty() {
+                let table = decompress(&archive).map_err(|e| format!("decode {input}: {e}"))?;
+                std::fs::write(&output, write_csv(&table))
+                    .map_err(|e| format!("write {output}: {e}"))?;
+                eprintln!("{output}: {} rows restored", table.nrows());
+            } else {
+                let range = parse_row_range(&rows_spec)?;
+                let (table, stats) = decompress_rows_with_stats(&archive, range)
+                    .map_err(|e| format!("decode {input}: {e}"))?;
+                std::fs::write(&output, write_csv(&table))
+                    .map_err(|e| format!("write {output}: {e}"))?;
+                eprintln!(
+                    "{output}: {} rows restored (decoded {}/{} shard(s))",
+                    table.nrows(),
+                    stats.shards_decoded,
+                    stats.shards_total
+                );
+            }
+        }
+        Err(e) => return Err(format!("decode {input}: {e}")),
     }
     finish_obs(&trace, stats)
+}
+
+fn cmd_serve(p: &mut Parsed) -> Result<(), String> {
+    let input = p.positional(0)?;
+    let cache_mb: usize = p.flag_or("cache-mb", 256)?;
+    let listen: String = p.flag_or("listen", String::new())?;
+    let max_conns: usize = p.flag_or("max-conns", 0)?;
+    let trace: String = p.flag_or("trace", String::new())?;
+    let stats = p.switch("stats");
+    p.finish()?;
+    arm_obs(&trace, stats);
+    let file = std::fs::File::open(&input).map_err(|e| format!("open {input}: {e}"))?;
+    let archive = ds_serve::Archive::with_cache(file, cache_mb.saturating_mul(1 << 20))
+        .map_err(|e| format!("open {input}: {e}"))?;
+    eprintln!(
+        "{input}: serving {} rows in {} shard(s), cache budget {cache_mb} MiB",
+        archive.total_rows(),
+        archive.n_shards()
+    );
+    if listen.is_empty() {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let summary = ds_serve::serve_connection(&archive, stdin.lock(), stdout.lock())
+            .map_err(|e| format!("serve: {e}"))?;
+        eprintln!(
+            "served {} request(s), {} row(s)",
+            summary.requests, summary.rows_served
+        );
+    } else {
+        serve_tcp(&archive, &listen, max_conns)?;
+    }
+    finish_obs(&trace, stats)
+}
+
+/// Thread-per-connection TCP front end for `dsqz serve`. All handler
+/// threads share one [`ds_serve::Archive`] (and therefore one shard
+/// cache). With `--max-conns N` the listener accepts exactly N
+/// connections, drains them, and returns — which is also what the smoke
+/// tests use to terminate deterministically.
+fn serve_tcp(
+    archive: &ds_serve::Archive<std::fs::File>,
+    listen: &str,
+    max_conns: usize,
+) -> Result<(), String> {
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    eprintln!("listening on {addr}");
+    let mut handles = Vec::new();
+    let mut accepted = 0usize;
+    for conn in listener.incoming() {
+        let stream = conn.map_err(|e| format!("accept: {e}"))?;
+        let archive = archive.clone();
+        handles.push(std::thread::spawn(move || -> std::io::Result<()> {
+            let reader = std::io::BufReader::new(stream.try_clone()?);
+            ds_serve::serve_connection(&archive, reader, stream).map(|_| ())
+        }));
+        accepted += 1;
+        if max_conns > 0 && accepted >= max_conns {
+            break;
+        }
+    }
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            // One broken client must not take the server down with it.
+            Ok(Err(e)) => eprintln!("dsqz: connection error: {e}"),
+            Err(_) => eprintln!("dsqz: connection handler panicked"),
+        }
+    }
+    Ok(())
 }
 
 /// Parses a half-open `A..B` row range.

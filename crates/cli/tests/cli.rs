@@ -287,8 +287,11 @@ fn trace_and_stats_cover_the_pipeline_and_are_thread_invariant() {
         .unwrap();
     assert!(out.status.success(), "decompress failed: {out:?}");
     let dt = std::fs::read_to_string(&dtrace).unwrap();
-    assert!(dt.contains("\"decode_shard\""), "decode trace:\n{dt}");
-    assert!(dt.contains("\"decompress.rows\""), "decode trace:\n{dt}");
+    // Decompress routes through the serving layer: one stream span with
+    // the row count, per-shard decode spans underneath.
+    assert!(dt.contains("\"serve.stream\""), "decode trace:\n{dt}");
+    assert!(dt.contains("\"serve.decode_shard\""), "decode trace:\n{dt}");
+    assert!(dt.contains("\"rows\":400"), "decode trace:\n{dt}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -453,4 +456,168 @@ fn gen_rejects_unknown_dataset() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+}
+
+/// Generates a lossless sharded fixture and returns (csv_path, dsqz_path).
+fn serve_fixture(dir: &std::path::Path) -> (PathBuf, PathBuf) {
+    let csv = dir.join("s.csv");
+    let dsq = dir.join("s.dsqz");
+    assert!(dsqz()
+        .args(["gen", "monitor", "300", csv.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(dsqz()
+        .args([
+            "compress",
+            csv.to_str().unwrap(),
+            dsq.to_str().unwrap(),
+            "--epochs",
+            "6",
+            "--shard-rows",
+            "64",
+            "--quiet",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    (csv, dsq)
+}
+
+#[test]
+fn serve_answers_get_stat_quit_over_stdio() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = tmpdir("serve_stdio");
+    let (csv, dsq) = serve_fixture(&dir);
+    let original = std::fs::read_to_string(&csv).unwrap();
+    let data_lines: Vec<&str> = original.lines().skip(1).collect();
+
+    let mut child = dsqz()
+        .args(["serve", dsq.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"GET 10..13\nGET 10..13\nSTAT\nFROB\nQUIT\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve failed: {out:?}");
+
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Both GETs return the same three rows; the archive is lossless so
+    // they match the source CSV exactly (the second answer comes from
+    // the shard cache).
+    let rows = format!(
+        "{}\n{}\n{}\n",
+        data_lines[10], data_lines[11], data_lines[12]
+    );
+    let want_get = format!("OK 3\n{rows}");
+    assert!(
+        text.starts_with(&format!("{want_get}{want_get}")),
+        "got: {text}"
+    );
+    let stat_line = text
+        .lines()
+        .find(|l| l.starts_with("OK rows="))
+        .expect("STAT response");
+    assert!(stat_line.contains("rows=300"), "stat: {stat_line}");
+    assert!(stat_line.contains("shards=5"), "stat: {stat_line}");
+    // One miss (first GET decodes shard 0), then two hits: the repeated
+    // GET plus STAT's own schema probe.
+    assert!(stat_line.contains("cache_entries=1"), "stat: {stat_line}");
+    assert!(stat_line.contains("hits=2"), "stat: {stat_line}");
+    assert!(stat_line.contains("misses=1"), "stat: {stat_line}");
+    assert!(text.contains("\nERR unknown request `FROB`"), "got: {text}");
+    assert!(text.ends_with("BYE\n"), "got: {text}");
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("serving 300 rows in 5 shard(s)"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("served 5 request(s), 6 row(s)"),
+        "stderr: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_listens_on_tcp_and_shares_the_cache_across_connections() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let dir = tmpdir("serve_tcp");
+    let (_csv, dsq) = serve_fixture(&dir);
+
+    let mut child = dsqz()
+        .args([
+            "serve",
+            dsq.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // The bound address (with the ephemeral port) is announced on stderr.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(stderr.read_line(&mut line).unwrap() > 0, "no listen line");
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.trim().to_string();
+        }
+    };
+
+    // Connection 1 decodes two shards into the shared cache.
+    let mut c1 = TcpStream::connect(&addr).unwrap();
+    c1.write_all(b"GET 60..70\nQUIT\n").unwrap();
+    let mut r1 = BufReader::new(c1.try_clone().unwrap());
+    let mut line = String::new();
+    r1.read_line(&mut line).unwrap();
+    assert_eq!(line, "OK 10\n");
+    let mut saw_bye = false;
+    for _ in 0..64 {
+        line.clear();
+        if r1.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        if line == "BYE\n" {
+            saw_bye = true;
+            break;
+        }
+    }
+    assert!(saw_bye, "connection 1 never got BYE");
+
+    // Connection 2 sees the cache that connection 1 populated.
+    let mut c2 = TcpStream::connect(&addr).unwrap();
+    c2.write_all(b"STAT\nQUIT\n").unwrap();
+    let mut r2 = BufReader::new(c2.try_clone().unwrap());
+    line.clear();
+    r2.read_line(&mut line).unwrap();
+    assert!(line.starts_with("OK rows=300"), "stat: {line}");
+    assert!(
+        !line.contains("cache_entries=0"),
+        "cache must be warm: {line}"
+    );
+
+    // --max-conns 2 makes the server drain both connections and exit.
+    let status = child.wait().unwrap();
+    assert!(status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -53,7 +53,7 @@ pub mod tune;
 pub use archive::{container_kind, inspect, ArchiveInfo, ContainerKind, DsArchive, SizeBreakdown};
 pub use pipeline::{
     compress, compress_sharded_to, decompress, decompress_rows, decompress_rows_with_stats,
-    DsConfig, ShardedCompression, ShardedDecodeStats, TrainedCompressor,
+    DsConfig, ShardDecoder, ShardedCompression, ShardedDecodeStats, TrainedCompressor,
 };
 pub use stream::{compress_csv_stream_to, compress_stream_to, CsvStreamInfo};
 pub use tune::{tune, TuneConfig, TuneOutcome};

@@ -472,11 +472,11 @@ pub fn decompress(archive: &DsArchive) -> Result<Table> {
     let root_id = root.id();
     if ds_shard::is_sharded(&archive.bytes) {
         let reader = ds_shard::ShardReader::open(&archive.bytes)?;
-        let shared = nonempty(reader.shared());
+        let decoder = ShardDecoder::from_shared_blob(reader.shared())?;
         let parts = reader
             .read_all(|i, blob| {
                 let _sp = ds_obs::span_under(root_id, "decode_shard", i as u64);
-                decompress_bytes(blob, shared)
+                decoder.decode_shard(blob)
             })
             .map_err(flatten_op)?;
         let table = Table::concat(&parts)?;
@@ -524,11 +524,11 @@ pub fn decompress_rows_with_stats(
     let root = ds_obs::span("decompress_rows");
     let root_id = root.id();
     let reader = ds_shard::ShardReader::open(&archive.bytes)?;
-    let shared = nonempty(reader.shared());
+    let decoder = ShardDecoder::from_shared_blob(reader.shared())?;
     let got = reader
         .read_rows(rows, |i, blob| {
             let _sp = ds_obs::span_under(root_id, "decode_shard", i as u64);
-            decompress_bytes(blob, shared)
+            decoder.decode_shard(blob)
         })
         .map_err(flatten_op)?;
     let stats = ShardedDecodeStats {
@@ -539,16 +539,48 @@ pub fn decompress_rows_with_stats(
         // Nothing intersects: decode one shard only to recover the schema
         // and return its empty slice.
         let blob = reader.shard_bytes(0)?;
-        let probe = decompress_bytes(blob, shared)?;
+        let probe = decoder.decode_shard(blob)?;
         return Ok((probe.slice_rows(0..0), stats));
     }
     let table = Table::concat(&got.parts)?;
     Ok((table.slice_rows(got.skip..got.skip + got.take), stats))
 }
 
-/// `None` for an empty slice — absent shared decoder vs present-but-empty.
-fn nonempty(bytes: &[u8]) -> Option<&[u8]> {
-    (!bytes.is_empty()).then_some(bytes)
+/// The shared decoder of a v2 sharded container, parsed **once** and
+/// reused across every shard decode. Before this type existed each shard
+/// re-ran `gzlike::decompress` + weight deserialization on the same
+/// manifest blob — pure per-shard overhead that also made a long-lived
+/// archive server impossible. `ds-serve`'s `Archive` handle keeps one of
+/// these alive for its whole lifetime; [`decompress`] and
+/// [`decompress_rows`] build one per call.
+pub struct ShardDecoder {
+    model: Option<MoeAutoencoder>,
+}
+
+impl ShardDecoder {
+    /// Parses the container's shared decoder blob (gzlike-compressed
+    /// weights; an empty blob means the container has no shared decoder).
+    pub fn from_shared_blob(shared: &[u8]) -> Result<ShardDecoder> {
+        if shared.is_empty() {
+            return Ok(ShardDecoder { model: None });
+        }
+        let weights = gzlike::decompress(shared)?;
+        Ok(ShardDecoder {
+            model: Some(serialize::import_decoders(&weights)?),
+        })
+    }
+
+    /// Whether a shared decoder model is present.
+    pub fn has_model(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Decodes one self-contained shard blob (a v1 archive). A blob with
+    /// an empty decoder section borrows this shared model; a blob
+    /// carrying its own decoder still decodes independently.
+    pub fn decode_shard(&self, bytes: &[u8]) -> Result<Table> {
+        decompress_bytes(bytes, self.model.as_ref())
+    }
 }
 
 /// Collapses a per-shard operation error into the pipeline error type.
@@ -559,11 +591,11 @@ fn flatten_op(e: ds_shard::OpError<DsError>) -> DsError {
     }
 }
 
-/// Decodes one self-contained v1 archive blob. `shared_decoder` supplies
-/// the gzlike-compressed decoder weights for shard blobs that carry an
-/// empty decoder section (the sharded container stores the decoder once
-/// in its manifest).
-fn decompress_bytes(bytes: &[u8], shared_decoder: Option<&[u8]>) -> Result<Table> {
+/// Decodes one self-contained v1 archive blob. `shared_model` supplies
+/// the already-parsed decoder for shard blobs that carry an empty decoder
+/// section (the sharded container stores the decoder once in its
+/// manifest; [`ShardDecoder`] parses it once per archive, not per shard).
+fn decompress_bytes(bytes: &[u8], shared_model: Option<&MoeAutoencoder>) -> Result<Table> {
     let mut r = ByteReader::new(bytes);
     if r.read_bytes(4)? != MAGIC {
         return Err(DsError::Corrupt("bad magic"));
@@ -598,21 +630,24 @@ fn decompress_bytes(bytes: &[u8], shared_decoder: Option<&[u8]>) -> Result<Table
         _ => return Err(DsError::Corrupt("bad model flag")),
     };
 
-    let mut model: Option<MoeAutoencoder> = None;
+    // A shard blob with an empty decoder section borrows the caller's
+    // already-parsed shared model; a self-contained blob parses (and
+    // owns) its own.
+    let owned_model: Option<MoeAutoencoder>;
+    let mut model: Option<&MoeAutoencoder> = None;
     let mut code_k = 0usize;
     let mut code_bits = 8u8;
     let mut n_experts = 1usize;
     let mut ranges: Vec<Vec<(f32, f32)>> = Vec::new();
     if has_model {
         let decoder_blob = r.read_len_prefixed()?;
-        let weights = if decoder_blob.is_empty() {
-            let shared =
-                shared_decoder.ok_or(DsError::Corrupt("archive requires a shared decoder"))?;
-            gzlike::decompress(shared)?
+        model = if decoder_blob.is_empty() {
+            Some(shared_model.ok_or(DsError::Corrupt("archive requires a shared decoder"))?)
         } else {
-            gzlike::decompress(decoder_blob)?
+            let weights = gzlike::decompress(decoder_blob)?;
+            owned_model = Some(serialize::import_decoders(&weights)?);
+            owned_model.as_ref()
         };
-        model = Some(serialize::import_decoders(&weights)?);
         code_k = r.read_varint()? as usize;
         code_bits = r.read_u8()?;
         if !(1..=32).contains(&code_bits) || code_k > 1 << 16 {
@@ -622,7 +657,7 @@ fn decompress_bytes(bytes: &[u8], shared_decoder: Option<&[u8]>) -> Result<Table
         if n_experts == 0 || n_experts > 4096 {
             return Err(DsError::Corrupt("implausible expert count"));
         }
-        if model.as_ref().map(MoeAutoencoder::n_experts) != Some(n_experts) {
+        if model.map(MoeAutoencoder::n_experts) != Some(n_experts) {
             return Err(DsError::Corrupt("expert count mismatch"));
         }
         for _ in 0..n_experts {
@@ -785,7 +820,6 @@ fn decompress_bytes(bytes: &[u8], shared_decoder: Option<&[u8]>) -> Result<Table
             let dq = dequantize_codes(&qcols, &ranges[e], code_bits);
             Some(
                 model
-                    .as_ref()
                     .expect("has_model")
                     .decode(e, &dq)
                     .map_err(DsError::from)?,

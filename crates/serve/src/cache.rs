@@ -1,0 +1,335 @@
+//! Byte-budget LRU cache of decoded shards.
+//!
+//! Keys are shard indexes; values are decoded [`Table`]s shared behind
+//! `Arc` so a cached shard can be sliced by many concurrent readers
+//! without copying. Recency is tracked with a monotone tick per cache
+//! operation: a `BTreeMap<tick, shard>` orders entries least-recent
+//! first, so eviction pops the smallest tick until the byte budget is
+//! respected again. Because every recency mutation happens under one
+//! mutex and callers touch the cache in ascending shard order per
+//! request, a serial request stream produces the same hit/miss/eviction
+//! sequence at any `DS_THREADS` setting — the property the trace
+//! determinism suite pins down.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use ds_table::Table;
+
+/// Point-in-time cache observability snapshot (see [`ShardCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Decoded shards currently resident.
+    pub entries: usize,
+    /// Bytes currently resident (as estimated by [`Table::mem_size`]).
+    pub bytes: usize,
+    /// Configured byte budget.
+    pub capacity: usize,
+    /// Lifetime lookup hits (both promoting and peeking lookups).
+    pub hits: u64,
+    /// Lifetime lookup misses.
+    pub misses: u64,
+    /// Lifetime count of evicted entries.
+    pub evictions: u64,
+    /// Lifetime bytes evicted to stay under budget.
+    pub evicted_bytes: u64,
+}
+
+struct Slot {
+    table: Arc<Table>,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Lru {
+    map: HashMap<usize, Slot>,
+    /// tick -> shard, least-recently-used first. Ticks are unique (one
+    /// per mutation under the lock), so this is a total order.
+    recency: BTreeMap<u64, usize>,
+    tick: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    evicted_bytes: u64,
+}
+
+/// Bounded cache of decoded shards keyed by shard index.
+///
+/// A `capacity_bytes` of zero disables caching entirely: lookups always
+/// miss and inserts are dropped (useful for cold-path benchmarks).
+pub struct ShardCache {
+    capacity: usize,
+    inner: Mutex<Lru>,
+}
+
+impl ShardCache {
+    /// Creates a cache with the given byte budget.
+    pub fn new(capacity_bytes: usize) -> ShardCache {
+        ShardCache {
+            capacity: capacity_bytes,
+            inner: Mutex::new(Lru::default()),
+        }
+    }
+
+    /// Configured byte budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Lru> {
+        // A poisoned lock only means another reader panicked mid-update;
+        // the LRU bookkeeping below never leaves the maps torn, so the
+        // state is still consistent and serving can continue.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Promoting lookup: on a hit the entry becomes most-recently-used.
+    pub fn get(&self, shard: usize) -> Option<Arc<Table>> {
+        let mut g = self.lock();
+        let found = g.map.get(&shard).map(|s| (s.tick, s.table.clone()));
+        match found {
+            Some((old_tick, table)) => {
+                g.tick += 1;
+                let t = g.tick;
+                g.recency.remove(&old_tick);
+                g.recency.insert(t, shard);
+                if let Some(slot) = g.map.get_mut(&shard) {
+                    slot.tick = t;
+                }
+                g.hits += 1;
+                drop(g);
+                ds_obs::counter("serve.cache_hit", 1);
+                Some(table)
+            }
+            None => {
+                g.misses += 1;
+                drop(g);
+                ds_obs::counter("serve.cache_miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Non-promoting lookup: returns a cached shard without touching
+    /// recency. Streaming full scans use this so a one-off sweep cannot
+    /// reorder (or pin) the hot set; hit/miss counters still advance.
+    pub fn peek(&self, shard: usize) -> Option<Arc<Table>> {
+        let mut g = self.lock();
+        let found = g.map.get(&shard).map(|s| s.table.clone());
+        match found {
+            Some(table) => {
+                g.hits += 1;
+                drop(g);
+                ds_obs::counter("serve.cache_hit", 1);
+                Some(table)
+            }
+            None => {
+                g.misses += 1;
+                drop(g);
+                ds_obs::counter("serve.cache_miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a decoded shard, then evicts
+    /// least-recently-used entries until the byte budget holds. An entry
+    /// larger than the whole budget evicts everything else first and is
+    /// then dropped itself, leaving the cache empty — deterministically.
+    pub fn insert(&self, shard: usize, table: Arc<Table>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let bytes = table.mem_size();
+        let mut evicted: Vec<usize> = Vec::new();
+        let mut evicted_total: u64 = 0;
+        {
+            let mut g = self.lock();
+            g.tick += 1;
+            let t = g.tick;
+            if let Some(old) = g.map.remove(&shard) {
+                g.recency.remove(&old.tick);
+                g.bytes = g.bytes.saturating_sub(old.bytes);
+            }
+            g.map.insert(
+                shard,
+                Slot {
+                    table,
+                    bytes,
+                    tick: t,
+                },
+            );
+            g.recency.insert(t, shard);
+            g.bytes = g.bytes.saturating_add(bytes);
+            while g.bytes > self.capacity {
+                let Some((&victim_tick, &victim)) = g.recency.iter().next() else {
+                    break;
+                };
+                g.recency.remove(&victim_tick);
+                if let Some(slot) = g.map.remove(&victim) {
+                    g.bytes = g.bytes.saturating_sub(slot.bytes);
+                    g.evictions += 1;
+                    g.evicted_bytes += slot.bytes as u64;
+                    evicted.push(victim);
+                    evicted_total += slot.bytes as u64;
+                }
+            }
+        }
+        if !evicted.is_empty() {
+            ds_obs::counter("serve.cache_evicted_bytes", evicted_total);
+        }
+    }
+
+    /// True if the shard is currently resident (no recency update).
+    pub fn contains(&self, shard: usize) -> bool {
+        self.lock().map.contains_key(&shard)
+    }
+
+    /// Resident shard indexes, least-recently-used first. Test hook for
+    /// pinning down eviction order.
+    pub fn lru_order(&self) -> Vec<usize> {
+        self.lock().recency.values().copied().collect()
+    }
+
+    /// Observability snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.lock();
+        CacheStats {
+            entries: g.map.len(),
+            bytes: g.bytes,
+            capacity: self.capacity,
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            evicted_bytes: g.evicted_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_table::gen;
+
+    /// Three equal-row slices of one generated table: close in size, all
+    /// nonzero, measured (not assumed) below.
+    fn three_tables() -> [Arc<Table>; 3] {
+        let t = gen::monitor_like(120, 11);
+        [
+            Arc::new(t.slice_rows(0..40)),
+            Arc::new(t.slice_rows(40..80)),
+            Arc::new(t.slice_rows(80..120)),
+        ]
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let [a, b, c] = three_tables();
+        // Budget fits exactly a and b together.
+        let cache = ShardCache::new(a.mem_size() + b.mem_size());
+        cache.insert(0, Arc::clone(&a));
+        cache.insert(1, Arc::clone(&b));
+        assert_eq!(cache.lru_order(), vec![0, 1]);
+
+        // Touch shard 0 so shard 1 becomes the eviction victim.
+        assert!(cache.get(0).is_some());
+        assert_eq!(cache.lru_order(), vec![1, 0]);
+
+        cache.insert(2, Arc::clone(&c));
+        assert!(!cache.contains(1), "LRU entry must be evicted");
+        assert!(cache.contains(0));
+        assert!(cache.contains(2));
+        let s = cache.stats();
+        assert!(s.evictions >= 1);
+        assert!(s.evicted_bytes >= b.mem_size() as u64);
+        assert!(s.bytes <= s.capacity);
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let [a, b, c] = three_tables();
+        let cache = ShardCache::new(a.mem_size() + b.mem_size());
+        cache.insert(0, Arc::clone(&a));
+        cache.insert(1, Arc::clone(&b));
+
+        // A peek at shard 0 must not rescue it from eviction...
+        assert!(cache.peek(0).is_some());
+        assert_eq!(cache.lru_order(), vec![0, 1]);
+        cache.insert(2, Arc::clone(&c));
+        assert!(!cache.contains(0), "peeked entry stays least-recent");
+        assert!(cache.contains(1));
+
+        // ...but it does count as a hit.
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn byte_budget_holds_under_interleaved_reads() {
+        let [a, b, c] = three_tables();
+        let budget = a.mem_size() + b.mem_size();
+        let cache = ShardCache::new(budget);
+        let tables = [a, b, c];
+        // Interleave promoting reads with inserts; the budget must hold
+        // after every operation, not just at the end.
+        for round in 0..4usize {
+            for (i, t) in tables.iter().enumerate() {
+                if cache.get(i).is_none() {
+                    cache.insert(i, Arc::clone(t));
+                }
+                let s = cache.stats();
+                assert!(
+                    s.bytes <= budget,
+                    "round {round}: {} bytes resident exceeds budget {budget}",
+                    s.bytes
+                );
+            }
+        }
+        let s = cache.stats();
+        assert!(
+            s.evictions > 0,
+            "a 2-entry budget cycling 3 shards must evict"
+        );
+        assert_eq!(s.hits + s.misses, 12);
+    }
+
+    #[test]
+    fn oversized_entry_drains_to_empty() {
+        let t = gen::monitor_like(80, 3);
+        let big = Arc::new(t.clone());
+        let small = Arc::new(t.slice_rows(0..8));
+        let cache = ShardCache::new(small.mem_size());
+        cache.insert(0, small);
+        assert!(cache.contains(0));
+        // An entry larger than the whole budget evicts everything,
+        // including itself, leaving an empty (consistent) cache.
+        cache.insert(1, big);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bytes, 0);
+        assert_eq!(cache.lru_order(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let [a, _, _] = three_tables();
+        let cache = ShardCache::new(0);
+        cache.insert(0, a);
+        assert!(cache.get(0).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_bytes() {
+        let t = gen::monitor_like(80, 5);
+        let big = Arc::new(t.slice_rows(0..64));
+        let small = Arc::new(t.slice_rows(0..8));
+        let cache = ShardCache::new(usize::MAX);
+        cache.insert(0, big);
+        cache.insert(0, Arc::clone(&small));
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, small.mem_size());
+        assert_eq!(cache.lru_order(), vec![0]);
+    }
+}

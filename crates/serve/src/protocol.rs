@@ -1,0 +1,190 @@
+//! Line protocol behind `dsqz serve`.
+//!
+//! Requests are single lines; responses start with a status line:
+//!
+//! ```text
+//! request  = "GET" ws range | "STAT" | "QUIT"
+//! range    = int ".." int          ; half-open row range, e.g. 100..200
+//! response = "OK" ... | "ERR" msg | "BYE"
+//! ```
+//!
+//! * `GET a..b` → `OK <n>` followed by `n` CSV data rows (no header).
+//! * `STAT`     → `OK rows=<r> shards=<s> cols=<c> cache_entries=<e>
+//!   cache_bytes=<b> hits=<h> misses=<m>` on one line.
+//! * `QUIT`     → `BYE`, then the connection closes.
+//! * Anything else → `ERR <reason>`; the connection stays open.
+//!
+//! Keywords are case-insensitive; blank lines are ignored. The same
+//! handler serves stdin/stdout and TCP sockets — anything `BufRead` in,
+//! `Write` out.
+
+use std::io::{BufRead, Write};
+use std::ops::Range;
+
+use crate::{Archive, ReadAt};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Decode and return the given row range as CSV.
+    Get(Range<usize>),
+    /// Report archive and cache statistics.
+    Stat,
+    /// Close the connection.
+    Quit,
+}
+
+/// Parses one request line. Returns a human-readable reason on failure
+/// (sent back to the client as `ERR <reason>`).
+pub fn parse_request(line: &str) -> std::result::Result<Request, String> {
+    let line = line.trim();
+    if line.eq_ignore_ascii_case("stat") {
+        return Ok(Request::Stat);
+    }
+    if line.eq_ignore_ascii_case("quit") {
+        return Ok(Request::Quit);
+    }
+    let mut words = line.split_whitespace();
+    let (Some(verb), Some(spec), None) = (words.next(), words.next(), words.next()) else {
+        return Err(format!(
+            "unknown request `{line}` (want GET A..B | STAT | QUIT)"
+        ));
+    };
+    if !verb.eq_ignore_ascii_case("get") {
+        return Err(format!(
+            "unknown request `{line}` (want GET A..B | STAT | QUIT)"
+        ));
+    }
+    let Some((a, b)) = spec.split_once("..") else {
+        return Err(format!("bad range `{spec}` (want A..B, e.g. 100..200)"));
+    };
+    let start: usize = a
+        .parse()
+        .map_err(|_| format!("bad range start `{a}` (want a non-negative integer)"))?;
+    let end: usize = b
+        .parse()
+        .map_err(|_| format!("bad range end `{b}` (want a non-negative integer)"))?;
+    if end < start {
+        return Err(format!("empty-or-backwards range `{spec}` (want A <= B)"));
+    }
+    Ok(Request::Get(start..end))
+}
+
+/// Totals for one served connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Requests handled (including malformed ones answered with `ERR`).
+    pub requests: u64,
+    /// Data rows written across all `GET` responses.
+    pub rows_served: u64,
+}
+
+/// Serves one connection: reads request lines from `input` until EOF or
+/// `QUIT`, writing responses to `output`. Request handling errors go to
+/// the client as `ERR` lines; only transport failures (broken pipe,
+/// unreadable input) abort the loop.
+pub fn serve_connection<R: ReadAt, I: BufRead, O: Write>(
+    archive: &Archive<R>,
+    input: I,
+    mut output: O,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut sp = ds_obs::span_at("serve.request", summary.requests);
+        summary.requests += 1;
+        ds_obs::counter("serve.requests", 1);
+        match parse_request(&line) {
+            Err(reason) => {
+                writeln!(output, "ERR {reason}")?;
+            }
+            Ok(Request::Quit) => {
+                writeln!(output, "BYE")?;
+                output.flush()?;
+                break;
+            }
+            Ok(Request::Stat) => match archive.schema() {
+                Ok(schema) => {
+                    let c = archive.cache_stats();
+                    writeln!(
+                        output,
+                        "OK rows={} shards={} cols={} cache_entries={} cache_bytes={} hits={} misses={}",
+                        archive.total_rows(),
+                        archive.n_shards(),
+                        schema.len(),
+                        c.entries,
+                        c.bytes,
+                        c.hits,
+                        c.misses,
+                    )?;
+                }
+                Err(e) => {
+                    writeln!(output, "ERR {e}")?;
+                }
+            },
+            Ok(Request::Get(range)) => match archive.read_rows_with_stats(range) {
+                Ok((table, stats)) => {
+                    let nrows = table.nrows();
+                    sp.add("rows", nrows as u64);
+                    sp.add("shards_decoded", stats.shards_decoded as u64);
+                    summary.rows_served += nrows as u64;
+                    let mut body = String::new();
+                    ds_table::csv::write_csv_rows(&table, 0..nrows, &mut body);
+                    writeln!(output, "OK {nrows}")?;
+                    output.write_all(body.as_bytes())?;
+                }
+                Err(e) => {
+                    writeln!(output, "ERR {e}")?;
+                }
+            },
+        }
+        output.flush()?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_valid_requests() {
+        assert_eq!(parse_request("GET 0..10"), Ok(Request::Get(0..10)));
+        assert_eq!(parse_request("get 5..5"), Ok(Request::Get(5..5)));
+        assert_eq!(parse_request("  GET   7..9  "), Ok(Request::Get(7..9)));
+        assert_eq!(parse_request("STAT"), Ok(Request::Stat));
+        assert_eq!(parse_request("stat"), Ok(Request::Stat));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+        assert_eq!(parse_request("Quit"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "GET",
+            "GET 1",
+            "GET 1..2 3",
+            "GET a..b",
+            "GET 1...2",
+            "GET -1..2",
+            "GET 9..3",
+            "PUT 1..2",
+            "GETT 1..2",
+            "STAT now",
+        ] {
+            assert!(parse_request(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_offending_input() {
+        let err = parse_request("GET 10..2").unwrap_err();
+        assert!(err.contains("10..2"), "got: {err}");
+        let err = parse_request("FROB").unwrap_err();
+        assert!(err.contains("FROB"), "got: {err}");
+    }
+}

@@ -163,14 +163,145 @@ pub fn is_sharded(bytes: &[u8]) -> bool {
     }
     // ds-lint: allow(panic-free-decode) -- bytes.len() >= FOOTER_LEN checked above; footer is exactly FOOTER_LEN bytes
     let footer = &bytes[bytes.len() - FOOTER_LEN..];
-    // ds-lint: allow(panic-free-decode) -- footer is exactly FOOTER_LEN (9) bytes, so 5..9 and [4] are in bounds
-    if &footer[5..9] != FOOTER_MAGIC || footer[4] != FORMAT_VERSION {
-        return false;
+    match footer_manifest_len(footer) {
+        Ok(manifest_len) => manifest_len
+            .checked_add(FOOTER_LEN)
+            .is_some_and(|end| end <= bytes.len()),
+        Err(_) => false,
     }
-    let manifest_len = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]) as usize;
-    manifest_len
-        .checked_add(FOOTER_LEN)
-        .is_some_and(|end| end <= bytes.len())
+}
+
+/// Validates the fixed 9-byte footer (magic + version) and returns the
+/// manifest length it declares. This is the first step of opening a
+/// container through *positioned* reads: read the trailing
+/// [`FOOTER_LEN`] bytes, learn how large the manifest region is, then
+/// read and [`parse_manifest`] exactly that region — no need to hold the
+/// shard blobs in memory at all.
+pub fn footer_manifest_len(footer: &[u8]) -> Result<usize, ShardError> {
+    if footer.len() != FOOTER_LEN {
+        return Err(ShardError::Corrupt("footer must be exactly 9 bytes"));
+    }
+    // ds-lint: allow(panic-free-decode) -- footer length is checked to be exactly FOOTER_LEN (9) above, so 5..9 and [4] are in bounds
+    if &footer[5..9] != FOOTER_MAGIC {
+        return Err(ShardError::Corrupt("bad footer magic"));
+    }
+    // ds-lint: allow(panic-free-decode) -- footer length checked above; index 4 is in bounds
+    if footer[4] != FORMAT_VERSION {
+        return Err(ShardError::Corrupt("unsupported container version"));
+    }
+    // ds-lint: allow(panic-free-decode) -- footer length checked above; indexes 0..4 are in bounds
+    Ok(u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]) as usize)
+}
+
+/// A parsed manifest: the structural metadata of a v2 container,
+/// decoupled from the shard blobs so it can be built from a positioned
+/// read of just the manifest region (see [`footer_manifest_len`]).
+#[derive(Debug)]
+pub struct ParsedManifest<'a> {
+    /// Total logical rows across all shards.
+    pub total_rows: usize,
+    /// The opaque shared blob (decoder weights; empty if none was set).
+    pub shared: &'a [u8],
+    /// Per-shard entries with offsets reconstructed from prefix sums.
+    pub entries: Vec<ShardEntry>,
+}
+
+/// Parses and validates the manifest region of a container whose shard
+/// region (everything before the manifest) is `shard_region` bytes.
+/// Validates every structural invariant: lengths non-negative and summing
+/// to the shard region, row counts summing to the declared total. Typed
+/// errors on any corruption — never panics.
+pub fn parse_manifest(
+    manifest: &[u8],
+    shard_region: u64,
+) -> Result<ParsedManifest<'_>, ShardError> {
+    let shard_region = usize::try_from(shard_region)
+        .map_err(|_| ShardError::Corrupt("shard region exceeds address space"))?;
+    let mut r = ByteReader::new(manifest);
+    let total_rows = usize::try_from(r.read_varint()?)
+        .map_err(|_| ShardError::Corrupt("total row count overflows usize"))?;
+    if total_rows > ds_codec::MAX_DECODE_ELEMS {
+        return Err(ShardError::Corrupt("total row count exceeds decode limit"));
+    }
+    let shared = r.read_len_prefixed()?;
+    let parq_bytes = r.read_len_prefixed()?;
+    if !r.is_empty() {
+        return Err(ShardError::Corrupt("trailing bytes in manifest"));
+    }
+    let mut columns = parq::read_table(parq_bytes)?.into_iter();
+    let (rows, lens, crcs) = match (
+        columns.next(),
+        columns.next(),
+        columns.next(),
+        columns.next(),
+    ) {
+        (
+            Some((rn, parq::ParqColumn::U32(rows))),
+            Some((ln, parq::ParqColumn::I64(lens))),
+            Some((cn, parq::ParqColumn::U32(crcs))),
+            None,
+        ) if rn == "rows" && ln == "len" && cn == "crc" => (rows, lens, crcs),
+        _ => return Err(ShardError::Corrupt("manifest table has wrong schema")),
+    };
+    if rows.len() != lens.len() || rows.len() != crcs.len() {
+        return Err(ShardError::Corrupt("manifest column lengths disagree"));
+    }
+    let mut entries = Vec::with_capacity(rows.len());
+    let mut offset = 0usize;
+    let mut row_start = 0usize;
+    for ((&nr, &len_raw), &crc) in rows.iter().zip(lens.iter()).zip(crcs.iter()) {
+        let len =
+            usize::try_from(len_raw).map_err(|_| ShardError::Corrupt("negative shard length"))?;
+        let row_count = usize::try_from(nr)
+            .map_err(|_| ShardError::Corrupt("shard row count overflows usize"))?;
+        let row_end = row_start
+            .checked_add(row_count)
+            .ok_or(ShardError::Corrupt("shard row ranges overflow"))?;
+        let end = offset
+            .checked_add(len)
+            .ok_or(ShardError::Corrupt("shard offsets overflow"))?;
+        if end > shard_region {
+            return Err(ShardError::Corrupt("shard lengths exceed shard region"));
+        }
+        entries.push(ShardEntry {
+            rows: row_start..row_end,
+            offset,
+            len,
+            crc,
+        });
+        offset = end;
+        row_start = row_end;
+    }
+    if offset != shard_region {
+        return Err(ShardError::Corrupt("shard lengths do not cover container"));
+    }
+    if row_start != total_rows {
+        return Err(ShardError::Corrupt("shard rows do not sum to total"));
+    }
+    Ok(ParsedManifest {
+        total_rows,
+        shared,
+        entries,
+    })
+}
+
+/// The contiguous range of shard indexes whose row ranges intersect
+/// `rows` (clamped to `total_rows`; empty request → empty range). The
+/// free-function form serves callers that hold a [`ParsedManifest`]'s
+/// entries without a [`ShardReader`] (positioned-read archive handles).
+pub fn shards_intersecting(
+    entries: &[ShardEntry],
+    total_rows: usize,
+    rows: Range<usize>,
+) -> Range<usize> {
+    let start = rows.start.min(total_rows);
+    let end = rows.end.min(total_rows);
+    if start >= end {
+        return 0..0;
+    }
+    let first = entries.partition_point(|e| e.rows.end <= start);
+    let last = entries.partition_point(|e| e.rows.start < end);
+    first..last
 }
 
 // ---------------------------------------------------------------------------
@@ -347,87 +478,21 @@ impl<'a> ShardReader<'a> {
         }
         // ds-lint: allow(panic-free-decode) -- bytes.len() >= FOOTER_LEN checked above; footer is exactly FOOTER_LEN bytes
         let footer = &bytes[bytes.len() - FOOTER_LEN..];
-        // ds-lint: allow(panic-free-decode) -- footer is exactly FOOTER_LEN (9) bytes, so 5..9 is in bounds
-        if &footer[5..9] != FOOTER_MAGIC {
-            return Err(ShardError::Corrupt("bad footer magic"));
-        }
-        if footer[4] != FORMAT_VERSION {
-            return Err(ShardError::Corrupt("unsupported container version"));
-        }
-        let manifest_len =
-            u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]) as usize;
+        let manifest_len = footer_manifest_len(footer)?;
         let body_len = bytes.len() - FOOTER_LEN;
         if manifest_len > body_len {
             return Err(ShardError::Corrupt("manifest length exceeds container"));
         }
         let shard_region = body_len - manifest_len;
+        let region_u64 = u64::try_from(shard_region)
+            .map_err(|_| ShardError::Corrupt("shard region exceeds u64"))?;
         // ds-lint: allow(panic-free-decode) -- shard_region <= body_len <= bytes.len(): body_len = len - FOOTER_LEN and manifest_len <= body_len checked above
-        let mut r = ByteReader::new(&bytes[shard_region..body_len]);
-        let total_rows = usize::try_from(r.read_varint()?)
-            .map_err(|_| ShardError::Corrupt("total row count overflows usize"))?;
-        if total_rows > ds_codec::MAX_DECODE_ELEMS {
-            return Err(ShardError::Corrupt("total row count exceeds decode limit"));
-        }
-        let shared = r.read_len_prefixed()?;
-        let parq_bytes = r.read_len_prefixed()?;
-        if !r.is_empty() {
-            return Err(ShardError::Corrupt("trailing bytes in manifest"));
-        }
-        let mut columns = parq::read_table(parq_bytes)?.into_iter();
-        let (rows, lens, crcs) = match (
-            columns.next(),
-            columns.next(),
-            columns.next(),
-            columns.next(),
-        ) {
-            (
-                Some((rn, parq::ParqColumn::U32(rows))),
-                Some((ln, parq::ParqColumn::I64(lens))),
-                Some((cn, parq::ParqColumn::U32(crcs))),
-                None,
-            ) if rn == "rows" && ln == "len" && cn == "crc" => (rows, lens, crcs),
-            _ => return Err(ShardError::Corrupt("manifest table has wrong schema")),
-        };
-        if rows.len() != lens.len() || rows.len() != crcs.len() {
-            return Err(ShardError::Corrupt("manifest column lengths disagree"));
-        }
-        let mut entries = Vec::with_capacity(rows.len());
-        let mut offset = 0usize;
-        let mut row_start = 0usize;
-        for ((&nr, &len_raw), &crc) in rows.iter().zip(lens.iter()).zip(crcs.iter()) {
-            let len = usize::try_from(len_raw)
-                .map_err(|_| ShardError::Corrupt("negative shard length"))?;
-            let row_count = usize::try_from(nr)
-                .map_err(|_| ShardError::Corrupt("shard row count overflows usize"))?;
-            let row_end = row_start
-                .checked_add(row_count)
-                .ok_or(ShardError::Corrupt("shard row ranges overflow"))?;
-            let end = offset
-                .checked_add(len)
-                .ok_or(ShardError::Corrupt("shard offsets overflow"))?;
-            if end > shard_region {
-                return Err(ShardError::Corrupt("shard lengths exceed shard region"));
-            }
-            entries.push(ShardEntry {
-                rows: row_start..row_end,
-                offset,
-                len,
-                crc,
-            });
-            offset = end;
-            row_start = row_end;
-        }
-        if offset != shard_region {
-            return Err(ShardError::Corrupt("shard lengths do not cover container"));
-        }
-        if row_start != total_rows {
-            return Err(ShardError::Corrupt("shard rows do not sum to total"));
-        }
+        let manifest = parse_manifest(&bytes[shard_region..body_len], region_u64)?;
         Ok(ShardReader {
             bytes,
-            shared,
-            entries,
-            total_rows,
+            shared: manifest.shared,
+            entries: manifest.entries,
+            total_rows: manifest.total_rows,
         })
     }
 
@@ -454,14 +519,7 @@ impl<'a> ShardReader<'a> {
     /// The contiguous range of shard indexes whose row ranges intersect
     /// `rows` (clamped to the table; empty request → empty range).
     pub fn shards_intersecting(&self, rows: Range<usize>) -> Range<usize> {
-        let start = rows.start.min(self.total_rows);
-        let end = rows.end.min(self.total_rows);
-        if start >= end {
-            return 0..0;
-        }
-        let first = self.entries.partition_point(|e| e.rows.end <= start);
-        let last = self.entries.partition_point(|e| e.rows.start < end);
-        first..last
+        shards_intersecting(&self.entries, self.total_rows, rows)
     }
 
     /// Returns shard `i`'s blob bytes after CRC validation.

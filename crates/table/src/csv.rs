@@ -47,24 +47,41 @@ fn write_field(out: &mut String, field: &str) {
 /// Serializes a table to CSV (header row + data rows, `\n` line endings).
 pub fn write_csv(table: &Table) -> String {
     let mut out = String::with_capacity(table.raw_size());
-    for (i, f) in table.schema().fields().iter().enumerate() {
+    write_csv_header(table.schema(), &mut out);
+    write_csv_rows(table, 0..table.nrows(), &mut out);
+    out
+}
+
+/// Appends the header row (`\n`-terminated) for `schema` to `out` —
+/// the streaming building block behind [`write_csv`]: emit the header
+/// once, then [`write_csv_rows`] chunk by chunk without ever holding the
+/// whole table.
+pub fn write_csv_header(schema: &Schema, out: &mut String) {
+    for (i, f) in schema.fields().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        write_field(&mut out, &f.name);
+        write_field(out, &f.name);
     }
     out.push('\n');
-    for r in 0..table.nrows() {
+}
+
+/// Appends the data rows `rows` of `table` (clamped to the table) as CSV
+/// lines to `out`, no header. Byte-for-byte identical to the matching
+/// slice of [`write_csv`]'s output.
+pub fn write_csv_rows(table: &Table, rows: std::ops::Range<usize>, out: &mut String) {
+    let start = rows.start.min(table.nrows());
+    let end = rows.end.min(table.nrows()).max(start);
+    for r in start..end {
         for (i, c) in table.columns().iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let cell = c.format_cell(r);
-            write_field(&mut out, &cell);
+            write_field(out, &cell);
         }
         out.push('\n');
     }
-    out
 }
 
 /// Bytes pulled from the underlying reader per refill.

@@ -28,6 +28,10 @@ echo "==> sharded container tests"
 cargo test -q -p ds-shard
 cargo test -q --test shard_roundtrip --test truncation
 
+echo "==> serving layer tests"
+cargo test -q -p ds-serve
+cargo test -q --test serve_concurrency --test serve_trace
+
 if [ "$mode" = "full" ]; then
   echo "==> release build"
   cargo build --release -q --workspace
@@ -51,6 +55,20 @@ if [ "$mode" = "full" ]; then
   echo "==> stream_probe (smoke)"
   SMOKE=1 BENCH_OUT=target/BENCH_stream.smoke.json \
     cargo run --release -q -p ds-bench --bin stream_probe
+
+  echo "==> serve_probe (smoke)"
+  SMOKE=1 BENCH_OUT=target/BENCH_serve.smoke.json \
+    cargo run --release -q -p ds-bench --bin serve_probe
+
+  echo "==> dsqz serve (stdio smoke)"
+  smoke_dir="$(mktemp -d)"
+  ./target/release/dsqz gen monitor 200 "$smoke_dir/s.csv"
+  ./target/release/dsqz compress "$smoke_dir/s.csv" "$smoke_dir/s.dsqz" \
+    --epochs 3 --shard-rows 50 --quiet
+  printf 'GET 10..20\nSTAT\nQUIT\n' \
+    | ./target/release/dsqz serve "$smoke_dir/s.dsqz" \
+    | grep -q '^OK rows=200'
+  rm -rf "$smoke_dir"
 fi
 
 echo "OK"

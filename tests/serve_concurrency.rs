@@ -1,0 +1,167 @@
+//! ds-serve integration: many threads hammering one shared [`Archive`]
+//! must each see exactly what a single-threaded full decode sees, the
+//! shard cache must respect its byte budget under eviction churn, and
+//! every truncated prefix of a container must fail with a typed error —
+//! never a panic — through the positioned-read path.
+
+use std::sync::{Arc, OnceLock};
+
+use ds_core::{compress, decompress, DsConfig};
+use ds_serve::{Archive, ServeError};
+use ds_table::csv::write_csv;
+use ds_table::gen::Dataset;
+use ds_table::Table;
+
+/// One trained fixture for the whole file: 230 rows in 8 shards (the
+/// last one short), plus the ground-truth full decode.
+fn fixture() -> &'static (Vec<u8>, Table) {
+    static FIXTURE: OnceLock<(Vec<u8>, Table)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let t = Dataset::Census.generate(230, 23);
+        let cfg = DsConfig {
+            error_threshold: 0.0,
+            code_size: 2,
+            max_epochs: 3,
+            shard_rows: 30,
+            ..Default::default()
+        };
+        let archive = compress(&t, &cfg).expect("compresses");
+        let full = decompress(&archive).expect("decodes");
+        (archive.as_bytes().to_vec(), full)
+    })
+}
+
+/// Deterministic per-thread range sequence (tiny LCG; no global RNG so
+/// every run replays the same workload).
+fn ranges(seed: u64, total: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..n)
+        .map(|_| {
+            let a = next() % (total + 1);
+            let b = next() % (total + 1);
+            a.min(b)..a.max(b)
+        })
+        .collect()
+}
+
+#[test]
+fn sixteen_client_hammer_matches_serial_decode() {
+    let (bytes, full) = fixture();
+    // A budget of ~3 shards keeps eviction churning while 16 threads
+    // read, so insert/evict races get exercised, not just lookups.
+    let shard_bytes = full.slice_rows(0..30).mem_size();
+    let archive = Arc::new(Archive::with_cache(bytes.clone(), shard_bytes * 3).expect("opens"));
+
+    std::thread::scope(|scope| {
+        for client in 0..16u64 {
+            let archive = Arc::clone(&archive);
+            scope.spawn(move || {
+                for range in ranges(client + 1, full.nrows(), 24) {
+                    let got = archive.read_rows(range.clone()).expect("read_rows");
+                    let want = full.slice_rows(range.clone());
+                    assert_eq!(
+                        write_csv(&got),
+                        write_csv(&want),
+                        "client {client} range {range:?} diverged from serial decode"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = archive.cache_stats();
+    assert!(
+        stats.bytes <= stats.capacity,
+        "cache over budget after hammer: {} > {}",
+        stats.bytes,
+        stats.capacity
+    );
+    assert!(
+        stats.evictions > 0,
+        "a 3-shard budget over 8 shards must evict"
+    );
+    assert!(
+        stats.hits > 0,
+        "overlapping workloads must reuse cached shards"
+    );
+}
+
+#[test]
+fn cache_budget_holds_and_warm_reads_skip_decode() {
+    let (bytes, full) = fixture();
+    let shard_bytes = full.slice_rows(0..30).mem_size();
+    let archive =
+        Archive::with_cache(bytes.clone(), shard_bytes * 2 + shard_bytes / 2).expect("opens");
+
+    // Cold pass over three shards: all misses, budget forces eviction.
+    let (_, cold) = archive.read_rows_with_stats(0..90).expect("cold");
+    assert_eq!(cold.shards_decoded, 3);
+    assert_eq!(cold.cache_hits, 0);
+    let stats = archive.cache_stats();
+    assert!(
+        stats.bytes <= stats.capacity,
+        "{} > {}",
+        stats.bytes,
+        stats.capacity
+    );
+    assert!(
+        stats.evictions >= 1,
+        "3 decoded shards cannot fit a 2.5-shard budget"
+    );
+
+    // The most recently inserted shards survive; rereading them is free.
+    let resident = archive.cache().lru_order();
+    assert!(!resident.is_empty());
+    let last = *resident.last().expect("nonempty");
+    let rows = archive.entries()[last].rows.clone();
+    let (got, warm) = archive.read_rows_with_stats(rows.clone()).expect("warm");
+    assert_eq!(warm.shards_decoded, 0, "resident shard must not re-decode");
+    assert_eq!(warm.cache_hits, 1);
+    assert_eq!(write_csv(&got), write_csv(&full.slice_rows(rows)));
+}
+
+#[test]
+fn every_truncated_prefix_errors_without_panic() {
+    let (bytes, _) = fixture();
+    for cut in 0..bytes.len() {
+        let prefix = bytes[..cut].to_vec();
+        match Archive::open(prefix) {
+            Err(ServeError::NotSharded | ServeError::Shard(_) | ServeError::Io(_)) => {}
+            Err(other) => panic!("cut {cut}: unexpected error class {other:?}"),
+            Ok(archive) => {
+                // If a prefix happens to parse, reading it must still
+                // either work or fail typed — never panic.
+                let _ = archive.read_rows(0..archive.total_rows());
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_streams_match_the_full_csv() {
+    let (bytes, full) = fixture();
+    let archive = Arc::new(Archive::open(bytes.clone()).expect("opens"));
+    let want = write_csv(full);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let archive = Arc::clone(&archive);
+            let want = want.clone();
+            scope.spawn(move || {
+                let mut out: Vec<u8> = Vec::new();
+                let n = archive
+                    .stream_csv(0..archive.total_rows(), &mut out, true)
+                    .expect("streams");
+                assert_eq!(n as usize, full.nrows());
+                assert_eq!(String::from_utf8(out).expect("utf8"), want);
+            });
+        }
+    });
+}

@@ -1,0 +1,68 @@
+//! Serve-layer trace determinism: with timing disabled, a fixed request
+//! stream against a fresh [`ds_serve::Archive`] produces a byte-identical
+//! ds-obs report no matter how many pool threads decode the shards —
+//! including the cache hit/miss/eviction counters, because lookups and
+//! inserts happen in ascending shard order per request.
+//!
+//! One test function on purpose: the recorder is process-global, so this
+//! file must not run other recorder-touching tests concurrently.
+
+use ds_core::{compress, DsConfig};
+use ds_serve::Archive;
+use ds_table::gen::Dataset;
+
+#[test]
+fn timing_free_serve_trace_is_identical_across_thread_limits() {
+    let t = Dataset::Monitor.generate(260, 31);
+    let cfg = DsConfig {
+        error_threshold: 0.05,
+        code_size: 2,
+        max_epochs: 3,
+        shard_rows: 40,
+        ..Default::default()
+    };
+    let bytes = compress(&t, &cfg).expect("compresses").as_bytes().to_vec();
+    // Budget for ~2 decoded shards (7 in the archive): the request
+    // stream below forces evictions, so their counters are part of the
+    // determinism contract being checked.
+    let shard_budget = {
+        let probe = Archive::open(bytes.clone()).expect("opens");
+        probe.read_rows(0..40).expect("probe decode").mem_size() * 5 / 2
+    };
+    let requests =
+        b"GET 0..100\nGET 60..140\nSTAT\nGET 0..40\nGET 200..260\nGET 0..260\nnonsense\nQUIT\n";
+
+    let run = |limit: usize| {
+        ds_exec::with_thread_limit(limit, || {
+            ds_obs::enable(false);
+            let archive = Archive::with_cache(bytes.clone(), shard_budget).expect("opens");
+            let mut out: Vec<u8> = Vec::new();
+            let summary =
+                ds_serve::serve_connection(&archive, &requests[..], &mut out).expect("serves");
+            assert_eq!(summary.requests, 8);
+            let mut sink: Vec<u8> = Vec::new();
+            archive
+                .stream_csv(0..archive.total_rows(), &mut sink, true)
+                .expect("streams");
+            ds_obs::sink::to_jsonl(&ds_obs::drain())
+        })
+    };
+
+    let t1 = run(1);
+    let t2 = run(2);
+    let t8 = run(8);
+    for needle in [
+        "\"serve.request\"",
+        "\"serve.read_rows\"",
+        "\"serve.decode_shard\"",
+        "\"serve.stream\"",
+        "\"serve.cache_hit\"",
+        "\"serve.cache_miss\"",
+        "\"serve.cache_evicted_bytes\"",
+        "\"serve.shard_bytes_read\"",
+    ] {
+        assert!(t1.contains(needle), "trace missing {needle}:\n{t1}");
+    }
+    assert_eq!(t1, t2, "serve trace differs between 1 and 2 threads");
+    assert_eq!(t1, t8, "serve trace differs between 1 and 8 threads");
+}
