@@ -82,6 +82,11 @@ fn pack_fast(values: &[u64], width: u32, out: &mut ByteWriter) {
 pub fn decode(bytes: &[u8]) -> Result<Vec<u64>> {
     let mut r = ByteReader::new(bytes);
     let n = r.read_varint_usize()?;
+    if n > crate::MAX_DECODE_ELEMS {
+        return Err(CodecError::Corrupt(
+            "bitpack: element count exceeds decode limit",
+        ));
+    }
     let width = u32::from(r.read_u8()?);
     if !(1..=57).contains(&width) {
         return Err(CodecError::Corrupt("bitpack: bad width"));

@@ -253,6 +253,11 @@ impl RoaringBitmap {
     pub fn decode_bit_stream(bytes: &[u8]) -> Result<Vec<u32>> {
         let mut r = ByteReader::new(bytes);
         let n = r.read_varint_usize()?;
+        if n > crate::MAX_DECODE_ELEMS {
+            return Err(CodecError::Corrupt(
+                "roaring: bit count exceeds decode limit",
+            ));
+        }
         let bm = RoaringBitmap::from_bytes(r.read_len_prefixed()?)?;
         let mut out = vec![0u32; n];
         for v in bm.iter() {

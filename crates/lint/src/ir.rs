@@ -1,0 +1,873 @@
+//! Per-function summaries: a linear, flow-ordered list of steps
+//! (assignments, conditions, calls, drops, returns) extracted from a
+//! function's body tokens, plus the body's determinism violations.
+//!
+//! The summary is the unit the workspace dataflow rules operate on: the
+//! call graph is built from [`Call`]s, taint propagation walks [`Step`]s
+//! in order, and lock lifetimes follow step depths. The representation
+//! is deliberately lossy — see DESIGN.md §3h for exactly what is and is
+//! not modelled.
+
+use std::ops::Range;
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{matching_close, split_top_level};
+
+/// One call site inside an expression.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Path segments (`["ds_exec", "parallel_map"]`; method calls and
+    /// macros carry a single segment).
+    pub path: Vec<String>,
+    /// `.name(...)` method-call syntax.
+    pub is_method: bool,
+    /// `name!(...)` macro invocation.
+    pub is_macro: bool,
+    /// Receiver identifiers for method calls (`self.inner.cache.get(i)`
+    /// records `["self", "inner", "cache"]`).
+    pub receiver: Vec<String>,
+    /// Argument expressions. For `vec![x; n]` the repeat form, args are
+    /// `[x, n]`.
+    pub args: Vec<Expr>,
+    /// 1-based source line of the callee name.
+    pub line: u32,
+    /// 1-based source column of the callee name.
+    pub col: u32,
+}
+
+impl Call {
+    /// Last path segment: the callee's bare name.
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// A scanned expression: free identifiers plus nested calls.
+#[derive(Debug, Clone, Default)]
+pub struct Expr {
+    /// Free (non-callee, non-receiver) identifiers in the expression.
+    pub idents: Vec<String>,
+    /// Calls, in source order (nested calls appear inside their parent's
+    /// `args`, and also matter for the call graph — see [`Expr::calls`]).
+    pub calls: Vec<Call>,
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// 1-based column of the first token.
+    pub col: u32,
+}
+
+impl Expr {
+    /// Depth-first walk over every call in the expression, including
+    /// calls nested inside argument expressions.
+    pub fn walk_calls<'a>(&'a self, f: &mut impl FnMut(&'a Call)) {
+        for c in &self.calls {
+            f(c);
+            for a in &c.args {
+                a.walk_calls(f);
+            }
+        }
+    }
+}
+
+/// One flow-ordered step of a function body.
+#[derive(Debug, Clone)]
+pub enum StepKind {
+    /// `let <pat> = expr;` (also `for <pat> in expr`).
+    Assign {
+        /// Names the pattern binds.
+        names: Vec<String>,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// An `if`/`while` condition: identifiers adjacent to a comparison
+    /// operator are considered bounds-checked from here on.
+    Cond {
+        /// Compared identifiers.
+        idents: Vec<String>,
+    },
+    /// An expression statement (or condition/scrutinee expression).
+    Stmt {
+        /// The expression.
+        expr: Expr,
+    },
+    /// `drop(name);`
+    Drop {
+        /// The dropped binding.
+        name: String,
+    },
+    /// `return expr;` or the body's trailing expression.
+    Return {
+        /// The returned expression.
+        expr: Expr,
+    },
+    /// A `{` entering a nested block.
+    Open,
+    /// A `}` leaving a nested block.
+    Close,
+}
+
+/// A step plus its source position and brace depth (depth *inside* the
+/// block for `Close`, so a guard bound at depth d dies at a `Close` with
+/// `depth <= d`).
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// What the step does.
+    pub kind: StepKind,
+    /// Brace depth relative to the function body (body top level = 0).
+    pub depth: u32,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A determinism violation found inside a function body (reported only
+/// when the function is reachable from an archive-byte entry point).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Human-readable description of the violating construct.
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Full summary of one function body.
+#[derive(Debug, Clone, Default)]
+pub struct FnSummary {
+    /// Flow-ordered steps.
+    pub steps: Vec<Step>,
+    /// Determinism violations (wall clock, thread identity, hash-order
+    /// iteration, FMA intrinsics) inside the body.
+    pub violations: Vec<Violation>,
+}
+
+impl FnSummary {
+    /// Every call in the body, in source order, including nested ones.
+    pub fn walk_calls<'a>(&'a self, f: &mut impl FnMut(&'a Call)) {
+        for s in &self.steps {
+            match &s.kind {
+                StepKind::Assign { expr, .. }
+                | StepKind::Stmt { expr }
+                | StepKind::Return { expr } => expr.walk_calls(f),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Comparison operators that count as a bounds check on their operands.
+const CMP_OPS: &[&str] = &["<", "<=", ">", ">=", "==", "!="];
+
+// ---------------------------------------------------------------------------
+// Expression scanning
+// ---------------------------------------------------------------------------
+
+/// Scans `toks[range]` into an [`Expr`]: free identifiers and calls.
+pub fn scan_expr(toks: &[Tok], range: Range<usize>) -> Expr {
+    let mut e = Expr::default();
+    if let Some(t) = toks.get(range.start) {
+        e.line = t.line;
+        e.col = t.col;
+    }
+    let end = range.end.min(toks.len());
+    let mut i = range.start;
+    // Identifiers seen since the last non-path token: the candidate
+    // receiver chain for a method call.
+    let mut recv: Vec<String> = Vec::new();
+    while i < end {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident if t.text == "as" => {
+                // Skip the cast target type.
+                i += 1;
+                while i < end
+                    && (toks[i].kind == TokKind::Ident
+                        || toks[i].is_punct("::")
+                        || toks[i].is_punct("<")
+                        || toks[i].is_punct(">"))
+                {
+                    i += 1;
+                }
+            }
+            TokKind::Ident => {
+                // Accumulate a `::`-separated path.
+                let mut path = vec![t.text.clone()];
+                let mut j = i + 1;
+                loop {
+                    if toks.get(j).is_some_and(|n| n.is_punct("::"))
+                        && toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident)
+                    {
+                        path.push(toks[j + 1].text.clone());
+                        j += 2;
+                        continue;
+                    }
+                    // Turbofish: `::<...>` before the call parens.
+                    if toks.get(j).is_some_and(|n| n.is_punct("::"))
+                        && toks.get(j + 1).is_some_and(|n| n.is_punct("<"))
+                    {
+                        j = skip_angle(toks, j + 1, end);
+                        continue;
+                    }
+                    break;
+                }
+                if toks.get(j).is_some_and(|n| n.is_punct("(")) {
+                    // Free-function (or path) call.
+                    let close = matching_close(toks, j);
+                    let args = scan_args(toks, j + 1..close.min(end));
+                    e.calls.push(Call {
+                        path,
+                        is_method: false,
+                        is_macro: false,
+                        receiver: std::mem::take(&mut recv),
+                        args,
+                        line: t.line,
+                        col: t.col,
+                    });
+                    i = close + 1;
+                } else if toks.get(j).is_some_and(|n| n.is_punct("!"))
+                    && toks
+                        .get(j + 1)
+                        .is_some_and(|n| n.is_punct("(") || n.is_punct("["))
+                {
+                    // Macro invocation; `vec![elem; n]` splits on `;`.
+                    let close = matching_close(toks, j + 1);
+                    let inner = j + 2..close.min(end);
+                    let args = if path.last().is_some_and(|p| p == "vec") {
+                        let semis = split_top_level(toks, inner.clone(), ";");
+                        if semis.len() == 2 {
+                            semis.into_iter().map(|r| scan_expr(toks, r)).collect()
+                        } else {
+                            scan_args(toks, inner)
+                        }
+                    } else {
+                        scan_args(toks, inner)
+                    };
+                    e.calls.push(Call {
+                        path,
+                        is_method: false,
+                        is_macro: true,
+                        receiver: Vec::new(),
+                        args,
+                        line: t.line,
+                        col: t.col,
+                    });
+                    recv.clear();
+                    i = close + 1;
+                } else {
+                    // Plain identifier / path expression: record the
+                    // lowercase segments as free idents and keep them as
+                    // a candidate receiver chain.
+                    for seg in &path {
+                        let lower = seg
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_lowercase() || c == '_');
+                        if lower && !crate::rules_keyword(seg) {
+                            e.idents.push(seg.clone());
+                            recv.push(seg.clone());
+                        }
+                    }
+                    i = j;
+                }
+            }
+            TokKind::Punct if t.text == "." => {
+                // `.name(...)` method call, `.name` field access, or
+                // `.await` / tuple index.
+                if let Some(n) = toks.get(i + 1) {
+                    if n.kind == TokKind::Ident {
+                        let mut j = i + 2;
+                        if toks.get(j).is_some_and(|x| x.is_punct("::"))
+                            && toks.get(j + 1).is_some_and(|x| x.is_punct("<"))
+                        {
+                            j = skip_angle(toks, j + 1, end);
+                        }
+                        if toks.get(j).is_some_and(|x| x.is_punct("(")) {
+                            let close = matching_close(toks, j);
+                            let args = scan_args(toks, j + 1..close.min(end));
+                            let receiver = std::mem::take(&mut recv);
+                            // The receiver chain was provisionally pushed
+                            // as free idents; the method call owns it now
+                            // (so `.min()` can scrub it).
+                            for r in receiver.iter().rev() {
+                                if e.idents.last() == Some(r) {
+                                    e.idents.pop();
+                                } else {
+                                    break;
+                                }
+                            }
+                            e.calls.push(Call {
+                                path: vec![n.text.clone()],
+                                is_method: true,
+                                is_macro: false,
+                                receiver,
+                                args,
+                                line: n.line,
+                                col: n.col,
+                            });
+                            i = close + 1;
+                            continue;
+                        }
+                        // Field access: keep the chain alive as receiver.
+                        recv.push(n.text.clone());
+                        e.idents.push(n.text.clone());
+                        i += 2;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            _ => {
+                if !(t.is_punct(")") || t.is_punct("]") || t.is_punct("?")) {
+                    recv.clear();
+                }
+                i += 1;
+            }
+        }
+    }
+    e
+}
+
+/// Skips `<...>` starting at the `<` token, bounded by `end`.
+fn skip_angle(toks: &[Tok], start: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = start;
+    while i < end {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "(" | ";" | "{" => return start + 1,
+            _ => {}
+        }
+        i += 1;
+        if depth <= 0 {
+            return i;
+        }
+    }
+    i
+}
+
+/// Scans a call's argument tokens into one [`Expr`] per top-level comma.
+fn scan_args(toks: &[Tok], range: Range<usize>) -> Vec<Expr> {
+    if range.start >= range.end {
+        return Vec::new();
+    }
+    split_top_level(toks, range, ",")
+        .into_iter()
+        .filter(|r| r.start < r.end)
+        .map(|r| scan_expr(toks, r))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Statement scanning
+// ---------------------------------------------------------------------------
+
+/// Builds the flow-ordered step list for one function body.
+/// `hash_names` are file-level identifiers known to be bound to
+/// `HashMap`/`HashSet` values (for the hash-iteration violation scan).
+pub fn summarize(toks: &[Tok], body: Range<usize>, hash_names: &[String]) -> FnSummary {
+    let mut sum = FnSummary::default();
+    let end = body.end.min(toks.len());
+    let mut depth: u32 = 0;
+    let mut i = body.start;
+    while i < end {
+        let t = &toks[i];
+        let (line, col) = (t.line, t.col);
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                depth += 1;
+                sum.steps.push(Step {
+                    kind: StepKind::Open,
+                    depth,
+                    line,
+                    col,
+                });
+                i += 1;
+            }
+            (TokKind::Punct, "}") => {
+                sum.steps.push(Step {
+                    kind: StepKind::Close,
+                    depth,
+                    line,
+                    col,
+                });
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            (TokKind::Punct, ";") => i += 1,
+            (TokKind::Ident, "let") => {
+                // `let <pat> (: ty)? = expr ;` — the pattern runs to the
+                // top-level `=`; `let ... else { }` keeps the else block
+                // as ordinary tokens after the expr.
+                let stmt_end = stmt_boundary(toks, i, end);
+                let eq = find_top_level(toks, i + 1..stmt_end, "=");
+                match eq {
+                    Some(eq) => {
+                        let colon = find_top_level(toks, i + 1..eq, ":").unwrap_or(eq);
+                        let names = pattern_idents(&toks[i + 1..colon.min(end)]);
+                        let expr = scan_expr(toks, eq + 1..stmt_end);
+                        sum.steps.push(Step {
+                            kind: StepKind::Assign { names, expr },
+                            depth,
+                            line,
+                            col,
+                        });
+                    }
+                    None => {
+                        // Declaration without initializer.
+                    }
+                }
+                i = stmt_end + 1;
+            }
+            (TokKind::Ident, "if") | (TokKind::Ident, "while") => {
+                let brace = find_block_start(toks, i + 1, end);
+                let cond = scan_expr(toks, i + 1..brace);
+                let checked = comparison_idents(&toks[i + 1..brace.min(end)]);
+                sum.steps.push(Step {
+                    kind: StepKind::Stmt { expr: cond },
+                    depth,
+                    line,
+                    col,
+                });
+                if !checked.is_empty() {
+                    sum.steps.push(Step {
+                        kind: StepKind::Cond { idents: checked },
+                        depth,
+                        line,
+                        col,
+                    });
+                }
+                i = brace; // the `{` is processed next iteration
+            }
+            (TokKind::Ident, "for") => {
+                // `for <pat> in expr {` — iteration elements inherit the
+                // iterated expression's taint.
+                let brace = find_block_start(toks, i + 1, end);
+                let in_kw = (i + 1..brace).find(|&k| toks[k].is_ident("in"));
+                match in_kw {
+                    Some(in_kw) => {
+                        let names = pattern_idents(&toks[i + 1..in_kw.min(end)]);
+                        let expr = scan_expr(toks, in_kw + 1..brace);
+                        sum.steps.push(Step {
+                            kind: StepKind::Assign { names, expr },
+                            depth,
+                            line,
+                            col,
+                        });
+                    }
+                    None => {
+                        let expr = scan_expr(toks, i + 1..brace);
+                        sum.steps.push(Step {
+                            kind: StepKind::Stmt { expr },
+                            depth,
+                            line,
+                            col,
+                        });
+                    }
+                }
+                i = brace;
+            }
+            (TokKind::Ident, "match") => {
+                let brace = find_block_start(toks, i + 1, end);
+                let expr = scan_expr(toks, i + 1..brace);
+                sum.steps.push(Step {
+                    kind: StepKind::Stmt { expr },
+                    depth,
+                    line,
+                    col,
+                });
+                i = brace;
+            }
+            (TokKind::Ident, "return") => {
+                let stmt_end = stmt_boundary(toks, i, end);
+                let expr = scan_expr(toks, i + 1..stmt_end);
+                sum.steps.push(Step {
+                    kind: StepKind::Return { expr },
+                    depth,
+                    line,
+                    col,
+                });
+                i = stmt_end + 1;
+            }
+            (TokKind::Ident, "drop")
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                    && toks.get(i + 3).is_some_and(|n| n.is_punct(")")) =>
+            {
+                sum.steps.push(Step {
+                    kind: StepKind::Drop {
+                        name: toks[i + 2].text.clone(),
+                    },
+                    depth,
+                    line,
+                    col,
+                });
+                i += 4;
+            }
+            (TokKind::Ident, "loop") | (TokKind::Ident, "else") | (TokKind::Ident, "unsafe") => {
+                i += 1;
+            }
+            _ => {
+                // Expression statement: runs to the next top-level `;`,
+                // or stops before an unbalanced `}` (trailing exprs). A
+                // `{` at top level is consumed as part of the expression
+                // (struct literals, trailing `match`es).
+                let stmt_end = stmt_boundary(toks, i, end);
+                if stmt_end > i {
+                    let expr = scan_expr(toks, i..stmt_end);
+                    sum.steps.push(Step {
+                        kind: StepKind::Stmt { expr },
+                        depth,
+                        line,
+                        col,
+                    });
+                    i = stmt_end;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // The body's trailing expression is its return value: retag the last
+    // top-level Stmt when the body does not end in an explicit return.
+    let last_return = sum
+        .steps
+        .iter()
+        .rposition(|s| matches!(s.kind, StepKind::Return { .. }));
+    let last_stmt = sum
+        .steps
+        .iter()
+        .rposition(|s| s.depth == 0 && matches!(s.kind, StepKind::Stmt { .. }));
+    if let Some(ls) = last_stmt {
+        if last_return.is_none_or(|lr| lr < ls) {
+            if let StepKind::Stmt { expr } = sum.steps[ls].kind.clone() {
+                sum.steps[ls].kind = StepKind::Return { expr };
+            }
+        }
+    }
+    sum.violations = scan_violations(toks, body, hash_names);
+    sum
+}
+
+/// Index of the `;` ending the statement at `start` (top-level relative
+/// to `start`), or `end`.
+fn stmt_boundary(toks: &[Tok], start: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = start;
+    while i < end {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            ";" if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// First index of `what` at bracket depth 0 inside `range`.
+fn find_top_level(toks: &[Tok], range: Range<usize>, what: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut angle = 0i64;
+    let end = range.end.min(toks.len());
+    for (i, t) in toks.iter().enumerate().take(end).skip(range.start) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "<" => angle += 1,
+            "<<" => angle += 2,
+            ">" => angle = (angle - 1).max(0),
+            ">>" => angle = (angle - 2).max(0),
+            s if s == what && depth == 0 && angle == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `{` starting the block after a condition/iterator
+/// expression (bracket-depth 0), bounded by `end`.
+fn find_block_start(toks: &[Tok], start: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = start;
+    while i < end {
+        match toks[i].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth <= 0 => return i,
+            ";" if depth <= 0 => return i, // malformed; bail at stmt end
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Lowercase binding identifiers of a pattern (shared with parse.rs
+/// logic but local to avoid exposing it).
+fn pattern_idents(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if matches!(t.text.as_str(), "mut" | "ref" | "box" | "_") || crate::rules_keyword(&t.text) {
+            continue;
+        }
+        if t.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
+        {
+            continue;
+        }
+        if toks
+            .get(k + 1)
+            .is_some_and(|n| n.is_punct("::") || n.is_punct("("))
+        {
+            continue;
+        }
+        out.push(t.text.clone());
+    }
+    out
+}
+
+/// Lowercase identifiers adjacent to a comparison operator anywhere in
+/// the slice (uppercase-initial idents are constants, not variables).
+fn comparison_idents(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    let is_var = |t: &Tok| {
+        t.kind == TokKind::Ident
+            && !crate::rules_keyword(&t.text)
+            && t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || !CMP_OPS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if i > 0 && is_var(&toks[i - 1]) {
+            out.push(toks[i - 1].text.clone());
+        }
+        if let Some(n) = toks.get(i + 1) {
+            if is_var(n) {
+                out.push(n.text.clone());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Determinism violations
+// ---------------------------------------------------------------------------
+
+/// Hash-collection iteration methods (order is seed-dependent).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Same-statement re-ordering markers that make hash iteration okay.
+const SORTERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// Scans a body for determinism violations: wall clock, thread identity,
+/// hash-order iteration, and FMA intrinsics (which contract rounding and
+/// differ across ISAs — the SIMD determinism contract bans them, see
+/// DESIGN.md §3f).
+fn scan_violations(toks: &[Tok], body: Range<usize>, hash_names: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let end = body.end.min(toks.len());
+    for i in body.start..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let mk = |what: String| Violation {
+            what,
+            line: t.line,
+            col: t.col,
+        };
+        match t.text.as_str() {
+            "Instant" | "SystemTime"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|n| n.is_ident("now")) =>
+            {
+                out.push(mk(format!("{}::now() (wall clock)", t.text)));
+            }
+            "thread"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|n| n.is_ident("current")) =>
+            {
+                out.push(mk("thread::current() (thread identity)".to_string()));
+            }
+            "mul_add" => out.push(mk("mul_add (FMA contracts rounding)".to_string())),
+            name if name.contains("fmadd") => {
+                out.push(mk(format!("{name} (FMA intrinsic)")));
+            }
+            name if ITER_METHODS.contains(&name)
+                && i >= 2
+                && toks[i - 1].is_punct(".")
+                && toks[i - 2].kind == TokKind::Ident
+                && hash_names.contains(&toks[i - 2].text)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) =>
+            {
+                let sorted_same_stmt = toks[i..end.min(i + 160)]
+                    .iter()
+                    .take_while(|tk| !tk.is_punct(";"))
+                    .any(|tk| tk.kind == TokKind::Ident && SORTERS.contains(&tk.text.as_str()));
+                if !sorted_same_stmt {
+                    out.push(mk(format!(
+                        ".{name}() on hash-ordered `{}`",
+                        toks[i - 2].text
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn body_of(src: &str) -> (Vec<Tok>, Range<usize>) {
+        let lexed = lex(src);
+        let parsed = crate::parse::parse_items(&lexed);
+        let body = parsed.fns.first().map(|f| f.body.clone()).unwrap_or(0..0);
+        (lexed.toks, body)
+    }
+
+    #[test]
+    fn let_bindings_and_calls() {
+        let (toks, body) = body_of("fn f() { let n = r.read_varint()?; let v = decode(n); }");
+        let s = summarize(&toks, body, &[]);
+        let assigns: Vec<_> = s
+            .steps
+            .iter()
+            .filter_map(|st| match &st.kind {
+                StepKind::Assign { names, expr } => Some((names.clone(), expr.calls.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(assigns.len(), 2);
+        assert_eq!(assigns[0].0, vec!["n"]);
+        assert_eq!(assigns[0].1, 1, "read_varint is a call");
+        assert_eq!(assigns[1].0, vec!["v"]);
+    }
+
+    #[test]
+    fn method_calls_record_receiver_chains() {
+        let (toks, body) = body_of("fn f() { self.inner.cache.get(i); }");
+        let s = summarize(&toks, body, &[]);
+        let mut calls = Vec::new();
+        s.walk_calls(&mut |c| calls.push(c.clone()));
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].name(), "get");
+        assert!(calls[0].is_method);
+        assert_eq!(calls[0].receiver, vec!["self", "inner", "cache"]);
+    }
+
+    #[test]
+    fn vec_macro_repeat_form_has_two_args() {
+        let (toks, body) = body_of("fn f(n: usize) { let v = vec![0u8; n]; }");
+        let s = summarize(&toks, body, &[]);
+        let mut calls = Vec::new();
+        s.walk_calls(&mut |c| calls.push(c.clone()));
+        assert_eq!(calls.len(), 1);
+        assert!(calls[0].is_macro);
+        assert_eq!(calls[0].args.len(), 2);
+        assert_eq!(calls[0].args[1].idents, vec!["n"]);
+    }
+
+    #[test]
+    fn conditions_sanitize_compared_idents() {
+        let (toks, body) = body_of("fn f(n: usize) { if n > MAX { return; } g(n); }");
+        let s = summarize(&toks, body, &[]);
+        let conds: Vec<_> = s
+            .steps
+            .iter()
+            .filter_map(|st| match &st.kind {
+                StepKind::Cond { idents } => Some(idents.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(conds, vec![vec!["n".to_string()]]);
+    }
+
+    #[test]
+    fn drop_and_scopes_are_steps() {
+        let (toks, body) = body_of("fn f() { { let g = m.lock(); drop(g); } h(); }");
+        let s = summarize(&toks, body, &[]);
+        assert!(s
+            .steps
+            .iter()
+            .any(|st| matches!(&st.kind, StepKind::Drop { name } if name == "g")));
+        assert!(s.steps.iter().any(|st| matches!(st.kind, StepKind::Open)));
+        assert!(s.steps.iter().any(|st| matches!(st.kind, StepKind::Close)));
+    }
+
+    #[test]
+    fn trailing_expression_becomes_return() {
+        let (toks, body) = body_of("fn f(n: usize) -> usize { let m = n; m }");
+        let s = summarize(&toks, body, &[]);
+        let ret = s
+            .steps
+            .iter()
+            .find_map(|st| match &st.kind {
+                StepKind::Return { expr } => Some(expr.clone()),
+                _ => None,
+            })
+            .expect("trailing expr is the return");
+        assert_eq!(ret.idents, vec!["m"]);
+    }
+
+    #[test]
+    fn violations_found_in_body() {
+        let (toks, body) = body_of(
+            "fn f(h: HashMap<u32, u32>) { let t = Instant::now(); for k in h.keys() {} \
+             let z = a.mul_add(b, c); }",
+        );
+        let s = summarize(&toks, body, &["h".to_string()]);
+        let whats: Vec<_> = s.violations.iter().map(|v| v.what.as_str()).collect();
+        assert!(whats.iter().any(|w| w.contains("Instant::now")));
+        assert!(whats.iter().any(|w| w.contains("keys")));
+        assert!(whats.iter().any(|w| w.contains("mul_add")));
+    }
+}

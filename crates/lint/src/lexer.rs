@@ -252,8 +252,17 @@ pub fn lex(src: &str) -> Lexed {
                         i += op.len();
                     }
                     None => {
-                        push_tok(&mut out, TokKind::Punct, &src[i..i + 1], tok_line, tok_col);
-                        i += 1;
+                        // Take the whole char: a multi-byte lead byte
+                        // lands here, and a 1-byte slice would split it.
+                        let ch_len = rest.chars().next().map_or(1, |c| c.len_utf8());
+                        push_tok(
+                            &mut out,
+                            TokKind::Punct,
+                            &src[i..i + ch_len],
+                            tok_line,
+                            tok_col,
+                        );
+                        i += ch_len;
                     }
                 }
             }
@@ -473,5 +482,15 @@ mod tests {
     fn range_after_int_is_not_a_float() {
         let texts: Vec<String> = kinds("0..n").into_iter().map(|(_, t)| t).collect();
         assert_eq!(texts, ["0", "..", "n"]);
+    }
+
+    #[test]
+    fn multibyte_chars_outside_strings_do_not_panic() {
+        // Non-ASCII outside a string or comment is not valid Rust, but
+        // the lexer must survive it (mid-edit files, mangled input).
+        let l = lex("let é = \u{fffd}; fn f() {}\n");
+        assert!(l.toks.iter().any(|t| t.is_ident("f")));
+        let l = lex("é");
+        assert_eq!(l.toks.len(), 1);
     }
 }

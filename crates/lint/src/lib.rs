@@ -1,15 +1,43 @@
 //! `ds-lint` — workspace invariant checker for the DeepSqueeze crates.
 //!
-//! A std-only lexical analyzer that enforces the project's decode-safety
-//! and determinism contracts (DESIGN.md §3c): decoder paths must never
-//! panic on corrupt input, encoder paths must never depend on hash-seed
-//! iteration order or wall-clock time, and every `unsafe` block must state
-//! its contract. The binary walks `crates/*/src/**/*.rs`, applies the
-//! rules scoped by `lint.toml`, and exits nonzero on any finding; it runs
-//! in `scripts/check.sh` before the test step.
+//! A std-only analyzer that enforces the project's decode-safety and
+//! determinism contracts (DESIGN.md §3c, §3h). v1's token-level rules
+//! (decoder paths must never panic on corrupt input, encoder paths must
+//! never depend on hash-seed iteration order or wall-clock time, every
+//! `unsafe` block must state its contract) are joined in v2 by three
+//! workspace dataflow rules built on a lightweight parser ([`parse`]),
+//! per-function summaries ([`ir`]), and a call graph ([`graph`]):
+//! `tainted-alloc`, `determinism-reachability`, and `lock-across-pool`.
+//! The binary walks `crates/*/src/**/*.rs` (in parallel over the
+//! `ds_exec` pool, with deterministic output), applies the rules scoped
+//! by `lint.toml`, and exits nonzero on any finding; it runs in
+//! `scripts/check.sh` before the test step.
+//!
+//! The rule list is pinned here so the README rule table and
+//! `--list-rules` cannot drift silently:
+//!
+//! ```
+//! let names: Vec<&str> = ds_lint::rules::RULES.iter().map(|(n, _)| *n).collect();
+//! assert_eq!(names, [
+//!     "panic-free-decode",
+//!     "checked-untrusted-arith",
+//!     "no-raw-cast-len",
+//!     "deterministic-iteration",
+//!     "no-wallclock-nondeterminism",
+//!     "unsafe-contract",
+//!     "target-feature-gate",
+//!     "tainted-alloc",
+//!     "determinism-reachability",
+//!     "lock-across-pool",
+//!     "bad-suppression",
+//! ]);
+//! ```
 
 pub mod config;
+pub mod graph;
+pub mod ir;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 use std::fmt;
@@ -42,6 +70,49 @@ impl fmt::Display for Finding {
             self.file, self.line, self.col, self.rule, self.message
         )
     }
+}
+
+/// Rust keywords that can show up where the expression scanner looks for
+/// identifiers; filtered so they never register as variable names.
+pub fn rules_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
 }
 
 /// Lints one file's source text. `rel_path` is repo-relative with `/`
@@ -91,17 +162,33 @@ pub fn collect_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
     Ok(out)
 }
 
-/// Lints every matching file under `root`. Returns `(files_scanned,
-/// findings)`; findings are ordered by (file, line, col).
+/// Lints every matching file under `root`: the per-file pass (lex, parse,
+/// token rules) fans out over the `ds_exec` pool, then the workspace
+/// graph pass (call-graph dataflow rules) runs serially over the merged
+/// analyses. Returns `(files_scanned, findings)`; findings are ordered by
+/// (file, line, col, rule), identical regardless of `DS_THREADS`.
 pub fn lint_root(root: &Path, cfg: &Config) -> Result<(usize, Vec<Finding>), String> {
     let files = collect_files(root, cfg).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    let mut findings = Vec::new();
+    let mut srcs = Vec::with_capacity(files.len());
     for rel in &files {
         let abs: PathBuf = root.join(rel);
-        let src =
-            fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
-        findings.extend(lint_source(rel, &src, cfg));
+        srcs.push(fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?);
     }
+    // One task per file; parallel_map returns slots in index order, so
+    // the merge is deterministic byte-for-byte across thread counts.
+    let analyses: Vec<graph::FileAnalysis> = ds_exec::parallel_map(files.len(), |i| {
+        graph::analyze_file(&files[i], &srcs[i], cfg)
+    });
+    let mut findings: Vec<Finding> = analyses
+        .iter()
+        .flat_map(|a| a.findings.iter().cloned())
+        .collect();
+    findings.extend(graph::check_workspace(&analyses, cfg));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule, &a.message)
+            .cmp(&(&b.file, b.line, b.col, b.rule, &b.message))
+    });
+    findings.dedup();
     Ok((files.len(), findings))
 }
 
@@ -128,6 +215,57 @@ pub fn to_json(findings: &[Finding]) -> String {
         s.push_str("\"}");
     }
     s.push_str("]}");
+    s
+}
+
+/// Renders findings as a minimal SARIF 2.1.0 document so CI can attach
+/// them as code annotations. One run, one driver (`ds-lint`), every rule
+/// listed (stable order, so `ruleIndex` is meaningful), one result per
+/// finding with a physical location. Deterministic byte-for-byte for a
+/// given findings list.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut s = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"ds-lint\",\"rules\":[",
+    );
+    for (i, (name, desc)) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"id\":\"");
+        json_escape_into(&mut s, name);
+        s.push_str("\",\"shortDescription\":{\"text\":\"");
+        json_escape_into(&mut s, desc);
+        s.push_str("\"}}");
+    }
+    s.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rule_index = rules::RULES
+            .iter()
+            .position(|(name, _)| *name == f.rule)
+            .unwrap_or(0);
+        s.push_str("{\"ruleId\":\"");
+        json_escape_into(&mut s, f.rule);
+        s.push_str("\",\"ruleIndex\":");
+        s.push_str(&rule_index.to_string());
+        s.push_str(",\"level\":\"error\",\"message\":{\"text\":\"");
+        json_escape_into(&mut s, &f.message);
+        s.push_str(
+            "\"},\"locations\":[{\"physicalLocation\":{\
+                    \"artifactLocation\":{\"uri\":\"",
+        );
+        json_escape_into(&mut s, &f.file);
+        s.push_str("\"},\"region\":{\"startLine\":");
+        s.push_str(&f.line.to_string());
+        s.push_str(",\"startColumn\":");
+        s.push_str(&f.col.to_string());
+        s.push_str("}}}]}");
+    }
+    s.push_str("]}]}");
     s
 }
 

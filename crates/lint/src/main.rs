@@ -1,7 +1,7 @@
 //! `ds-lint` CLI.
 //!
 //! ```text
-//! ds-lint [--root DIR] [--config FILE] [--format text|json] [--list-rules]
+//! ds-lint [--root DIR] [--config FILE] [--format text|json|sarif] [--list-rules]
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = findings, 2 = usage/config/io error.
@@ -10,12 +10,19 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ds_lint::config::Config;
-use ds_lint::{lint_root, rules, to_json};
+use ds_lint::{lint_root, rules, to_json, to_sarif};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
-    json: bool,
+    format: Format,
     list_rules: bool,
 }
 
@@ -23,7 +30,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         config: None,
-        json: false,
+        format: Format::Text,
         list_rules: false,
     };
     let mut it = std::env::args().skip(1);
@@ -36,11 +43,12 @@ fn parse_args() -> Result<Args, String> {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config requires a file")?));
             }
             "--format" => match it.next().as_deref() {
-                Some("text") => args.json = false,
-                Some("json") => args.json = true,
+                Some("text") => args.format = Format::Text,
+                Some("json") => args.format = Format::Json,
+                Some("sarif") => args.format = Format::Sarif,
                 other => {
                     return Err(format!(
-                        "--format must be `text` or `json`, got {:?}",
+                        "--format must be `text`, `json`, or `sarif`, got {:?}",
                         other.unwrap_or("<none>")
                     ))
                 }
@@ -48,7 +56,7 @@ fn parse_args() -> Result<Args, String> {
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: ds-lint [--root DIR] [--config FILE] [--format text|json] [--list-rules]"
+                    "usage: ds-lint [--root DIR] [--config FILE] [--format text|json|sarif] [--list-rules]"
                 );
                 std::process::exit(0);
             }
@@ -97,22 +105,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if args.json {
-        println!("{}", to_json(&findings));
-    } else {
-        for f in &findings {
-            println!("{f}");
+    match args.format {
+        Format::Json => println!("{}", to_json(&findings)),
+        Format::Sarif => println!("{}", to_sarif(&findings)),
+        Format::Text => {
+            for f in &findings {
+                println!("{f}");
+            }
+            let status = if findings.is_empty() {
+                "clean"
+            } else {
+                "FAILED"
+            };
+            println!(
+                "ds-lint: {} file(s) scanned, {} finding(s) — {status}",
+                scanned,
+                findings.len()
+            );
         }
-        let status = if findings.is_empty() {
-            "clean"
-        } else {
-            "FAILED"
-        };
-        println!(
-            "ds-lint: {} file(s) scanned, {} finding(s) — {status}",
-            scanned,
-            findings.len()
-        );
     }
     if findings.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,452 @@
+//! A lightweight item parser over the token stream: enough structure to
+//! build per-function summaries and a workspace call graph.
+//!
+//! This is *not* a Rust parser. It recognizes exactly the shapes the
+//! dataflow rules need — `fn` items (free functions and `impl`-block
+//! methods) with their parameter names, return-type text, and body token
+//! ranges — and it must never panic or loop on arbitrary byte salad (the
+//! fuzz suite feeds it mangled source). Everything it cannot understand
+//! it skips; the soundness cost of skipping is documented in DESIGN.md
+//! §3h.
+
+use std::ops::Range;
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One parameter: the identifiers bound by its pattern (a tuple pattern
+/// binds several; `self` binds `"self"`).
+#[derive(Debug, Clone, Default)]
+pub struct Param {
+    /// Identifiers the pattern binds, in source order.
+    pub names: Vec<String>,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// `impl` type the fn lives in (`None` for free functions). Trait
+    /// impls record the *self* type (`impl Read for Foo` → `Foo`).
+    pub self_type: Option<String>,
+    /// Carries a `pub` modifier.
+    pub is_pub: bool,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Flattened return-type tokens (empty when the fn returns `()`).
+    pub ret_text: String,
+    /// Token-index range of the body, *excluding* the outer braces.
+    /// Empty for bodyless declarations (trait methods, extern).
+    pub body: Range<usize>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+}
+
+/// All items parsed from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` with a body, in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// Index of the token matching the opener at `open` (`(`/`[`/`{`), or
+/// `toks.len()` when unterminated. All three bracket kinds nest.
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Skips a generic-argument list starting at a `<` token. Returns the
+/// index just past the matching `>`. `<<`/`>>` count double (the lexer
+/// combines shifts). Bails (returning `start + 1`) on shapes that cannot
+/// be generics, so a stray `<` comparison never swallows the file.
+fn skip_generics(toks: &[Tok], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = start;
+    while let Some(t) = toks.get(i) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                // `->` is its own token and fine inside `Fn() -> T`.
+                ";" | "{" | "}" => return start + 1, // not generics
+                _ => {}
+            }
+        }
+        i += 1;
+        if depth <= 0 {
+            return i;
+        }
+    }
+    i
+}
+
+/// Extracts lowercase binding identifiers from a pattern token slice.
+/// Uppercase-initial idents are enum/struct constructors, not bindings.
+fn pattern_names(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if matches!(t.text.as_str(), "mut" | "ref" | "box" | "_") {
+            continue;
+        }
+        let first = t.text.chars().next().unwrap_or('_');
+        if first.is_ascii_uppercase() {
+            continue;
+        }
+        // A lowercase ident followed by `::` or `(` is a path/ctor.
+        if toks
+            .get(k + 1)
+            .is_some_and(|n| n.is_punct("::") || n.is_punct("("))
+        {
+            continue;
+        }
+        out.push(t.text.clone());
+    }
+    out
+}
+
+/// Splits the token slice on top-level commas (depth over `()`, `[]`,
+/// `{}` and angle brackets).
+pub fn split_top_level(toks: &[Tok], range: Range<usize>, sep: &str) -> Vec<Range<usize>> {
+    let mut parts = Vec::new();
+    let mut depth = 0i64;
+    let mut angle = 0i64;
+    let mut start = range.start;
+    let mut i = range.start;
+    while i < range.end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                s if s == sep && depth == 0 && angle == 0 => {
+                    parts.push(start..i);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    parts.push(start..range.end.min(toks.len()));
+    parts
+}
+
+/// Parses a parameter list (the tokens between the fn's parens).
+fn parse_params(toks: &[Tok], range: Range<usize>) -> Vec<Param> {
+    let mut out = Vec::new();
+    for piece in split_top_level(toks, range, ",") {
+        let slice = &toks[piece.start.min(toks.len())..piece.end.min(toks.len())];
+        if slice.is_empty() {
+            continue;
+        }
+        // `self`, `&self`, `&mut self`, `mut self`, `self: Arc<Self>`.
+        if slice.iter().take(4).any(|t| t.is_ident("self")) {
+            out.push(Param {
+                names: vec!["self".to_string()],
+            });
+            continue;
+        }
+        // Pattern is everything before the top-level `:`.
+        let colon = split_top_level(toks, piece.clone(), ":");
+        let pat = colon.first().cloned().unwrap_or(piece.clone());
+        let pat_slice = &toks[pat.start.min(toks.len())..pat.end.min(toks.len())];
+        out.push(Param {
+            names: pattern_names(pat_slice),
+        });
+    }
+    out
+}
+
+/// Parses the self type of an `impl` header starting just past the
+/// `impl` keyword: skips generics, and for `impl Trait for Type` takes
+/// the segment after `for`. Returns `(type_name, index_of_open_brace)`.
+fn parse_impl_header(toks: &[Tok], mut i: usize) -> (Option<String>, usize) {
+    if toks.get(i).is_some_and(|t| t.is_punct("<")) {
+        i = skip_generics(toks, i);
+    }
+    let mut name: Option<String> = None;
+    let mut after_for = false;
+    while let Some(t) = toks.get(i) {
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => return (name, i),
+            (TokKind::Punct, ";") => return (None, i),
+            (TokKind::Ident, "for") => {
+                after_for = true;
+                name = None;
+                i += 1;
+            }
+            (TokKind::Ident, "where") => {
+                // Where clause: scan forward to the brace.
+                while let Some(w) = toks.get(i) {
+                    if w.is_punct("{") {
+                        return (name, i);
+                    }
+                    if w.is_punct(";") {
+                        return (None, i);
+                    }
+                    i += 1;
+                }
+                return (name, i);
+            }
+            (TokKind::Ident, _) => {
+                // Last path segment wins (`ds_shard::ShardReader`).
+                name = Some(t.text.clone());
+                i += 1;
+                if toks.get(i).is_some_and(|n| n.is_punct("<")) {
+                    i = skip_generics(toks, i);
+                }
+            }
+            _ => i += 1,
+        }
+        let _ = after_for;
+        if i >= toks.len() {
+            break;
+        }
+    }
+    (name, i)
+}
+
+/// Parses one `fn` item whose `fn` keyword sits at `i`. Returns the
+/// parsed def (if a body was found) and the index to resume scanning at.
+fn parse_fn(
+    toks: &[Tok],
+    i: usize,
+    self_type: Option<&String>,
+    is_pub: bool,
+) -> (Option<FnDef>, usize) {
+    let (line, col) = toks.get(i).map(|t| (t.line, t.col)).unwrap_or((0, 0));
+    let mut j = i + 1;
+    let Some(name_tok) = toks.get(j) else {
+        return (None, i + 1);
+    };
+    if name_tok.kind != TokKind::Ident {
+        return (None, i + 1);
+    }
+    let name = name_tok.text.clone();
+    j += 1;
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_generics(toks, j);
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+        return (None, j);
+    }
+    let close = matching_close(toks, j);
+    let params = parse_params(toks, j + 1..close);
+    // Between the param list and the body: `-> Ret` and/or `where ...`,
+    // terminated by `{` (body) or `;` (declaration only).
+    let mut k = close + 1;
+    let mut ret_text = String::new();
+    let mut in_ret = false;
+    loop {
+        let Some(t) = toks.get(k) else {
+            return (None, k);
+        };
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => break,
+            (TokKind::Punct, ";") => return (None, k + 1),
+            (TokKind::Punct, "->") => {
+                in_ret = true;
+                k += 1;
+            }
+            (TokKind::Ident, "where") => {
+                in_ret = false;
+                k += 1;
+            }
+            _ => {
+                if in_ret {
+                    if !ret_text.is_empty() {
+                        ret_text.push(' ');
+                    }
+                    ret_text.push_str(&t.text);
+                }
+                k += 1;
+            }
+        }
+    }
+    let body_close = matching_close(toks, k);
+    let def = FnDef {
+        name,
+        self_type: self_type.cloned(),
+        is_pub,
+        params,
+        ret_text,
+        body: k + 1..body_close,
+        line,
+        col,
+    };
+    // Resume *inside* the body so nested fns are found too.
+    (Some(def), k + 1)
+}
+
+/// Parses every `fn` item in the file. `impl` blocks are entered (their
+/// methods get the impl's self type); nested modules are scanned
+/// transparently; everything else advances token by token.
+pub fn parse_items(lexed: &Lexed) -> ParsedFile {
+    let toks = &lexed.toks;
+    let mut out = ParsedFile::default();
+    // Stack of (self_type, close_brace_index) for impl blocks in scope.
+    let mut impls: Vec<(Option<String>, usize)> = Vec::new();
+    let mut is_pub = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        while impls.last().is_some_and(|(_, close)| i > *close) {
+            impls.pop();
+        }
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "pub") => {
+                is_pub = true;
+                i += 1;
+                // `pub(crate)` / `pub(super)` visibility scope.
+                if toks.get(i).is_some_and(|n| n.is_punct("(")) {
+                    i = matching_close(toks, i) + 1;
+                }
+            }
+            (TokKind::Ident, "impl") => {
+                let (ty, brace) = parse_impl_header(toks, i + 1);
+                if toks.get(brace).is_some_and(|b| b.is_punct("{")) {
+                    impls.push((ty, matching_close(toks, brace)));
+                    i = brace + 1;
+                } else {
+                    i = brace + 1;
+                }
+                is_pub = false;
+            }
+            (TokKind::Ident, "fn") => {
+                let self_type = impls.last().and_then(|(ty, _)| ty.as_ref());
+                let (def, next) = parse_fn(toks, i, self_type, is_pub);
+                if let Some(def) = def {
+                    out.fns.push(def);
+                }
+                i = next.max(i + 1);
+                is_pub = false;
+            }
+            // Skip token trees we must not scan for items: `use`,
+            // attribute bodies are harmless to walk through, but string
+            // deserts are already handled by the lexer.
+            _ => {
+                if t.kind != TokKind::Ident || t.text != "pub" {
+                    is_pub = false;
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn free_fn_with_params_and_ret() {
+        let p = parse("pub fn foo(a: usize, b: &[u8]) -> Result<Vec<u8>> { a }");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "foo");
+        assert!(f.is_pub);
+        assert_eq!(f.self_type, None);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].names, vec!["a"]);
+        assert_eq!(f.params[1].names, vec!["b"]);
+        assert!(f.ret_text.contains("Result"));
+    }
+
+    #[test]
+    fn impl_methods_get_the_self_type() {
+        let p = parse(
+            "impl<'a> Reader<'a> { fn read(&mut self, n: usize) -> u8 { 0 } }\n\
+             impl Write for Sink { fn flush(&mut self) {} }",
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "read");
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Reader"));
+        assert_eq!(p.fns[0].params[0].names, vec!["self"]);
+        assert_eq!(p.fns[1].name, "flush");
+        assert_eq!(p.fns[1].self_type.as_deref(), Some("Sink"));
+    }
+
+    #[test]
+    fn nested_fns_and_generics_do_not_confuse_bodies() {
+        let p = parse(
+            "fn outer<T: Into<Vec<u8>>>(x: T) -> usize {\n\
+               fn inner(k: usize) -> usize { k + 1 }\n\
+               inner(3)\n\
+             }",
+        );
+        assert_eq!(p.fns.len(), 2, "{:?}", p.fns);
+        // Source order: outer first (its body contains inner's tokens).
+        assert_eq!(p.fns[0].name, "outer");
+        assert_eq!(p.fns[1].name, "inner");
+    }
+
+    #[test]
+    fn tuple_patterns_bind_every_name() {
+        let p = parse("fn f((a, b): (u32, u32), mut c: u8) {}");
+        assert_eq!(p.fns[0].params[0].names, vec!["a", "b"]);
+        assert_eq!(p.fns[0].params[1].names, vec!["c"]);
+    }
+
+    #[test]
+    fn bodyless_declarations_are_skipped() {
+        let p = parse("trait T { fn a(&self); fn b(&self) { () } }");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "b");
+    }
+
+    #[test]
+    fn impl_block_ends_restore_free_fn_scope() {
+        let p = parse("impl Foo { fn m(&self) {} }\nfn free() {}");
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Foo"));
+        assert_eq!(p.fns[1].self_type, None);
+    }
+
+    #[test]
+    fn garbage_does_not_panic() {
+        for src in [
+            "fn",
+            "fn (",
+            "fn x(",
+            "impl",
+            "impl {",
+            "fn f<T(x: T) {}",
+            "fn f() -> {",
+            "pub pub fn f",
+            "}}}}fn f(){}",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -20,6 +20,14 @@ pub const WALLCLOCK: &str = "no-wallclock-nondeterminism";
 pub const UNSAFE_CONTRACT: &str = "unsafe-contract";
 /// Rule: `#[target_feature]` kernels stay unsafe, private, and dispatched.
 pub const TARGET_FEATURE_GATE: &str = "target-feature-gate";
+/// Dataflow rule: decode-derived lengths must be bounded before allocation.
+pub const TAINTED_ALLOC: &str = "tainted-alloc";
+/// Dataflow rule: fns reachable from archive-byte entry points stay
+/// deterministic.
+pub const DET_REACH: &str = "determinism-reachability";
+/// Dataflow rule: no `MutexGuard` live across a pool fan-out or blocking
+/// I/O.
+pub const LOCK_POOL: &str = "lock-across-pool";
 /// Meta-rule: malformed or reason-less suppression comments.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
 
@@ -52,6 +60,18 @@ pub const RULES: &[(&str, &str)] = &[
     (
         TARGET_FEATURE_GATE,
         "`#[target_feature]` fns must be unsafe, non-pub, and live behind a runtime detection gate",
+    ),
+    (
+        TAINTED_ALLOC,
+        "decode-derived lengths must pass a bounds check before with_capacity/vec![_;n]/reserve/take",
+    ),
+    (
+        DET_REACH,
+        "fns reachable from compress/encode/write_ entries must avoid clocks, thread ids, hash order, FMA",
+    ),
+    (
+        LOCK_POOL,
+        "no MutexGuard may stay live across a ds_exec fan-out or a blocking I/O call",
     ),
     (
         BAD_SUPPRESSION,
@@ -102,7 +122,19 @@ pub fn check_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     let lexed = lex(src);
     let test_boundary = find_test_boundary(&lexed);
     let suppressions = collect_suppressions(&lexed, test_boundary);
+    check_lexed(rel_path, &lexed, cfg, &suppressions, test_boundary)
+}
 
+/// Runs the token-level rules over an already-lexed file. Split from
+/// [`check_file`] so the parallel scan can lex once and share the result
+/// with the workspace graph pass.
+pub fn check_lexed(
+    rel_path: &str,
+    lexed: &Lexed,
+    cfg: &Config,
+    suppressions: &Suppressions,
+    test_boundary: u32,
+) -> Vec<Finding> {
     let mut raw: Vec<Finding> = Vec::new();
     let mk = |line: u32, col: u32, rule: &'static str, message: String| Finding {
         file: rel_path.to_string(),
@@ -113,25 +145,25 @@ pub fn check_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     };
 
     if cfg.rule_applies(PANIC_FREE, rel_path) {
-        check_panic_free(&lexed, &mut raw, &mk);
+        check_panic_free(lexed, &mut raw, &mk);
     }
     if cfg.rule_applies(CHECKED_ARITH, rel_path) {
-        check_arith(&lexed, &mut raw, &mk);
+        check_arith(lexed, &mut raw, &mk);
     }
     if cfg.rule_applies(RAW_CAST, rel_path) {
-        check_raw_cast(&lexed, &mut raw, &mk);
+        check_raw_cast(lexed, &mut raw, &mk);
     }
     if cfg.rule_applies(DET_ITER, rel_path) {
-        check_det_iter(&lexed, &mut raw, &mk);
+        check_det_iter(lexed, &mut raw, &mk);
     }
     if cfg.rule_applies(WALLCLOCK, rel_path) {
-        check_wallclock(&lexed, &mut raw, &mk);
+        check_wallclock(lexed, &mut raw, &mk);
     }
     if cfg.rule_applies(UNSAFE_CONTRACT, rel_path) {
-        check_unsafe_contract(&lexed, &mut raw, &mk);
+        check_unsafe_contract(lexed, &mut raw, &mk);
     }
     if cfg.rule_applies(TARGET_FEATURE_GATE, rel_path) {
-        check_target_feature_gate(&lexed, &mut raw, &mk);
+        check_target_feature_gate(lexed, &mut raw, &mk);
     }
 
     let mut out: Vec<Finding> = raw
@@ -152,33 +184,86 @@ pub fn check_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
 // Suppressions
 // ---------------------------------------------------------------------------
 
-struct MalformedSuppression {
-    line: u32,
-    message: String,
+/// A `ds-lint:` comment that does not follow the grammar (reported by the
+/// `bad-suppression` meta-rule).
+pub struct MalformedSuppression {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
 }
 
-struct Suppressions {
+/// All suppression comments of one file, parsed.
+pub struct Suppressions {
     /// (line, rule) pairs silenced by a well-formed allow with a reason.
     allows: Vec<(u32, String)>,
-    malformed: Vec<MalformedSuppression>,
+    /// Grammar violations.
+    pub malformed: Vec<MalformedSuppression>,
 }
 
 impl Suppressions {
-    fn silences(&self, line: u32, rule: &str) -> bool {
+    /// True when an allow with a reason targets `line` for `rule`.
+    pub fn silences(&self, line: u32, rule: &str) -> bool {
         self.allows.iter().any(|(l, r)| *l == line && r == rule)
     }
+}
+
+/// Lines whose significant tokens all belong to attribute spans
+/// (`#[...]` / `#![...]`). A standalone suppression comment skips over
+/// these to reach its real target, so `// ds-lint: allow(...)` above
+/// `#[inline]` still silences the function underneath.
+fn attribute_only_lines(lexed: &Lexed) -> Vec<bool> {
+    let t = &lexed.toks;
+    let mut in_attr = vec![false; t.len()];
+    let mut i = 0usize;
+    while i < t.len() {
+        let opens = t[i].is_punct("#")
+            && (t.get(i + 1).is_some_and(|n| n.is_punct("["))
+                || (t.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                    && t.get(i + 2).is_some_and(|n| n.is_punct("["))));
+        if opens {
+            let open = if t[i + 1].is_punct("[") { i + 1 } else { i + 2 };
+            let close = matching_bracket(t, open);
+            for slot in in_attr.iter_mut().take(close.min(t.len() - 1) + 1).skip(i) {
+                *slot = true;
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    let mut attr_only = vec![false; lexed.code_lines.len()];
+    let mut has_other = vec![false; lexed.code_lines.len()];
+    for (k, tok) in t.iter().enumerate() {
+        let l = tok.line as usize;
+        if l >= attr_only.len() {
+            continue;
+        }
+        if in_attr[k] {
+            attr_only[l] = true;
+        } else {
+            has_other[l] = true;
+        }
+    }
+    for (a, o) in attr_only.iter_mut().zip(&has_other) {
+        *a = *a && !o;
+    }
+    attr_only
 }
 
 /// Parses every `ds-lint:` comment. Grammar:
 /// `// ds-lint: allow(rule-a, rule-b) -- reason text`
 /// The reason is mandatory; an allow without one does not suppress and is
 /// itself reported. A trailing comment silences its own line; a comment on
-/// a line of its own silences the next line that carries code.
-fn collect_suppressions(lexed: &Lexed, test_boundary: u32) -> Suppressions {
+/// a line of its own silences the next line that carries non-attribute
+/// code (doc comments and `#[...]` attributes between the allow and its
+/// item are skipped over).
+pub fn collect_suppressions(lexed: &Lexed, test_boundary: u32) -> Suppressions {
     let mut sup = Suppressions {
         allows: Vec::new(),
         malformed: Vec::new(),
     };
+    let attr_only = attribute_only_lines(lexed);
     for c in &lexed.comments {
         if c.line >= test_boundary {
             continue;
@@ -186,10 +271,13 @@ fn collect_suppressions(lexed: &Lexed, test_boundary: u32) -> Suppressions {
         let target_line = if lexed.line_has_code(c.line) {
             c.line
         } else {
-            // Standalone comment: applies to the next code line (bounded
-            // scan; files end, so this terminates).
+            // Standalone comment: applies to the next code line that is
+            // not attribute-only (bounded scan; files end, so this
+            // terminates).
             let mut l = c.line + 1;
-            while (l as usize) < lexed.code_lines.len() && !lexed.line_has_code(l) {
+            while (l as usize) < lexed.code_lines.len()
+                && (!lexed.line_has_code(l) || attr_only.get(l as usize).copied().unwrap_or(false))
+            {
                 l += 1;
             }
             l
@@ -249,7 +337,7 @@ fn collect_suppressions(lexed: &Lexed, test_boundary: u32) -> Suppressions {
 /// First line of a `#[cfg(test)]` attribute, or `u32::MAX` when absent.
 /// Everything at or below it is test code and exempt from the rules (the
 /// repo convention keeps `mod tests` last in each file).
-fn find_test_boundary(lexed: &Lexed) -> u32 {
+pub fn find_test_boundary(lexed: &Lexed) -> u32 {
     let t = &lexed.toks;
     for i in 0..t.len().saturating_sub(6) {
         if t[i].is_punct("#")
@@ -593,7 +681,7 @@ fn check_raw_cast(
 /// bindings, typed fields, and typed parameters. Heuristic (a `Vec` *of*
 /// maps is recorded under the outer name too), but iteration over such a
 /// name is exactly what the rule wants a human to look at.
-fn hash_idents(toks: &[Tok]) -> Vec<String> {
+pub fn hash_idents(toks: &[Tok]) -> Vec<String> {
     let mut names = Vec::new();
     for i in 0..toks.len() {
         if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {

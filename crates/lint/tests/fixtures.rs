@@ -18,7 +18,7 @@ fn lint_fixtures() -> Vec<Finding> {
     let toml = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
     let cfg = Config::parse(&toml).expect("fixture config parses");
     let (files, findings) = lint_root(&root, &cfg).expect("lint_root");
-    assert_eq!(files, 8, "fixture tree should scan exactly 8 files");
+    assert_eq!(files, 12, "fixture tree should scan exactly 12 files");
     findings
 }
 
@@ -104,6 +104,120 @@ fn target_feature_fns_must_be_unsafe_private_and_gated() {
             ("target-feature-gate", 10),
             ("target-feature-gate", 10),
         ]
+    );
+}
+
+#[test]
+fn tainted_alloc_catches_planted_manifest_len_two_deep() {
+    let findings = lint_fixtures();
+    // Line 18 is `stage_one(manifest_len)`: the unvalidated wire length
+    // reaching `with_capacity` two helper calls down (the finding lands
+    // at the call that feeds the sinking parameter). Line 42 is the TP
+    // via the config-extended `parse_len` source. The bounded and
+    // `.min()`-capped twins (lines 35 and 48) stay silent.
+    assert_eq!(
+        rule_lines(&findings, "crates/taint/src/lib.rs"),
+        vec![("tainted-alloc", 18), ("tainted-alloc", 42)]
+    );
+    let two_deep = findings
+        .iter()
+        .find(|f| f.file == "crates/taint/src/lib.rs" && f.line == 18)
+        .expect("planted finding");
+    assert!(
+        two_deep.message.contains("stage_one"),
+        "message should name the sinking callee: {}",
+        two_deep.message
+    );
+}
+
+#[test]
+fn det_reachability_respects_configured_entries() {
+    let findings = lint_fixtures();
+    // `entries = ["pack_"]` replaces the defaults: the clock read under
+    // pack_block -> shuffle fires; the one under compress_other (only a
+    // *default* entry prefix) stays silent.
+    assert_eq!(
+        rule_lines(&findings, "crates/det/src/lib.rs"),
+        vec![("determinism-reachability", 14)]
+    );
+    let f = findings
+        .iter()
+        .find(|f| f.file == "crates/det/src/lib.rs")
+        .expect("det finding");
+    assert!(
+        f.message.contains("pack_block"),
+        "message should name the entry point: {}",
+        f.message
+    );
+}
+
+#[test]
+fn lock_across_pool_fires_only_while_guard_is_live() {
+    let findings = lint_fixtures();
+    // fanout_holding_guard holds `g` across parallel_for (line 8);
+    // fanout_after_drop drops it first and stays silent.
+    assert_eq!(
+        rule_lines(&findings, "crates/pool/src/lib.rs"),
+        vec![("lock-across-pool", 8)]
+    );
+}
+
+#[test]
+fn suppressions_apply_across_attributes_and_doc_comments() {
+    let findings = lint_fixtures();
+    // Line 8 (`buf[0]` behind `#[rustfmt::skip]`) and line 15 (unwrap
+    // behind a doc comment) are suppressed by the allows above them;
+    // line 9 (`buf[1]`) is past the suppressed line and still fires.
+    assert_eq!(
+        rule_lines(&findings, "crates/codec/src/attr_suppressed.rs"),
+        vec![("panic-free-decode", 9)]
+    );
+}
+
+#[test]
+fn json_output_is_byte_identical_across_thread_counts() {
+    let root = fixture_root();
+    let bin = env!("CARGO_BIN_EXE_ds-lint");
+    let run = |threads: &str| {
+        let out = Command::new(bin)
+            .arg("--root")
+            .arg(&root)
+            .arg("--config")
+            .arg(root.join("lint.toml"))
+            .args(["--format", "json"])
+            .env("DS_THREADS", threads)
+            .output()
+            .expect("run ds-lint");
+        assert_eq!(out.status.code(), Some(1), "DS_THREADS={threads}");
+        out.stdout
+    };
+    let one = run("1");
+    assert_eq!(one, run("2"), "DS_THREADS=1 vs 2");
+    assert_eq!(one, run("8"), "DS_THREADS=1 vs 8");
+}
+
+#[test]
+fn sarif_output_matches_golden_file() {
+    let root = fixture_root();
+    let bin = env!("CARGO_BIN_EXE_ds-lint");
+    let out = Command::new(bin)
+        .arg("--root")
+        .arg(&root)
+        .arg("--config")
+        .arg(root.join("lint.toml"))
+        .args(["--format", "sarif"])
+        .output()
+        .expect("run ds-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let got = String::from_utf8(out.stdout).expect("utf-8 sarif");
+    let golden = std::fs::read_to_string(root.join("golden.sarif")).expect("golden.sarif");
+    // Regenerate with:
+    //   cargo run -p ds-lint -- --root crates/lint/tests/fixtures \
+    //     --config crates/lint/tests/fixtures/lint.toml --format sarif
+    assert_eq!(
+        got.trim_end(),
+        golden.trim_end(),
+        "SARIF output drifted from golden file"
     );
 }
 

@@ -1,0 +1,15 @@
+//! Suppression scoping across interposed lines: an attribute or a doc
+//! comment between a line-above allow and its target must not break the
+//! suppression — and the allow must still stop at the first code line.
+
+pub fn attr_interposed(buf: &[u8], i: usize, j: usize) -> u8 {
+    // ds-lint: allow(panic-free-decode) -- fixture: attribute sits between this allow and its target
+    #[rustfmt::skip]
+    let v = buf[i];
+    let w = buf[j];
+    v + w
+}
+
+// ds-lint: allow(panic-free-decode) -- fixture: doc comment sits between this allow and its target
+/// Returns the first byte.
+pub fn doc_interposed(buf: &[u8]) -> u8 { buf.first().copied().unwrap() }

@@ -1,0 +1,23 @@
+//! determinism-reachability fixtures. The fixture lint.toml overrides
+//! `entries` to `["pack_"]`, so `pack_block` is the only entry point:
+//! the clock read one hop below it is a TP, while the identical read
+//! under `compress_other` (a *default* entry prefix, overridden away)
+//! stays silent.
+
+pub fn pack_block(data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    shuffle(&mut out);
+    out
+}
+
+fn shuffle(out: &mut [u8]) {
+    let t = std::time::Instant::now();
+    out.reverse();
+    let _ = t;
+}
+
+pub fn compress_other(data: &[u8]) -> u64 {
+    let t = std::time::Instant::now();
+    let _ = data;
+    t.elapsed().as_micros() as u64
+}

@@ -1,0 +1,16 @@
+//! lock-across-pool fixtures: a MutexGuard live across a ds_exec
+//! fan-out (TP) versus the guard dropped first (TN).
+
+use std::sync::Mutex;
+
+pub fn fanout_holding_guard(m: &Mutex<u32>, n: usize) {
+    let g = m.lock();
+    ds_exec::parallel_for(n, |_i| {});
+    drop(g);
+}
+
+pub fn fanout_after_drop(m: &Mutex<u32>, n: usize) {
+    let g = m.lock();
+    drop(g);
+    ds_exec::parallel_for(n, |_i| {});
+}

@@ -1,0 +1,53 @@
+//! tainted-alloc fixtures: untrusted lengths reaching allocation sinks.
+
+pub struct Rd {
+    pos: usize,
+}
+
+impl Rd {
+    pub fn read_varint_usize(&mut self) -> usize {
+        self.pos += 1;
+        self.pos
+    }
+}
+
+/// TP: `manifest_len` comes straight off the wire and reaches
+/// `with_capacity` two helper calls deep with no bound in between.
+pub fn load_manifest(r: &mut Rd) -> Vec<u8> {
+    let manifest_len = r.read_varint_usize();
+    stage_one(manifest_len)
+}
+
+fn stage_one(len: usize) -> Vec<u8> {
+    stage_two(len)
+}
+
+fn stage_two(len: usize) -> Vec<u8> {
+    Vec::with_capacity(len)
+}
+
+/// TN: the same chain, but the length is compared against a cap first.
+pub fn load_manifest_bounded(r: &mut Rd) -> Vec<u8> {
+    let manifest_len = r.read_varint_usize();
+    if manifest_len > 1 << 20 {
+        return Vec::new();
+    }
+    stage_one(manifest_len)
+}
+
+/// TP via the config-extended source list (`parse_len` is not a default
+/// source; the fixture lint.toml adds it).
+pub fn from_text(s: &str) -> Vec<u8> {
+    let n = parse_len(s);
+    Vec::with_capacity(n)
+}
+
+/// TN: `.min()` caps the value before the sink.
+pub fn from_text_capped(s: &str) -> Vec<u8> {
+    let n = parse_len(s);
+    Vec::with_capacity(n.min(4096))
+}
+
+fn parse_len(s: &str) -> usize {
+    s.len()
+}

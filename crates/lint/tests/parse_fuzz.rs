@@ -1,0 +1,74 @@
+//! The lexer → parser → summary pipeline must never panic, whatever
+//! bytes it is fed: ds-lint runs over every file in the workspace,
+//! including ones mid-edit, so "malformed input" is a normal state.
+
+use proptest::prelude::*;
+
+use ds_lint::ir::summarize;
+use ds_lint::lexer::lex;
+use ds_lint::parse::parse_items;
+use ds_lint::rules::hash_idents;
+
+fn analyze_arbitrary(src: &str) {
+    let lexed = lex(src);
+    let parsed = parse_items(&lexed);
+    let hash_names = hash_idents(&lexed.toks);
+    for def in &parsed.fns {
+        let _ = summarize(&lexed.toks, def.body.clone(), &hash_names);
+    }
+}
+
+/// Fragments that look like Rust — keywords, brackets, operators — so
+/// arbitrary orderings reach far deeper parser states than raw noise.
+const FRAGMENTS: &[&str] = &[
+    "fn", "impl", "pub", "let", "if", "match", "for", "return", "{", "}", "(", ")", "[", "]", "<",
+    ">", "<<", ">>", "::", "->", ";", ",", ".", "=", "x", "Type", "self", "&mut", "'a", "\"str\"",
+    "0x1f", "//c",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure noise: arbitrary bytes, lossily decoded.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..400)
+    ) {
+        analyze_arbitrary(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Structured noise: Rust-ish fragments glued in arbitrary orders.
+    #[test]
+    fn parser_never_panics_on_rusty_fragments(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..120)
+    ) {
+        let src: Vec<&str> = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        analyze_arbitrary(&src.join(" "));
+    }
+
+    /// Byte-mangled real source: start from a valid item, truncate at an
+    /// arbitrary point, and flip arbitrary bytes — unbalanced brackets
+    /// and split multi-byte sequences included.
+    #[test]
+    fn parser_never_panics_on_mangled_source(
+        cut in 0usize..200,
+        positions in prop::collection::vec(0usize..200, 0..8),
+        values in prop::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let base = "impl Reader { pub fn read<T: Copy>(&mut self, n: usize) -> Vec<T> {\n\
+                        let len = self.read_varint_usize();\n\
+                        if len > n { return Vec::new(); }\n\
+                        Vec::with_capacity(len)\n\
+                    } }\n";
+        let mut bytes = base.as_bytes().to_vec();
+        bytes.truncate(cut.min(bytes.len()));
+        for (&pos, &val) in positions.iter().zip(&values) {
+            if !bytes.is_empty() {
+                let p = pos % bytes.len();
+                bytes[p] = val;
+            }
+        }
+        let src = String::from_utf8_lossy(&bytes);
+        analyze_arbitrary(&src);
+    }
+}

@@ -110,7 +110,10 @@ fn write_layer(out: &mut Vec<u8>, layer: &Dense) {
 fn read_layer(r: &mut Reader<'_>) -> Result<Dense> {
     let rows = r.u32()? as usize;
     let cols = r.u32()? as usize;
-    if rows.checked_mul(cols).is_none_or(|n| n > 1 << 26) {
+    // Zero dims are checked explicitly: `rows == 0` would let an
+    // arbitrary `cols` through the product bound (and vice versa), and
+    // no real layer is empty.
+    if rows == 0 || cols == 0 || rows.checked_mul(cols).is_none_or(|n| n > 1 << 26) {
         return Err(NnError::Corrupt("implausible layer size"));
     }
     let act = activation_from_tag(r.u32()?)?;
@@ -185,6 +188,7 @@ pub fn import_decoders(bytes: &[u8]) -> Result<MoeAutoencoder> {
         let layers = (0..n_layers)
             .map(|_| read_layer(&mut r))
             .collect::<Result<Vec<_>>>()?;
+        // ds-lint: allow(tainted-alloc) -- from_decoder_parts runs spec.validate() before any spec-sized allocation; validate()-style gates are outside the taint model (DESIGN.md §3h)
         experts.push(Autoencoder::from_decoder_parts(spec.clone(), layers)?);
     }
     Ok(MoeAutoencoder::from_experts(experts))

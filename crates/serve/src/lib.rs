@@ -263,7 +263,10 @@ impl<R: ReadAt> Archive<R> {
         src.read_exact_at(shard_region, &mut manifest)?;
         let parsed = ds_shard::parse_manifest(&manifest, shard_region)?;
         let decoder = ShardDecoder::from_shared_blob(parsed.shared)?;
-        ds_obs::counter("serve.open_bytes_read", footer_len + manifest_len_u64);
+        ds_obs::counter(
+            "serve.open_bytes_read",
+            footer_len.saturating_add(manifest_len_u64),
+        );
         Ok(Archive {
             inner: Arc::new(ArchiveInner {
                 src,

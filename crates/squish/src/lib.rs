@@ -346,6 +346,9 @@ pub fn decompress(archive: &SquishArchive) -> Result<Table> {
     }
     let n = r.read_varint()? as usize;
     let ncols = r.read_varint()? as usize;
+    if n > ds_codec::MAX_DECODE_ELEMS {
+        return Err(SquishError::Corrupt("row count exceeds decode limit"));
+    }
     if ncols > 1 << 20 {
         return Err(SquishError::Corrupt("implausible column count"));
     }

@@ -15,7 +15,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> ds-lint (decode-safety + determinism gate)"
+echo "==> ds-lint (decode-safety, taint + determinism dataflow gate)"
 cargo run -q -p ds-lint
 
 echo "==> cargo test"
