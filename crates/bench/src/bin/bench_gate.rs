@@ -1,0 +1,79 @@
+//! `bench_gate` — fails the build when the committed perf trajectory
+//! regresses.
+//!
+//! Reads `bench_gate.toml`, evaluates every `[[check]]` against the
+//! latest record of its `BENCH_*.json` file, prints one PASS/FAIL line
+//! per check, and exits nonzero if any fail.
+//!
+//! ```text
+//! cargo run -q -p ds-bench --bin bench_gate                # repo root
+//! cargo run -q -p ds-bench --bin bench_gate -- --dir DIR   # BENCH files here
+//! cargo run -q -p ds-bench --bin bench_gate -- --config G.toml
+//! ```
+//!
+//! Relative `file` paths in the config resolve under `--dir` (default:
+//! current directory); `--config` defaults to `<dir>/bench_gate.toml`.
+
+use ds_bench::gate;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut dir = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--dir" => match argv.next() {
+                Some(v) => dir = PathBuf::from(v),
+                None => return usage("--dir needs a value"),
+            },
+            "--config" => match argv.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let config = config.unwrap_or_else(|| dir.join("bench_gate.toml"));
+
+    let text = match std::fs::read_to_string(&config) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: read {}: {e}", config.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let checks = match gate::parse_checks(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_gate: {}: {e}", config.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcomes = gate::run_gate(&dir, &checks);
+    let mut failed = 0usize;
+    for out in &outcomes {
+        println!("{out}");
+        if !out.pass {
+            failed += 1;
+        }
+    }
+    println!(
+        "bench_gate: {}/{} checks passed",
+        outcomes.len() - failed,
+        outcomes.len()
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("bench_gate: {err}");
+    eprintln!("usage: bench_gate [--dir DIR] [--config FILE.toml]");
+    ExitCode::FAILURE
+}

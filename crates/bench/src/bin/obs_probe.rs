@@ -4,7 +4,12 @@
 //! * recorder overhead: wall time of the same compression with the
 //!   recorder off, on (deterministic events only), and on with timing;
 //! * stage durations harvested from the trace spans (ingest, train,
-//!   encode, shard_flush, decompress) plus event volume.
+//!   encode, shard_flush, decompress) plus event volume;
+//! * live-telemetry overhead on the serving hot path: warm-cache
+//!   `read_rows` with the recorder on, without vs with the live layer
+//!   armed (per-request epoch tick + rolling-window compaction). The
+//!   `live_overhead` ratio is what `bench_gate` pins (budget: ≤ 2% on
+//!   the committed full-size baseline).
 //!
 //! ```text
 //! cargo run --release -p ds-bench --bin obs_probe          # full sizes
@@ -69,6 +74,48 @@ fn main() {
         ds_obs::drain();
     });
 
+    // Live-telemetry overhead on the serve hot path: warm-cache range
+    // reads with the recorder on, comparing the live layer disarmed vs
+    // armed (arm + one on_request tick per read; epoch boundaries pay
+    // the snapshot compaction). Cache hits make each read cheap, so this
+    // is the worst case for per-request bookkeeping overhead.
+    let serve_rows = if smoke { 800 } else { 4000 };
+    let serve_cfg = DsConfig {
+        error_threshold: 0.05,
+        code_size: 2,
+        n_experts: 2,
+        max_epochs: 3,
+        shard_rows: serve_rows / 8,
+        ..Default::default()
+    };
+    let ts = gen::monitor_like(serve_rows, 7);
+    let archive_bytes = ds_core::compress(&ts, &serve_cfg)
+        .expect("probe serve compress")
+        .as_bytes()
+        .to_vec();
+    let archive = ds_serve::Archive::open(archive_bytes).expect("probe serve open");
+    let (lo, hi) = (serve_rows * 45 / 100, serve_rows * 55 / 100);
+    archive.read_rows(lo..hi).expect("warm-up read");
+    let reads = if smoke { 300 } else { 3000 };
+    let read_on_ms = time_best_ms(reps, || {
+        ds_obs::enable(false);
+        for _ in 0..reads {
+            black_box(archive.read_rows(lo..hi).expect("baseline read"));
+        }
+        ds_obs::drain();
+    });
+    let read_live_ms = time_best_ms(reps, || {
+        ds_obs::enable(false);
+        ds_obs::live::arm(ds_obs::live::WindowCfg::default());
+        for _ in 0..reads {
+            black_box(archive.read_rows(lo..hi).expect("live read"));
+            ds_obs::live::on_request();
+        }
+        ds_obs::live::disarm();
+        ds_obs::drain();
+    });
+    let live_overhead = read_live_ms / read_on_ms.max(1e-9);
+
     // One more instrumented run to harvest the stage breakdown.
     ds_obs::enable(true);
     run_once();
@@ -91,7 +138,9 @@ fn main() {
             "\"off_ms\": {:.3}, \"obs_ms\": {:.3}, \"timing_ms\": {:.3}, ",
             "\"ingest_us\": {}, \"train_us\": {}, \"encode_us\": {}, ",
             "\"shard_flush_us\": {}, \"decompress_us\": {}, ",
-            "\"report_events\": {}, \"col_bytes_total\": {}}}\n",
+            "\"report_events\": {}, \"col_bytes_total\": {}, ",
+            "\"read_on_ms\": {:.3}, \"read_live_ms\": {:.3}, ",
+            "\"live_overhead\": {:.4}}}\n",
         ),
         host_threads,
         ds_threads,
@@ -108,6 +157,9 @@ fn main() {
         span_us(&report, "decompress"),
         events,
         report.counter_total("col.bytes"),
+        read_on_ms,
+        read_live_ms,
+        live_overhead,
     );
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
@@ -135,6 +187,11 @@ fn main() {
     println!(
         "{events} merged events, col.bytes total {}",
         report.counter_total("col.bytes")
+    );
+    println!(
+        "live serve-path overhead: {reads} reads on {read_on_ms:.3} ms, \
+         live {read_live_ms:.3} ms ({:.2}%)",
+        (live_overhead - 1.0) * 100.0
     );
     println!("appended to {out}");
 }

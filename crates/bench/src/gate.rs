@@ -1,0 +1,573 @@
+//! Perf-regression gate over the committed `BENCH_*.json` trajectory.
+//!
+//! The probe binaries append one JSON record per run — some pretty-printed
+//! multi-line objects (`BENCH_exec.json`, `BENCH_codec.json`), some
+//! single-line JSONL (`BENCH_shard.json`, `BENCH_stream.json`,
+//! `BENCH_obs.json`, `BENCH_serve.json`). Either way a file is a
+//! *concatenated stream* of JSON values, and the gate cares about the
+//! latest record: [`last_record`] parses the whole stream and returns the
+//! final value.
+//!
+//! Thresholds live in `bench_gate.toml` as `[[check]]` tables:
+//!
+//! ```toml
+//! [[check]]
+//! file = "BENCH_codec.json"       # relative to the gate's --dir
+//! metric = "bitpack_unpack.speedup"  # dotted path into the record
+//! min = 1.2                       # and/or max = ...
+//!
+//! [[check]]
+//! file = "BENCH_shard.json"
+//! metric = "partial_decode_ms"
+//! div = "full_decode_sharded_ms"  # gate the ratio, not the raw ms
+//! max = 0.5
+//! ```
+//!
+//! Raw wall-clock numbers drift with the host, so most checks gate either
+//! dimensionless speedups/ratios already present in the records or a
+//! `div` ratio of two same-run numbers — both stable across machines.
+//! Booleans coerce to 1/0 so `min = 1` means "must be true".
+//!
+//! Everything here is a deliberately small recursive-descent parser pair
+//! (JSON values + the `[[check]]` TOML subset) — the workspace has no
+//! JSON/TOML dependency and the gate must not add one.
+
+use std::fmt;
+use std::path::Path;
+
+/// A parsed JSON value. Object keys keep file order (the gate only looks
+/// values up by key, so ordering is cosmetic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a dotted path (`"matmul.speedup"`) through nested objects.
+    pub fn lookup(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for key in path.split('.') {
+            let Value::Obj(fields) = cur else {
+                return None;
+            };
+            cur = &fields.iter().find(|(k, _)| k == key)?.1;
+        }
+        Some(cur)
+    }
+
+    /// Numeric view: numbers as-is, booleans as 1/0.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {} (found {:?})",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad keyword at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'u') => {
+                            // \uXXXX — enough for the escapes our probes emit.
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let ch = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected , or ] (found {other:?})")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} (found {other:?})")),
+            }
+        }
+    }
+}
+
+/// Parses a concatenated stream of JSON values (pretty-printed objects
+/// back to back, or JSONL — both appear in the BENCH files).
+pub fn parse_json_stream(text: &str) -> Result<Vec<Value>, String> {
+    let mut p = JsonParser::new(text);
+    let mut values = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.peek().is_none() {
+            return Ok(values);
+        }
+        values.push(p.parse_value()?);
+    }
+}
+
+/// The latest appended record of a BENCH file's JSON stream.
+pub fn last_record(text: &str) -> Result<Value, String> {
+    parse_json_stream(text)?
+        .into_iter()
+        .last()
+        .ok_or_else(|| "empty BENCH file".into())
+}
+
+/// One `[[check]]` from `bench_gate.toml`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// BENCH file, relative to the gate's base directory.
+    pub file: String,
+    /// Dotted metric path into the file's latest record.
+    pub metric: String,
+    /// Optional denominator path: the gated value becomes metric ÷ div.
+    pub div: Option<String>,
+    /// Lower bound (inclusive).
+    pub min: Option<f64>,
+    /// Upper bound (inclusive).
+    pub max: Option<f64>,
+}
+
+/// Parses the `[[check]]` TOML subset: `[[check]]` headers, `key = value`
+/// lines with string or float values, `#` comments, blank lines. Anything
+/// else is an error — better a loud gate-config failure than a silently
+/// skipped threshold.
+pub fn parse_checks(text: &str) -> Result<Vec<Check>, String> {
+    let mut checks: Vec<Check> = Vec::new();
+    let mut in_check = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.split_once('#') {
+            // A `#` inside quotes would be a comment false-positive, but
+            // no BENCH path or metric name contains one; keep it simple.
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[check]]" {
+            checks.push(Check {
+                file: String::new(),
+                metric: String::new(),
+                div: None,
+                min: None,
+                max: None,
+            });
+            in_check = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {}: unknown section `{line}`", lineno + 1));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected key = value", lineno + 1));
+        };
+        if !in_check {
+            return Err(format!("line {}: key outside [[check]]", lineno + 1));
+        }
+        let key = key.trim();
+        let value = value.trim();
+        let check = checks.last_mut().ok_or("no current check")?;
+        let unquote = |v: &str| -> Result<String, String> {
+            let inner = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("line {}: `{key}` wants a quoted string", lineno + 1))?;
+            Ok(inner.to_string())
+        };
+        let number = |v: &str| -> Result<f64, String> {
+            v.parse::<f64>()
+                .map_err(|_| format!("line {}: `{key}` wants a number", lineno + 1))
+        };
+        match key {
+            "file" => check.file = unquote(value)?,
+            "metric" => check.metric = unquote(value)?,
+            "div" => check.div = Some(unquote(value)?),
+            "min" => check.min = Some(number(value)?),
+            "max" => check.max = Some(number(value)?),
+            other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+        }
+    }
+    for (i, c) in checks.iter().enumerate() {
+        if c.file.is_empty() || c.metric.is_empty() {
+            return Err(format!(
+                "check #{}: `file` and `metric` are required",
+                i + 1
+            ));
+        }
+        if c.min.is_none() && c.max.is_none() {
+            return Err(format!("check #{} ({}): needs min or max", i + 1, c.metric));
+        }
+    }
+    Ok(checks)
+}
+
+/// Result of evaluating one check.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    pub check: Check,
+    /// The gated value (after any `div`), when it could be computed.
+    pub value: Option<f64>,
+    pub pass: bool,
+    /// Human-readable reason (bound satisfied / which failure).
+    pub detail: String,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let status = if self.pass { "PASS" } else { "FAIL" };
+        let what = match &self.check.div {
+            Some(d) => format!("{}:{}/{}", self.check.file, self.check.metric, d),
+            None => format!("{}:{}", self.check.file, self.check.metric),
+        };
+        write!(f, "{status} {what} {}", self.detail)
+    }
+}
+
+fn bounds_text(check: &Check) -> String {
+    match (check.min, check.max) {
+        (Some(lo), Some(hi)) => format!("[{lo}, {hi}]"),
+        (Some(lo), None) => format!(">= {lo}"),
+        (None, Some(hi)) => format!("<= {hi}"),
+        (None, None) => "(unbounded)".into(),
+    }
+}
+
+/// Evaluates one check against an already-parsed latest record.
+pub fn eval_check(check: &Check, record: &Value) -> Outcome {
+    let fetch = |path: &str| -> Result<f64, String> {
+        record
+            .lookup(path)
+            .ok_or_else(|| format!("metric `{path}` missing"))?
+            .as_number()
+            .ok_or_else(|| format!("metric `{path}` is not numeric"))
+    };
+    let value = fetch(&check.metric).and_then(|num| match &check.div {
+        None => Ok(num),
+        Some(d) => {
+            let den = fetch(d)?;
+            if den == 0.0 {
+                Err(format!("divisor `{d}` is zero"))
+            } else {
+                Ok(num / den)
+            }
+        }
+    });
+    match value {
+        Err(reason) => Outcome {
+            check: check.clone(),
+            value: None,
+            pass: false,
+            detail: reason,
+        },
+        Ok(v) => {
+            let below = check.min.is_some_and(|lo| v < lo);
+            let above = check.max.is_some_and(|hi| v > hi);
+            Outcome {
+                check: check.clone(),
+                value: Some(v),
+                pass: !(below || above),
+                detail: format!("= {v:.4} want {}", bounds_text(check)),
+            }
+        }
+    }
+}
+
+/// Runs every check, reading each BENCH file (relative paths resolved
+/// under `dir`) once. A missing or unparsable file fails all its checks.
+pub fn run_gate(dir: &Path, checks: &[Check]) -> Vec<Outcome> {
+    let mut outcomes = Vec::new();
+    let mut cache: Vec<(String, Result<Value, String>)> = Vec::new();
+    for check in checks {
+        let record = match cache.iter().find(|(f, _)| *f == check.file) {
+            Some((_, r)) => r.clone(),
+            None => {
+                let r = std::fs::read_to_string(dir.join(&check.file))
+                    .map_err(|e| format!("read {}: {e}", check.file))
+                    .and_then(|text| last_record(&text));
+                cache.push((check.file.clone(), r.clone()));
+                r
+            }
+        };
+        outcomes.push(match record {
+            Ok(rec) => eval_check(check, &rec),
+            Err(reason) => Outcome {
+                check: check.clone(),
+                value: None,
+                pass: false,
+                detail: reason,
+            },
+        });
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_concatenated_pretty_objects_taking_last() {
+        let text = r#"
+        { "a": 1, "nest": { "x": 2.5 } }
+        {
+          "a": 3,
+          "nest": { "x": 4.5 },
+          "flags": [true, false, null],
+          "name": "run \"two\"\n"
+        }
+        "#;
+        let last = last_record(text).expect("parses");
+        assert_eq!(last.lookup("a").and_then(Value::as_number), Some(3.0));
+        assert_eq!(last.lookup("nest.x").and_then(Value::as_number), Some(4.5));
+        assert_eq!(
+            last.lookup("name"),
+            Some(&Value::Str("run \"two\"\n".into()))
+        );
+        assert!(last.lookup("missing").is_none());
+        assert!(last.lookup("a.b").is_none(), "numbers have no children");
+    }
+
+    #[test]
+    fn parses_jsonl_and_booleans_coerce() {
+        let text = "{\"ok\": true, \"v\": 1}\n{\"ok\": false, \"v\": -2.5e1}\n";
+        let last = last_record(text).expect("parses");
+        assert_eq!(last.lookup("ok").and_then(Value::as_number), Some(0.0));
+        assert_eq!(last.lookup("v").and_then(Value::as_number), Some(-25.0));
+        assert!(last_record("   \n").is_err(), "empty stream is an error");
+        assert!(last_record("{\"a\": }").is_err(), "malformed is an error");
+    }
+
+    #[test]
+    fn parses_check_tables_and_rejects_bad_config() {
+        let toml = r#"
+# trajectory gate
+[[check]]
+file = "BENCH_codec.json"   # latest record
+metric = "crc32.speedup"
+min = 1.5
+
+[[check]]
+file = "BENCH_shard.json"
+metric = "partial_decode_ms"
+div = "full_decode_sharded_ms"
+max = 0.5
+"#;
+        let checks = parse_checks(toml).expect("parses");
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].metric, "crc32.speedup");
+        assert_eq!(checks[0].min, Some(1.5));
+        assert_eq!(checks[1].div.as_deref(), Some("full_decode_sharded_ms"));
+        assert_eq!(checks[1].max, Some(0.5));
+
+        assert!(parse_checks("[[check]]\nmetric = \"m\"\nmin = 1\n").is_err());
+        assert!(parse_checks("[[check]]\nfile = \"f\"\nmetric = \"m\"\n").is_err());
+        assert!(parse_checks("[[frob]]\n").is_err());
+        assert!(parse_checks("file = \"orphan\"\n").is_err());
+        assert!(parse_checks("[[check]]\nwat = 3\n").is_err());
+    }
+
+    #[test]
+    fn eval_applies_bounds_ratios_and_missing_metrics() {
+        let rec =
+            last_record(r#"{"speed": 2.0, "a_ms": 1.0, "b_ms": 4.0, "zero": 0}"#).expect("parses");
+        let base = Check {
+            file: "f".into(),
+            metric: "speed".into(),
+            div: None,
+            min: Some(1.5),
+            max: None,
+        };
+        assert!(eval_check(&base, &rec).pass);
+        let too_high = Check {
+            max: Some(1.9),
+            min: None,
+            ..base.clone()
+        };
+        assert!(!eval_check(&too_high, &rec).pass);
+        let ratio = Check {
+            metric: "a_ms".into(),
+            div: Some("b_ms".into()),
+            min: None,
+            max: Some(0.5),
+            ..base.clone()
+        };
+        let out = eval_check(&ratio, &rec);
+        assert!(out.pass);
+        assert_eq!(out.value, Some(0.25));
+        let missing = Check {
+            metric: "nope".into(),
+            ..base.clone()
+        };
+        let out = eval_check(&missing, &rec);
+        assert!(!out.pass);
+        assert!(out.detail.contains("missing"));
+        let div_zero = Check {
+            div: Some("zero".into()),
+            ..base
+        };
+        assert!(!eval_check(&div_zero, &rec).pass);
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod baselines;
 pub mod experiments;
+pub mod gate;
 pub mod report;
 
 use ds_table::gen::Dataset;

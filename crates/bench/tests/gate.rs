@@ -1,0 +1,85 @@
+//! Integration tests for the perf-regression gate: the committed
+//! `bench_gate.toml` must pass against the committed `BENCH_*.json`
+//! trajectory, and a synthetically degraded metric must fail.
+
+use ds_bench::gate;
+use std::path::{Path, PathBuf};
+
+/// Repo root (two levels up from this crate's manifest).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn gate_passes_on_committed_baselines() {
+    let root = repo_root();
+    let toml = std::fs::read_to_string(root.join("bench_gate.toml")).expect("read bench_gate.toml");
+    let checks = gate::parse_checks(&toml).expect("bench_gate.toml parses");
+    assert!(!checks.is_empty(), "gate config must have checks");
+    let outcomes = gate::run_gate(&root, &checks);
+    let failures: Vec<String> = outcomes
+        .iter()
+        .filter(|o| !o.pass)
+        .map(|o| o.to_string())
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "committed baselines must satisfy the committed gate:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn smoke_gate_config_parses() {
+    let root = repo_root();
+    let toml = std::fs::read_to_string(root.join("scripts/bench_gate_smoke.toml"))
+        .expect("read smoke gate config");
+    let checks = gate::parse_checks(&toml).expect("smoke gate config parses");
+    assert!(!checks.is_empty());
+}
+
+#[test]
+fn gate_fails_on_synthetically_degraded_metric() {
+    let dir = std::env::temp_dir().join(format!("ds_gate_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    // A codec run whose SIMD unpack regressed to slower-than-scalar.
+    std::fs::write(
+        dir.join("BENCH_codec.json"),
+        r#"{ "bitpack_unpack": { "scalar_ms": 10.0, "simd_ms": 12.0, "speedup": 0.83 } }"#,
+    )
+    .expect("write degraded record");
+    let checks = gate::parse_checks(
+        "[[check]]\nfile = \"BENCH_codec.json\"\nmetric = \"bitpack_unpack.speedup\"\nmin = 1.3\n",
+    )
+    .expect("parses");
+    let outcomes = gate::run_gate(&dir, &checks);
+    assert_eq!(outcomes.len(), 1);
+    assert!(!outcomes[0].pass, "degraded speedup must fail the gate");
+    assert_eq!(outcomes[0].value, Some(0.83));
+    let line = outcomes[0].to_string();
+    assert!(line.starts_with("FAIL "), "got: {line}");
+    assert!(line.contains("bitpack_unpack.speedup"), "got: {line}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_fails_on_missing_file_and_missing_metric() {
+    let dir = std::env::temp_dir().join(format!("ds_gate_missing_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("BENCH_x.json"), r#"{"present": 1}"#).expect("write");
+    let checks = gate::parse_checks(concat!(
+        "[[check]]\nfile = \"BENCH_nope.json\"\nmetric = \"anything\"\nmin = 0\n",
+        "[[check]]\nfile = \"BENCH_x.json\"\nmetric = \"absent\"\nmin = 0\n",
+        "[[check]]\nfile = \"BENCH_x.json\"\nmetric = \"present\"\nmin = 1\n",
+    ))
+    .expect("parses");
+    let outcomes = gate::run_gate(&dir, &checks);
+    assert!(!outcomes[0].pass, "missing file fails");
+    assert!(!outcomes[1].pass, "missing metric fails");
+    assert!(outcomes[2].pass, "present metric passes");
+    std::fs::remove_dir_all(&dir).ok();
+}

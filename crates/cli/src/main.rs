@@ -7,7 +7,8 @@
 //!                 [--trace <f.jsonl>] [--stats]
 //! dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]
 //! dsqz serve      <in.dsqz> [--cache-mb N] [--listen HOST:PORT] [--max-conns N]
-//!                 [--trace <f.jsonl>] [--stats]
+//!                 [--metrics HOST:PORT] [--window N] [--trace <f.jsonl>] [--stats]
+//! dsqz top        <in.dsqz | HOST:PORT>
 //! dsqz inspect    <in.dsqz>
 //! dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>
 //! ```
@@ -39,6 +40,15 @@
 //! sharded archive, `decompress` also uses positioned reads — a
 //! `--rows A..B` query touches only the footer, the manifest, and the
 //! shards intersecting the range, never the whole file.
+//!
+//! `serve` always runs with live telemetry armed: the `METRICS` verb
+//! (and `--metrics HOST:PORT`, a minimal HTTP GET responder for
+//! scrapers) exposes Prometheus-style text with per-verb request
+//! counters, cache gauges, rolling-window views (epochs advance every
+//! `--window` requests), and the worst-request span traces. `dsqz top`
+//! renders that exposition as a compact operator view — either by
+//! scraping a running server (`HOST:PORT`) or by self-probing an archive
+//! file.
 //!
 //! `--trace <f.jsonl>` records a ds-obs trace of the run (one JSON object
 //! per span/metric; schema documented in `ds-obs::sink`) and `--stats`
@@ -73,7 +83,8 @@ fn usage() -> &'static str {
     "usage:\n  \
      dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--sample-frac F] [--stream] [--chunk-rows N] [--tune] [--quiet] [--trace <f.jsonl>] [--stats]\n  \
      dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]\n  \
-     dsqz serve      <in.dsqz> [--cache-mb N] [--listen HOST:PORT] [--max-conns N] [--trace <f.jsonl>] [--stats]\n  \
+     dsqz serve      <in.dsqz> [--cache-mb N] [--listen HOST:PORT] [--max-conns N] [--metrics HOST:PORT] [--window N] [--trace <f.jsonl>] [--stats]\n  \
+     dsqz top        <in.dsqz | HOST:PORT>\n  \
      dsqz inspect    <in.dsqz>\n  \
      dsqz gen        <corel|forest|census|monitor|criteo> <rows> <out.csv>"
 }
@@ -84,6 +95,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "compress" => cmd_compress(&mut parsed),
         "decompress" => cmd_decompress(&mut parsed),
         "serve" => cmd_serve(&mut parsed),
+        "top" => cmd_top(&mut parsed),
         "inspect" => cmd_inspect(&mut parsed),
         "gen" => cmd_gen(&mut parsed),
         other => Err(format!("unknown command `{other}`")),
@@ -388,10 +400,24 @@ fn cmd_serve(p: &mut Parsed) -> Result<(), String> {
     let cache_mb: usize = p.flag_or("cache-mb", 256)?;
     let listen: String = p.flag_or("listen", String::new())?;
     let max_conns: usize = p.flag_or("max-conns", 0)?;
+    let metrics_addr: String = p.flag_or("metrics", String::new())?;
+    let window: u64 = p.flag_or("window", 64)?;
     let trace: String = p.flag_or("trace", String::new())?;
     let stats = p.switch("stats");
     p.finish()?;
-    arm_obs(&trace, stats);
+    if window == 0 {
+        return Err("--window must be > 0".to_string());
+    }
+    // A server always records (timing only when asked): the METRICS verb
+    // and the --metrics scrape endpoint read the live snapshot. Epoch
+    // compaction keeps recorder memory bounded for long runs, except
+    // when a full end-of-run drain (--trace/--stats) is still wanted.
+    ds_obs::enable(!trace.is_empty() || stats);
+    ds_obs::live::arm(ds_obs::live::WindowCfg {
+        epoch_requests: window,
+        compact: trace.is_empty() && !stats,
+        ..Default::default()
+    });
     let file = std::fs::File::open(&input).map_err(|e| format!("open {input}: {e}"))?;
     let archive = ds_serve::Archive::with_cache(file, cache_mb.saturating_mul(1 << 20))
         .map_err(|e| format!("open {input}: {e}"))?;
@@ -400,6 +426,11 @@ fn cmd_serve(p: &mut Parsed) -> Result<(), String> {
         archive.total_rows(),
         archive.n_shards()
     );
+    if !metrics_addr.is_empty() {
+        let (addr, _handle) = ds_serve::spawn_metrics_http(archive.clone(), &metrics_addr)
+            .map_err(|e| format!("bind metrics {metrics_addr}: {e}"))?;
+        eprintln!("metrics on http://{addr}/metrics");
+    }
     if listen.is_empty() {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
@@ -454,6 +485,80 @@ fn serve_tcp(
         }
     }
     Ok(())
+}
+
+/// `dsqz top`: a compact operator view of live serve telemetry. With a
+/// `HOST:PORT` target it scrapes a running `dsqz serve` over the line
+/// protocol (`METRICS` verb); with an archive path it arms the live
+/// layer, runs a short self-probe request script against the file, and
+/// renders the resulting exposition — same pipeline, no server needed.
+fn cmd_top(p: &mut Parsed) -> Result<(), String> {
+    let target = p.positional(0)?;
+    p.finish()?;
+    let text = if std::path::Path::new(&target).exists() {
+        top_self_probe(&target)?
+    } else if target.contains(':') {
+        top_scrape(&target)?
+    } else {
+        return Err(format!(
+            "top target `{target}` is neither an archive file nor HOST:PORT"
+        ));
+    };
+    print!("{}", ds_obs::live::render_top(&text));
+    Ok(())
+}
+
+/// Fetches exposition text from a running server via the `METRICS` verb.
+fn top_scrape(addr: &str) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let mut conn =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    conn.write_all(b"METRICS\nQUIT\n")
+        .map_err(|e| format!("send {addr}: {e}"))?;
+    let mut reader = BufReader::new(conn);
+    let mut status = String::new();
+    reader
+        .read_line(&mut status)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    let n: u64 = status
+        .trim()
+        .strip_prefix("OK ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            format!(
+                "unexpected METRICS response from {addr}: `{}`",
+                status.trim()
+            )
+        })?;
+    let mut text = String::new();
+    reader
+        .take(n)
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    Ok(text)
+}
+
+/// Opens an archive, serves itself a short request script through the
+/// real `serve_connection` path (so every counter and window advances
+/// exactly as a server's would), and returns the exposition.
+fn top_self_probe(input: &str) -> Result<String, String> {
+    ds_obs::enable(false);
+    ds_obs::live::arm(ds_obs::live::WindowCfg {
+        epoch_requests: 2,
+        ..Default::default()
+    });
+    let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let archive = ds_serve::Archive::open(file).map_err(|e| format!("open {input}: {e}"))?;
+    let rows = archive.total_rows();
+    let q = (rows / 4).max(1);
+    let script = format!(
+        "GET 0..{q}\nGET 0..{q}\nGET {}..{rows}\nSTAT\nGET 0..{rows}\n",
+        rows.saturating_sub(q)
+    );
+    let mut sink = std::io::sink();
+    ds_serve::serve_connection(&archive, script.as_bytes(), &mut sink)
+        .map_err(|e| format!("probe {input}: {e}"))?;
+    Ok(ds_serve::metrics_text(&archive))
 }
 
 /// Parses a half-open `A..B` row range.

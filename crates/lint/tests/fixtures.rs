@@ -18,7 +18,7 @@ fn lint_fixtures() -> Vec<Finding> {
     let toml = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
     let cfg = Config::parse(&toml).expect("fixture config parses");
     let (files, findings) = lint_root(&root, &cfg).expect("lint_root");
-    assert_eq!(files, 12, "fixture tree should scan exactly 12 files");
+    assert_eq!(files, 13, "fixture tree should scan exactly 13 files");
     findings
 }
 
@@ -83,6 +83,12 @@ fn rule_scoping_follows_config_paths() {
     );
     // obs/sink.rs is a single-file exclude: its Instant::now stays silent.
     assert_eq!(rule_lines(&findings, "crates/obs/src/sink.rs"), vec![]);
+    // obs/live.rs sits inside the quarantine: the sink-only exclude must
+    // not leak to its siblings, so its clock is a finding.
+    assert_eq!(
+        rule_lines(&findings, "crates/obs/src/live.rs"),
+        vec![("no-wallclock-nondeterminism", 7)]
+    );
     // obs/lib.rs is NOT excluded, and its reason-less allow both fails to
     // suppress the wallclock finding and is itself reported.
     assert_eq!(

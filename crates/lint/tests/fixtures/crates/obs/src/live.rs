@@ -1,0 +1,8 @@
+//! Fixture: the live-telemetry module is *inside* the wall-clock
+//! quarantine — only `sink.rs` is excluded — so a clock sneaking into a
+//! rolling-window epoch path must be a finding. Pins the ISSUE 9
+//! contract that windows advance by request count, never wall time.
+
+pub fn epoch_by_wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -65,6 +65,19 @@ impl Histogram {
         self.buckets[Self::bucket_index(v)] += 1;
     }
 
+    /// Bulk-records `n` samples all equal to `v` — the exposition
+    /// round-trip path (`le` buckets arrive as counts, not samples).
+    /// A no-op when `n` is zero; the sum saturates like [`record`].
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += n;
+    }
+
     /// Element-wise merge of another histogram (order-independent).
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -78,6 +91,79 @@ impl Histogram {
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Raw bucket counts, index = [`Histogram::bucket_index`].
+    pub fn buckets(&self) -> &[u64; N_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0,1]`; 0 when empty).
+    ///
+    /// The rank-`⌈q·count⌉` sample's bucket is found by a cumulative walk;
+    /// within the bucket the estimate interpolates linearly between `lo`
+    /// (first sample of the bucket) and `hi` (last), assuming samples are
+    /// spread uniformly, and is finally clamped to [`Histogram::max`].
+    ///
+    /// **Error bound.** The true rank-statistic lies inside the same
+    /// bucket, so the absolute error is at most the bucket width. With
+    /// power-of-two buckets (`[2^(k-1), 2^k)`) that means the estimate is
+    /// always within a factor of 2 of the true value, and *exact* for the
+    /// singleton buckets {0} and {1}, for the top rank (`rank == count`,
+    /// which returns the exactly-tracked [`Histogram::max`] — so every
+    /// quantile of a single-sample histogram is exact), and at the lower
+    /// bound of each bucket (its first in-bucket rank maps to `lo`).
+    /// Monotone in `q` by construction (rank and cumulative walk are).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in 1..=count: the smallest r with cumulative weight >= q.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // The top rank-statistic is the maximum, tracked exactly.
+            return self.max;
+        }
+        let mut cum: u64 = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = Self::bucket_bounds(k);
+                let into = rank - cum; // 1..=c
+                let est = if c <= 1 || hi == lo {
+                    lo
+                } else {
+                    // First sample of the bucket maps to lo, the last to
+                    // hi; u128 avoids overflow near the top buckets.
+                    let span = (hi - lo) as u128;
+                    lo + ((span * (into - 1) as u128) / (c - 1) as u128) as u64
+                };
+                return est.min(self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Bucket-wise `self - earlier`, for windowed views over cumulative
+    /// snapshots (`earlier` must be an earlier snapshot of the same
+    /// histogram; counts saturate at 0 defensively). `max` keeps the
+    /// *cumulative* maximum — a high-water mark cannot be un-seen by
+    /// subtracting a window, which the rolling-window docs call out.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets: [0; N_BUCKETS],
+        };
+        for (k, slot) in out.buckets.iter_mut().enumerate() {
+            *slot = self.buckets[k].saturating_sub(earlier.buckets[k]);
+        }
+        out
     }
 
     /// Occupied buckets as `(lo, hi, count)` triples in value order.

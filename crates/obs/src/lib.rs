@@ -39,6 +39,7 @@
 //! ```
 
 pub mod hist;
+pub mod live;
 pub mod sink;
 
 pub use hist::Histogram;
@@ -69,6 +70,31 @@ thread_local! {
     static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
     /// Stack of open span ids — the implicit parent chain.
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Folds `f` over every buffered event without consuming anything — the
+/// read side of [`live`] snapshots. Shards are visited in fixed slot
+/// order, but which shard holds an event is scheduling-dependent, so `f`
+/// must be commutative (sums, maxes, keyed merges).
+pub(crate) fn peek_events<F: FnMut(&Event)>(mut f: F) {
+    for shard in &SHARDS {
+        for ev in shard.lock().unwrap().iter() {
+            f(ev);
+        }
+    }
+}
+
+/// Consumes every buffered event, folding `f` over each — the compaction
+/// side of [`live`] epochs. Same commutativity requirement as
+/// [`peek_events`]. Events recorded concurrently with the sweep land in
+/// whichever shard slot the sweep has not reached yet or stay for the
+/// next epoch; either way nothing is lost or double-counted.
+pub(crate) fn take_events<F: FnMut(Event)>(mut f: F) {
+    for shard in &SHARDS {
+        for ev in std::mem::take(&mut *shard.lock().unwrap()) {
+            f(ev);
+        }
+    }
 }
 
 /// Identity of a span: deterministic FNV-1a of (parent, name, index).

@@ -1,0 +1,139 @@
+//! Quantile estimation over power-of-two histograms: exact cases,
+//! interpolation, the documented ≤2× error bound, and order properties
+//! under arbitrary sample sets.
+
+use ds_obs::hist::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn empty_histogram_returns_zero_for_every_quantile() {
+    let h = Histogram::new();
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0);
+    }
+}
+
+#[test]
+fn singleton_buckets_are_exact() {
+    // {0} and {1} are width-one buckets: no interpolation error at all.
+    let h = hist_of(&[0, 0, 0, 1, 1, 1]);
+    assert_eq!(h.quantile(0.25), 0);
+    assert_eq!(h.quantile(1.0), 1);
+    // A single sample anywhere is exact too (clamped to max).
+    let h = hist_of(&[12345]);
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(h.quantile(q), 12345);
+    }
+}
+
+#[test]
+fn bucket_boundary_values_are_exact_at_the_extremes() {
+    // All samples equal a bucket's lower bound: interpolation starts at
+    // lo, so every quantile is exact.
+    let h = hist_of(&[64; 10]);
+    for q in [0.1, 0.5, 0.999] {
+        assert_eq!(h.quantile(q), 64);
+    }
+    // All samples equal a bucket's upper bound: the top rank returns the
+    // tracked max exactly; lower ranks interpolate inside the bucket.
+    let h = hist_of(&[127; 10]);
+    assert_eq!(h.quantile(0.999), 127);
+    for q in [0.1, 0.5] {
+        let est = h.quantile(q);
+        assert!((64..=127).contains(&est), "estimate {est} left the bucket");
+    }
+}
+
+#[test]
+fn interpolation_spreads_within_a_bucket() {
+    // Three samples all land in bucket [64, 127]; the interpolated
+    // estimates must walk lo → max and stay inside the bucket.
+    let h = hist_of(&[64, 100, 127]);
+    let lo_est = h.quantile(1.0 / 3.0);
+    let mid_est = h.quantile(2.0 / 3.0);
+    let hi_est = h.quantile(1.0);
+    assert_eq!(lo_est, 64, "first in-bucket rank maps to lo");
+    assert_eq!(mid_est, 95, "middle rank interpolates to lo + span/2");
+    assert_eq!(hi_est, 127, "last rank maps to hi (== max here)");
+    assert!(lo_est <= mid_est && mid_est <= hi_est);
+}
+
+#[test]
+fn quantile_never_exceeds_observed_max() {
+    // max (97) sits mid-bucket; naive interpolation toward hi (127)
+    // would overshoot a value that was never observed.
+    let h = hist_of(&[64, 70, 97]);
+    assert!(h.quantile(1.0) <= 97);
+    assert_eq!(h.quantile(1.0), 97);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let h = hist_of(&values);
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        let p999 = h.quantile(0.999);
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= p999,
+            "p50={p50} p90={p90} p99={p99} p999={p999}");
+        let max = *values.iter().max().expect("nonempty");
+        prop_assert!(p999 <= max);
+    }
+
+    #[test]
+    fn quantile_lies_within_the_true_ranks_bucket(
+        values in prop::collection::vec(0u64..1_000_000, 1..300),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // The same rank the estimator targets, against the exact data.
+        let rank = ((q * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile(q);
+        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(truth));
+        prop_assert!(est >= lo && est <= hi,
+            "estimate {est} outside bucket [{lo}, {hi}] of true rank value {truth}");
+        // The documented ≤2x relative error bound follows from the
+        // bucket geometry; assert it directly as well.
+        prop_assert!(est <= truth.saturating_mul(2).max(1));
+        prop_assert!(truth <= est.saturating_mul(2).max(1));
+    }
+
+    #[test]
+    fn diff_of_cumulative_snapshots_matches_fresh_histogram(
+        first in prop::collection::vec(0u64..100_000, 0..100),
+        second in prop::collection::vec(0u64..100_000, 0..100),
+    ) {
+        // Record `first`, snapshot, record `second`: diff against the
+        // snapshot must equal a histogram of `second` alone (except max,
+        // which stays cumulative by contract).
+        let earlier = hist_of(&first);
+        let mut cumulative = earlier.clone();
+        for &v in &second {
+            cumulative.record(v);
+        }
+        let window = cumulative.diff(&earlier);
+        let fresh = hist_of(&second);
+        prop_assert_eq!(window.count, fresh.count);
+        prop_assert_eq!(window.sum, fresh.sum);
+        prop_assert_eq!(window.buckets(), fresh.buckets());
+        // max is a high-water mark: the window keeps the cumulative one.
+        prop_assert_eq!(window.max, cumulative.max);
+    }
+}

@@ -178,6 +178,7 @@ impl ShardCache {
             }
         }
         if !evicted.is_empty() {
+            ds_obs::counter("serve.cache_evictions", evicted.len() as u64);
             ds_obs::counter("serve.cache_evicted_bytes", evicted_total);
         }
     }

@@ -1,0 +1,146 @@
+//! Minimal HTTP GET responder for metrics scrapers.
+//!
+//! `dsqz serve --metrics HOST:PORT` binds a second listener whose only
+//! job is answering `GET <anything>` with the same Prometheus-style
+//! exposition the line protocol's `METRICS` verb returns — enough for a
+//! scraper (`curl`, Prometheus, a load balancer health probe) without
+//! pulling an HTTP framework into the workspace.
+//!
+//! Deliberately tiny and defensive:
+//!
+//! * one request per connection, `Connection: close`;
+//! * only the request line is interpreted (any `GET` path works; other
+//!   methods get `405`); headers are drained, with a hard cap so a
+//!   hostile client cannot feed headers forever;
+//! * a malformed or oversize request costs one `400`/`431` and the
+//!   connection — never a panic and never blocking another scrape.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+use crate::{Archive, ReadAt};
+
+/// Longest accepted request line, and per-line header cap, in bytes.
+const MAX_LINE: u64 = 8 * 1024;
+/// Most header lines drained before giving up on a request.
+const MAX_HEADERS: usize = 100;
+
+/// Binds `addr` and spawns a thread answering every HTTP GET with the
+/// current [`crate::metrics_text`] exposition. Returns the bound address
+/// (useful with port 0) and the acceptor's join handle; the thread runs
+/// until the process exits.
+pub fn spawn_metrics_http<R: ReadAt + 'static>(
+    archive: Archive<R>,
+    addr: &str,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { continue };
+            // One slow or broken scraper must not kill the acceptor.
+            let _ = respond(&archive, stream);
+        }
+    });
+    Ok((local, handle))
+}
+
+/// Reads one CRLF- or LF-terminated line, bounded at [`MAX_LINE`] bytes.
+fn read_line_capped<B: BufRead>(reader: &mut B) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = reader.by_ref().take(MAX_LINE).read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') && n as u64 >= MAX_LINE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request line too long",
+        ));
+    }
+    Ok(Some(line))
+}
+
+/// Handles one connection: request line, drained headers, one response.
+fn respond<R: ReadAt>(archive: &Archive<R>, mut stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let request_line = match read_line_capped(&mut reader) {
+        Ok(Some(line)) => line,
+        Ok(None) => return Ok(()),
+        Err(_) => {
+            return write_response(&mut stream, "431 Request Header Fields Too Large", "");
+        }
+    };
+    for _ in 0..MAX_HEADERS {
+        match read_line_capped(&mut reader) {
+            Ok(Some(line)) if line != "\r\n" && line != "\n" => continue,
+            _ => break,
+        }
+    }
+    let mut words = request_line.split_whitespace();
+    match (words.next(), words.next()) {
+        (Some(method), Some(_path)) if method.eq_ignore_ascii_case("get") => {
+            let body = crate::protocol::metrics_text(archive);
+            write_response(&mut stream, "200 OK", &body)
+        }
+        (Some(_), Some(_)) => write_response(&mut stream, "405 Method Not Allowed", ""),
+        _ => write_response(&mut stream, "400 Bad Request", ""),
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: &str, body: &str) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_core::{compress, DsConfig};
+    use ds_table::gen;
+
+    fn archive_bytes() -> Vec<u8> {
+        let t = gen::monitor_like(90, 3);
+        let cfg = DsConfig {
+            error_threshold: 0.05,
+            max_epochs: 2,
+            shard_rows: 32,
+            ..DsConfig::default()
+        };
+        compress(&t, &cfg).expect("compresses").as_bytes().to_vec()
+    }
+
+    fn http_get(addr: SocketAddr, request: &str) -> String {
+        let mut conn = TcpStream::connect(addr).expect("connects");
+        conn.write_all(request.as_bytes()).expect("writes");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("reads");
+        response
+    }
+
+    #[test]
+    fn scrape_returns_exposition_and_rejects_non_get() {
+        let archive = Archive::open(archive_bytes()).expect("opens");
+        let _ = archive.read_rows(0..10).expect("warms counters");
+        let (addr, _handle) = spawn_metrics_http(archive, "127.0.0.1:0").expect("binds");
+
+        let ok = http_get(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "got: {ok}");
+        assert!(ok.contains("Content-Type: text/plain"), "got: {ok}");
+        assert!(ok.contains("serve_archive_rows 90"), "got: {ok}");
+        assert!(ok.contains("serve_cache_resident_bytes"), "got: {ok}");
+
+        let bad = http_get(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.1 405"), "got: {bad}");
+
+        let garbage = http_get(addr, "garbage\r\n\r\n");
+        assert!(garbage.starts_with("HTTP/1.1 400"), "got: {garbage}");
+    }
+}

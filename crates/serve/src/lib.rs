@@ -45,10 +45,12 @@ use ds_shard::{ShardEntry, ShardError, FOOTER_LEN};
 use ds_table::{Schema, Table};
 
 pub mod cache;
+pub mod http;
 pub mod protocol;
 
 pub use cache::{CacheStats, ShardCache};
-pub use protocol::{parse_request, serve_connection, Request, ServeSummary};
+pub use http::spawn_metrics_http;
+pub use protocol::{metrics_text, parse_request, serve_connection, Request, ServeSummary};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]

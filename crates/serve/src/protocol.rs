@@ -3,20 +3,31 @@
 //! Requests are single lines; responses start with a status line:
 //!
 //! ```text
-//! request  = "GET" ws range | "STAT" | "QUIT"
+//! request  = "GET" ws range | "STAT" | "METRICS" | "QUIT"
 //! range    = int ".." int          ; half-open row range, e.g. 100..200
 //! response = "OK" ... | "ERR" msg | "BYE"
 //! ```
 //!
 //! * `GET a..b` → `OK <n>` followed by `n` CSV data rows (no header).
 //! * `STAT`     → `OK rows=<r> shards=<s> cols=<c> cache_entries=<e>
-//!   cache_bytes=<b> hits=<h> misses=<m>` on one line.
+//!   cache_bytes=<b> hits=<h> misses=<m> evictions=<v> errors=<x>` on
+//!   one line (fields only ever append, for old clients).
+//! * `METRICS`  → `OK <nbytes>` followed by exactly `nbytes` bytes of
+//!   Prometheus-style text exposition (see [`metrics_text`]).
 //! * `QUIT`     → `BYE`, then the connection closes.
 //! * Anything else → `ERR <reason>`; the connection stays open.
 //!
 //! Keywords are case-insensitive; blank lines are ignored. The same
 //! handler serves stdin/stdout and TCP sockets — anything `BufRead` in,
 //! `Write` out.
+//!
+//! Every request feeds the live telemetry layer: per-verb counters, an
+//! error counter, a deterministic rows-per-request histogram, a
+//! runtime-class latency histogram (timing mode only), and a
+//! [`ds_obs::live::on_request`] tick that advances the rolling-window
+//! epochs by request count. `STAT`'s hit/miss/eviction numbers come from
+//! the live snapshot when it is armed (so they agree with `METRICS`),
+//! falling back to the cache's own counters otherwise.
 
 use std::io::{BufRead, Write};
 use std::ops::Range;
@@ -30,6 +41,8 @@ pub enum Request {
     Get(Range<usize>),
     /// Report archive and cache statistics.
     Stat,
+    /// Emit Prometheus-style text exposition of the live telemetry.
+    Metrics,
     /// Close the connection.
     Quit,
 }
@@ -41,18 +54,21 @@ pub fn parse_request(line: &str) -> std::result::Result<Request, String> {
     if line.eq_ignore_ascii_case("stat") {
         return Ok(Request::Stat);
     }
+    if line.eq_ignore_ascii_case("metrics") {
+        return Ok(Request::Metrics);
+    }
     if line.eq_ignore_ascii_case("quit") {
         return Ok(Request::Quit);
     }
     let mut words = line.split_whitespace();
     let (Some(verb), Some(spec), None) = (words.next(), words.next(), words.next()) else {
         return Err(format!(
-            "unknown request `{line}` (want GET A..B | STAT | QUIT)"
+            "unknown request `{line}` (want GET A..B | STAT | METRICS | QUIT)"
         ));
     };
     if !verb.eq_ignore_ascii_case("get") {
         return Err(format!(
-            "unknown request `{line}` (want GET A..B | STAT | QUIT)"
+            "unknown request `{line}` (want GET A..B | STAT | METRICS | QUIT)"
         ));
     }
     let Some((a, b)) = spec.split_once("..") else {
@@ -77,6 +93,45 @@ pub struct ServeSummary {
     pub requests: u64,
     /// Data rows written across all `GET` responses.
     pub rows_served: u64,
+    /// Requests answered with `ERR` (malformed or failed).
+    pub errors: u64,
+}
+
+/// Renders the current live telemetry as Prometheus-style text
+/// exposition: the cumulative snapshot, the rolling-window view,
+/// retained slow-request traces, and point-in-time archive gauges
+/// (cache residency / capacity / entries, hit ratio, archive shape).
+///
+/// Works whether or not the live layer is armed — unarmed it degrades to
+/// the archive gauges plus an empty snapshot, so `METRICS` never errors.
+pub fn metrics_text<R: ReadAt>(archive: &Archive<R>) -> String {
+    use std::fmt::Write as _;
+    let snap = ds_obs::live::snapshot().unwrap_or_default();
+    let window = ds_obs::live::window();
+    let slow = ds_obs::live::slow_traces();
+    let mut text = ds_obs::live::render_prometheus(&snap, window.as_ref(), &slow);
+    let c = archive.cache_stats();
+    let ratio = {
+        let total = c.hits.saturating_add(c.misses);
+        if total == 0 {
+            0.0
+        } else {
+            c.hits as f64 / total as f64
+        }
+    };
+    let gauges: [(&str, String); 6] = [
+        ("serve_cache_resident_bytes", format!("{}", c.bytes)),
+        ("serve_cache_entries", format!("{}", c.entries)),
+        ("serve_cache_capacity_bytes", format!("{}", c.capacity)),
+        ("serve_cache_hit_ratio", format!("{ratio:.6}")),
+        ("serve_archive_rows", format!("{}", archive.total_rows())),
+        ("serve_archive_shards", format!("{}", archive.n_shards())),
+    ];
+    for (name, value) in gauges {
+        let _ = writeln!(text, "# TYPE {name} gauge");
+        let _ = writeln!(text, "{name} {value}");
+    }
+    text
 }
 
 /// Serves one connection: reads request lines from `input` until EOF or
@@ -94,56 +149,116 @@ pub fn serve_connection<R: ReadAt, I: BufRead, O: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        let mut sp = ds_obs::span_at("serve.request", summary.requests);
+        let start_us = ds_obs::now_us();
+        let sp = ds_obs::span_at("serve.request", summary.requests);
         summary.requests += 1;
         ds_obs::counter("serve.requests", 1);
+        let mut errored = false;
         match parse_request(&line) {
             Err(reason) => {
+                ds_obs::counter_labeled("serve.requests_by_verb", "err", 1);
+                errored = true;
                 writeln!(output, "ERR {reason}")?;
             }
             Ok(Request::Quit) => {
+                ds_obs::counter_labeled("serve.requests_by_verb", "quit", 1);
                 writeln!(output, "BYE")?;
                 output.flush()?;
+                finish_request(sp, start_us, errored);
                 break;
             }
-            Ok(Request::Stat) => match archive.schema() {
-                Ok(schema) => {
-                    let c = archive.cache_stats();
-                    writeln!(
-                        output,
-                        "OK rows={} shards={} cols={} cache_entries={} cache_bytes={} hits={} misses={}",
-                        archive.total_rows(),
-                        archive.n_shards(),
-                        schema.len(),
-                        c.entries,
-                        c.bytes,
-                        c.hits,
-                        c.misses,
-                    )?;
+            Ok(Request::Stat) => {
+                ds_obs::counter_labeled("serve.requests_by_verb", "stat", 1);
+                match archive.schema() {
+                    Ok(schema) => {
+                        let c = archive.cache_stats();
+                        // Prefer the live snapshot so STAT and METRICS
+                        // agree; unarmed, the cache's own counters are
+                        // the same numbers by construction.
+                        let (hits, misses, evictions) = match ds_obs::live::snapshot() {
+                            Some(snap) => (
+                                snap.counter_total("serve.cache_hit"),
+                                snap.counter_total("serve.cache_miss"),
+                                snap.counter_total("serve.cache_evictions"),
+                            ),
+                            None => (c.hits, c.misses, c.evictions),
+                        };
+                        writeln!(
+                            output,
+                            "OK rows={} shards={} cols={} cache_entries={} cache_bytes={} \
+                             hits={} misses={} evictions={} errors={}",
+                            archive.total_rows(),
+                            archive.n_shards(),
+                            schema.len(),
+                            c.entries,
+                            c.bytes,
+                            hits,
+                            misses,
+                            evictions,
+                            summary.errors,
+                        )?;
+                    }
+                    Err(e) => {
+                        errored = true;
+                        writeln!(output, "ERR {e}")?;
+                    }
                 }
-                Err(e) => {
-                    writeln!(output, "ERR {e}")?;
+            }
+            Ok(Request::Metrics) => {
+                ds_obs::counter_labeled("serve.requests_by_verb", "metrics", 1);
+                let text = metrics_text(archive);
+                writeln!(output, "OK {}", text.len())?;
+                output.write_all(text.as_bytes())?;
+            }
+            Ok(Request::Get(range)) => {
+                ds_obs::counter_labeled("serve.requests_by_verb", "get", 1);
+                match archive.read_rows_with_stats(range) {
+                    Ok((table, stats)) => {
+                        let nrows = table.nrows();
+                        summary.rows_served += nrows as u64;
+                        ds_obs::counter("serve.rows_served", nrows as u64);
+                        ds_obs::hist("serve.request_rows", nrows as u64);
+                        let mut body = String::new();
+                        ds_table::csv::write_csv_rows(&table, 0..nrows, &mut body);
+                        writeln!(output, "OK {nrows}")?;
+                        output.write_all(body.as_bytes())?;
+                        let mut sp = sp;
+                        sp.add("rows", nrows as u64);
+                        sp.add("shards_decoded", stats.shards_decoded as u64);
+                        finish_request(sp, start_us, errored);
+                        output.flush()?;
+                        continue;
+                    }
+                    Err(e) => {
+                        errored = true;
+                        writeln!(output, "ERR {e}")?;
+                    }
                 }
-            },
-            Ok(Request::Get(range)) => match archive.read_rows_with_stats(range) {
-                Ok((table, stats)) => {
-                    let nrows = table.nrows();
-                    sp.add("rows", nrows as u64);
-                    sp.add("shards_decoded", stats.shards_decoded as u64);
-                    summary.rows_served += nrows as u64;
-                    let mut body = String::new();
-                    ds_table::csv::write_csv_rows(&table, 0..nrows, &mut body);
-                    writeln!(output, "OK {nrows}")?;
-                    output.write_all(body.as_bytes())?;
-                }
-                Err(e) => {
-                    writeln!(output, "ERR {e}")?;
-                }
-            },
+            }
         }
+        if errored {
+            summary.errors += 1;
+        }
+        finish_request(sp, start_us, errored);
         output.flush()?;
     }
     Ok(summary)
+}
+
+/// Closes a request span, records its telemetry tail, and advances the
+/// live rolling-window epoch counter. The span must close *before*
+/// [`ds_obs::live::on_request`] so an epoch boundary always sees the
+/// request's complete subtree.
+fn finish_request(sp: ds_obs::Span, start_us: u64, errored: bool) {
+    if errored {
+        ds_obs::counter("serve.errors", 1);
+    }
+    drop(sp);
+    ds_obs::hist_rt(
+        "serve.request_us",
+        ds_obs::now_us().saturating_sub(start_us),
+    );
+    ds_obs::live::on_request();
 }
 
 #[cfg(test)]
@@ -157,6 +272,8 @@ mod tests {
         assert_eq!(parse_request("  GET   7..9  "), Ok(Request::Get(7..9)));
         assert_eq!(parse_request("STAT"), Ok(Request::Stat));
         assert_eq!(parse_request("stat"), Ok(Request::Stat));
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+        assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
         assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
         assert_eq!(parse_request("Quit"), Ok(Request::Quit));
     }
@@ -175,6 +292,7 @@ mod tests {
             "PUT 1..2",
             "GETT 1..2",
             "STAT now",
+            "METRICS now",
         ] {
             assert!(parse_request(bad).is_err(), "`{bad}` must be rejected");
         }

@@ -30,7 +30,10 @@ cargo test -q --test shard_roundtrip --test truncation
 
 echo "==> serving layer tests"
 cargo test -q -p ds-serve
-cargo test -q --test serve_concurrency --test serve_trace
+cargo test -q --test serve_concurrency --test serve_trace --test live_metrics
+
+echo "==> bench_gate (committed baselines)"
+cargo run -q -p ds-bench --bin bench_gate
 
 if [ "$mode" = "full" ]; then
   echo "==> release build"
@@ -60,14 +63,42 @@ if [ "$mode" = "full" ]; then
   SMOKE=1 BENCH_OUT=target/BENCH_serve.smoke.json \
     cargo run --release -q -p ds-bench --bin serve_probe
 
-  echo "==> dsqz serve (stdio smoke)"
+  echo "==> bench_gate (smoke outputs)"
+  cargo run --release -q -p ds-bench --bin bench_gate -- \
+    --dir target --config scripts/bench_gate_smoke.toml
+
+  echo "==> dsqz serve (stdio smoke: GET/STAT/METRICS)"
   smoke_dir="$(mktemp -d)"
   ./target/release/dsqz gen monitor 200 "$smoke_dir/s.csv"
   ./target/release/dsqz compress "$smoke_dir/s.csv" "$smoke_dir/s.dsqz" \
     --epochs 3 --shard-rows 50 --quiet
-  printf 'GET 10..20\nSTAT\nQUIT\n' \
+  printf 'GET 10..20\nSTAT\nMETRICS\nQUIT\n' \
     | ./target/release/dsqz serve "$smoke_dir/s.dsqz" \
-    | grep -q '^OK rows=200'
+    > "$smoke_dir/stdio.out"
+  grep -q '^OK rows=200' "$smoke_dir/stdio.out"
+  grep -q 'errors=0' "$smoke_dir/stdio.out"
+  grep -q '^serve_archive_rows 200$' "$smoke_dir/stdio.out"
+  grep -q '^serve_requests_by_verb_total{label="get"} 1$' "$smoke_dir/stdio.out"
+
+  echo "==> dsqz serve (--metrics HTTP scrape smoke)"
+  sleep 5 | ./target/release/dsqz serve "$smoke_dir/s.dsqz" \
+    --metrics 127.0.0.1:0 > /dev/null 2> "$smoke_dir/serve.err" &
+  serve_pid=$!
+  metrics_url=""
+  for _ in $(seq 1 50); do
+    metrics_url="$(sed -n 's#.*metrics on \(http://[^ ]*\).*#\1#p' \
+      "$smoke_dir/serve.err")"
+    [ -n "$metrics_url" ] && break
+    sleep 0.1
+  done
+  [ -n "$metrics_url" ] || {
+    echo "--metrics endpoint never came up:"
+    cat "$smoke_dir/serve.err"
+    exit 1
+  }
+  curl -sf "$metrics_url" | grep -q '^serve_archive_rows 200$'
+  kill "$serve_pid" 2> /dev/null || true
+  wait "$serve_pid" 2> /dev/null || true
   rm -rf "$smoke_dir"
 fi
 

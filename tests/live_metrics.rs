@@ -1,0 +1,95 @@
+//! Live-telemetry determinism: with timing disabled, a fixed request
+//! stream produces byte-identical `METRICS` exposition, rolling-window
+//! contents, and slow-request traces no matter how many pool threads
+//! decode the shards. Runtime-class (`rt`) metrics are never recorded
+//! with timing off, so the *whole* exposition is the timing-free subset
+//! — the test asserts that too.
+//!
+//! One test function on purpose: the recorder and the live view are
+//! process-global, so this file must not run other recorder-touching
+//! tests concurrently.
+
+use ds_core::{compress, DsConfig};
+use ds_serve::Archive;
+use ds_table::gen::Dataset;
+
+#[test]
+fn live_metrics_window_and_slow_traces_identical_across_thread_limits() {
+    let t = Dataset::Monitor.generate(260, 31);
+    let cfg = DsConfig {
+        error_threshold: 0.05,
+        code_size: 2,
+        max_epochs: 3,
+        shard_rows: 40,
+        ..Default::default()
+    };
+    let bytes = compress(&t, &cfg).expect("compresses").as_bytes().to_vec();
+    // Budget for ~2 decoded shards (7 in the archive) so the stream
+    // forces evictions into the windowed counters.
+    let shard_budget = {
+        let probe = Archive::open(bytes.clone()).expect("opens");
+        probe.read_rows(0..40).expect("probe decode").mem_size() * 5 / 2
+    };
+    // 9 requests with epochs every 3: two full epochs land in the ring,
+    // METRICS itself fires mid-epoch, and `nonsense` exercises the error
+    // counter. The final QUIT completes the third epoch.
+    let requests = b"GET 0..100\nGET 60..140\nSTAT\nGET 0..40\nMETRICS\nGET 200..260\nGET 0..260\nnonsense\nQUIT\n";
+
+    let run = |limit: usize| {
+        ds_exec::with_thread_limit(limit, || {
+            ds_obs::enable(false);
+            ds_obs::live::arm(ds_obs::live::WindowCfg {
+                epoch_requests: 3,
+                windows: 2,
+                slow_k: 3,
+                compact: true,
+            });
+            let archive = Archive::with_cache(bytes.clone(), shard_budget).expect("opens");
+            let mut out: Vec<u8> = Vec::new();
+            let summary =
+                ds_serve::serve_connection(&archive, &requests[..], &mut out).expect("serves");
+            assert_eq!(summary.requests, 9);
+            assert_eq!(summary.errors, 1);
+            let exposition = ds_serve::metrics_text(&archive);
+            let window = ds_obs::live::window().expect("armed");
+            let window_text = ds_obs::live::render_prometheus(&window, None, &[]);
+            let slow_text = format!("{:?}", ds_obs::live::slow_traces());
+            ds_obs::live::disarm();
+            let _ = ds_obs::drain(); // leave no events for the next run
+            (exposition, window_text, slow_text)
+        })
+    };
+
+    let (e1, w1, s1) = run(1);
+    for needle in [
+        "serve_requests_total 9",
+        "serve_errors_total 1",
+        "serve_requests_by_verb_total{label=\"get\"} 5",
+        "serve_request_rows_bucket{le=",
+        "serve_cache_hit_total",
+        "serve_cache_evictions_total",
+        "serve_cache_hit_ratio",
+        "serve_archive_rows 260",
+        "# slow request=",
+        "# slow.span depth=0 name=\"serve.request\"",
+    ] {
+        assert!(e1.contains(needle), "exposition missing {needle}:\n{e1}");
+    }
+    // Timing off ⇒ no runtime-class series anywhere in the exposition.
+    assert!(!e1.contains("rt=\"1\""), "rt series leaked:\n{e1}");
+    assert!(!e1.contains("serve_request_us"), "rt hist leaked:\n{e1}");
+    assert!(
+        w1.contains("window_requests=0"),
+        "window render is cumulative-free:\n{w1}"
+    );
+    assert!(s1.contains("SlowTrace"), "slow traces captured: {s1}");
+
+    let (e2, w2, s2) = run(2);
+    let (e8, w8, s8) = run(8);
+    assert_eq!(e1, e2, "METRICS exposition differs between 1 and 2 threads");
+    assert_eq!(e1, e8, "METRICS exposition differs between 1 and 8 threads");
+    assert_eq!(w1, w2, "rolling window differs between 1 and 2 threads");
+    assert_eq!(w1, w8, "rolling window differs between 1 and 8 threads");
+    assert_eq!(s1, s2, "slow traces differ between 1 and 2 threads");
+    assert_eq!(s1, s8, "slow traces differ between 1 and 8 threads");
+}
