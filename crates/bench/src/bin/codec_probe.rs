@@ -5,7 +5,16 @@
 //!
 //! * bitpack pack + unpack at a dictionary-code-like width;
 //! * delta encode + decode over a mostly-small-delta stream;
-//! * crc32 over a shard-sized buffer.
+//! * crc32 over a shard-sized buffer;
+//! * every registry u32 codec's encode/decode throughput, keyed by its
+//!   stable codec id (`codec_<name>` entries);
+//! * the FoR-probe hit rate over a clustered/wide chunk mix
+//!   (`for_probe_hit_rate`) — what fraction of chunks `--numeric-probe`
+//!   would actually switch to `formodel`;
+//! * `compress_census_ms` vs `recompress_census_ms`: the same census
+//!   table compressed from its CSV and recompressed from the resulting
+//!   v2 archive through `open_source` negotiation. The gate holds the
+//!   ratio under 1.1x and the outputs byte-identical.
 //!
 //! ```text
 //! cargo run --release -p ds-bench --bin codec_probe          # full sizes
@@ -17,10 +26,21 @@
 //! tested in ds-codec); the probe measures the speed difference only.
 
 use ds_codec::crc32::crc32;
-use ds_codec::{bitpack, delta};
+use ds_codec::{bitpack, delta, registry};
+use ds_core::{compress_stream_to, open_source, DsConfig};
 use ds_obs::sink::time_best_ms as time_best;
 use ds_simd::Level;
+use ds_table::csv::write_csv;
+use ds_table::gen;
 use std::hint::black_box;
+
+/// One registry codec's measured throughput at its stable id.
+struct CodecRow {
+    id: u16,
+    name: &'static str,
+    encode_mb_s: f64,
+    decode_mb_s: f64,
+}
 
 struct Probe {
     name: &'static str,
@@ -149,23 +169,155 @@ fn main() {
         });
     }
 
+    // ---- registry sweep: per-codec-id throughput --------------------------
+    let mut codec_rows: Vec<CodecRow> = Vec::new();
+    {
+        let chunk = if smoke { 1 << 12 } else { 1 << 16 };
+        // Clustered values around a large base: every dense codec
+        // applies. Roaring only speaks 0/1 streams, so it gets its own.
+        let clustered: Vec<u32> = (0..chunk)
+            .map(|_| 1_000_000 + ((next() >> 40) & 0x3FF) as u32)
+            .collect();
+        let bits: Vec<u32> = (0..chunk).map(|_| ((next() >> 33) & 1) as u32).collect();
+        for codec in registry::u32_codecs() {
+            let values = if codec.id == registry::ROARING {
+                &bits
+            } else {
+                &clustered
+            };
+            let Some(encoded) = (codec.encode)(values) else {
+                continue;
+            };
+            let decoded = (codec.decode)(&encoded).expect("registry codec decodes");
+            assert_eq!(
+                &decoded,
+                values,
+                "codec id {} must round-trip",
+                codec.id.raw()
+            );
+            let enc_ms = time_best(reps, || {
+                black_box((codec.encode)(black_box(values)));
+            });
+            let dec_ms = time_best(reps, || {
+                black_box((codec.decode)(black_box(&encoded)).unwrap());
+            });
+            let mb = (values.len() * 4) as f64 / (1024.0 * 1024.0);
+            codec_rows.push(CodecRow {
+                id: codec.id.raw(),
+                name: registry::name(codec.id.raw()).unwrap_or("unknown"),
+                encode_mb_s: if enc_ms > 0.0 {
+                    mb / (enc_ms / 1000.0)
+                } else {
+                    0.0
+                },
+                decode_mb_s: if dec_ms > 0.0 {
+                    mb / (dec_ms / 1000.0)
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+
+    // ---- FoR probe hit rate -----------------------------------------------
+    // Half the chunks are offset clusters (where frame-of-reference should
+    // win), half span the full u32 range (where it should lose): the hit
+    // rate shows `--numeric-probe` discriminating, not firing blindly.
+    let (for_hits, for_chunks) = {
+        let per_kind = if smoke { 8 } else { 32 };
+        let chunk = 1024usize;
+        let mut hits = 0usize;
+        for i in 0..per_kind * 2 {
+            let values: Vec<u32> = if i < per_kind {
+                let base = 500_000 + (i as u32) * 10_000;
+                (0..chunk)
+                    .map(|_| base + ((next() >> 48) & 0xFF) as u32)
+                    .collect()
+            } else {
+                (0..chunk).map(|_| (next() >> 32) as u32).collect()
+            };
+            let sel = registry::select_u32(&values, true).expect("select");
+            assert_eq!(
+                registry::decode_u32(sel.tag, &sel.payload).expect("winner decodes"),
+                values,
+                "probe winner must round-trip"
+            );
+            if sel.id == registry::FOR_MODEL {
+                hits += 1;
+            }
+        }
+        (hits, per_kind * 2)
+    };
+    let for_hit_rate = for_hits as f64 / for_chunks as f64;
+
+    // ---- compress vs recompress (source negotiation) ----------------------
+    let (compress_census_ms, recompress_census_ms, recompress_identical) = {
+        let rows = if smoke { 400 } else { 4000 };
+        let dir = std::env::temp_dir().join("ds_bench_codec_probe");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let csv_path = dir.join("census.csv");
+        let v2_path = dir.join("census.dsqz");
+        std::fs::write(&csv_path, write_csv(&gen::census_like(rows, 7))).expect("write csv");
+        let cfg = DsConfig {
+            error_threshold: 0.0,
+            max_epochs: 2,
+            shard_rows: 512,
+            seed: 5,
+            ..DsConfig::default()
+        };
+        let run = |path: &std::path::Path| {
+            let source = open_source(path, 512).expect("open source");
+            let mut out = Vec::new();
+            compress_stream_to(&source, &cfg, &mut out).expect("compress");
+            out
+        };
+        let archive = run(&csv_path);
+        std::fs::write(&v2_path, &archive).expect("write archive");
+        let e2e_reps = if smoke { 2 } else { 3 };
+        let compress_ms = time_best(e2e_reps, || {
+            black_box(run(black_box(&csv_path)));
+        });
+        let recompress_ms = time_best(e2e_reps, || {
+            black_box(run(black_box(&v2_path)));
+        });
+        let identical = run(&v2_path) == archive;
+        let _ = std::fs::remove_dir_all(&dir);
+        (compress_ms, recompress_ms, identical)
+    };
+
     // ---- report -----------------------------------------------------------
     let kernel = ds_simd::active();
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"simd_kernel\": \"{}\",\n", kernel.name()));
     json.push_str(&format!("  \"simd_lanes\": {},\n", kernel.lanes()));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    for (i, p) in probes.iter().enumerate() {
+    for p in probes.iter() {
         json.push_str(&format!(
-            "  \"{}\": {{ \"detail\": \"{}\", \"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.3} }}{}\n",
+            "  \"{}\": {{ \"detail\": \"{}\", \"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.3} }},\n",
             p.name,
             p.detail,
             p.scalar_ms,
             p.fast_ms,
             p.speedup(),
-            if i + 1 < probes.len() { "," } else { "" }
         ));
     }
+    for row in codec_rows.iter() {
+        json.push_str(&format!(
+            "  \"codec_{}\": {{ \"id\": {}, \"encode_mb_s\": {:.1}, \"decode_mb_s\": {:.1} }},\n",
+            row.name, row.id, row.encode_mb_s, row.decode_mb_s,
+        ));
+    }
+    json.push_str(&format!("  \"for_probe_hit_rate\": {for_hit_rate:.3},\n"));
+    json.push_str(&format!("  \"for_probe_chunks\": {for_chunks},\n"));
+    json.push_str(&format!(
+        "  \"compress_census_ms\": {compress_census_ms:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"recompress_census_ms\": {recompress_census_ms:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"recompress_identical\": {recompress_identical}\n"
+    ));
     json.push_str("}\n");
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_codec.json".into());
@@ -186,5 +338,23 @@ fn main() {
             p.speedup()
         );
     }
+    for row in &codec_rows {
+        println!(
+            "codec id {:>2} {:<10} encode {:>8.1} MB/s  decode {:>8.1} MB/s",
+            row.id, row.name, row.encode_mb_s, row.decode_mb_s
+        );
+    }
+    println!(
+        "for_probe_hit_rate {for_hit_rate:.3} over {for_chunks} chunks (half clustered, half wide)"
+    );
+    println!(
+        "compress_census {compress_census_ms:.1} ms  recompress_census {recompress_census_ms:.1} ms  \
+         ratio {:.3}  identical={recompress_identical}",
+        if compress_census_ms > 0.0 {
+            recompress_census_ms / compress_census_ms
+        } else {
+            0.0
+        }
+    );
     println!("wrote {out}");
 }

@@ -3,8 +3,9 @@
 //! ```text
 //! dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E]
 //!                 [--epochs N] [--seed S] [--shard-rows N] [--sample-frac F]
-//!                 [--stream] [--chunk-rows N] [--tune] [--quiet]
-//!                 [--trace <f.jsonl>] [--stats]
+//!                 [--stream] [--chunk-rows N] [--numeric-probe] [--tune]
+//!                 [--quiet] [--trace <f.jsonl>] [--stats]
+//! dsqz recompress <in.csv|in.dsqz|-> <out.dsqz> [compress flags]
 //! dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]
 //! dsqz serve      <in.dsqz> [--cache-mb N] [--listen HOST:PORT] [--max-conns N]
 //!                 [--metrics HOST:PORT] [--window N] [--trace <f.jsonl>] [--stats]
@@ -29,6 +30,17 @@
 //! rows; pass 2 encodes shard row groups). The output is a sharded
 //! container, byte-identical to the in-memory `--shard-rows` path for the
 //! same seed and config.
+//!
+//! `recompress` does not trust file extensions: the input's magic bytes
+//! decide whether it is CSV, a v1 archive, or a v2 container, and `-`
+//! reads any of those from stdin (spooled to a temp file so the two-pass
+//! pipeline can rewind). Re-encoding an existing archive under a new
+//! config — different shard size, error bound, or codec set — therefore
+//! needs no CSV round trip. `--numeric-probe` (both commands) tries the
+//! per-chunk constant/frame-of-reference numeric model on integer
+//! streams and records the chosen per-column codec chains in the v2
+//! manifest; `inspect` prints those chains and `serve`'s `STAT` reports
+//! the codec set in its `codecs=` field.
 //!
 //! `serve` opens a sharded archive once and answers many row-range
 //! queries against it over a line protocol (`GET A..B` → CSV rows,
@@ -59,8 +71,9 @@ mod args;
 
 use args::{ArgError, Parsed};
 use ds_core::{
-    compress, compress_csv_stream_to, compress_sharded_to, decompress, decompress_rows_with_stats,
-    inspect, tune, DsArchive, DsConfig, TuneConfig,
+    compress, compress_csv_stream_to, compress_sharded_to, compress_stream_to, decompress,
+    decompress_rows_with_stats, inspect, open_source, open_source_reader, tune, DsArchive,
+    DsConfig, TuneConfig,
 };
 use ds_table::csv::{read_csv_infer, write_csv};
 use ds_table::gen::Dataset;
@@ -81,7 +94,8 @@ fn main() -> ExitCode {
 
 fn usage() -> &'static str {
     "usage:\n  \
-     dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--sample-frac F] [--stream] [--chunk-rows N] [--tune] [--quiet] [--trace <f.jsonl>] [--stats]\n  \
+     dsqz compress   <in.csv> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--sample-frac F] [--stream] [--chunk-rows N] [--numeric-probe] [--tune] [--quiet] [--trace <f.jsonl>] [--stats]\n  \
+     dsqz recompress <in.csv|in.dsqz|-> <out.dsqz> [--error F] [--code K] [--experts E] [--epochs N] [--seed S] [--shard-rows N] [--sample-frac F] [--chunk-rows N] [--numeric-probe] [--quiet] [--trace <f.jsonl>] [--stats]\n  \
      dsqz decompress <in.dsqz> <out.csv> [--rows A..B] [--trace <f.jsonl>] [--stats]\n  \
      dsqz serve      <in.dsqz> [--cache-mb N] [--listen HOST:PORT] [--max-conns N] [--metrics HOST:PORT] [--window N] [--trace <f.jsonl>] [--stats]\n  \
      dsqz top        <in.dsqz | HOST:PORT>\n  \
@@ -93,6 +107,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let mut parsed = Parsed::parse(argv).map_err(|e: ArgError| e.to_string())?;
     match parsed.command.as_str() {
         "compress" => cmd_compress(&mut parsed),
+        "recompress" => cmd_recompress(&mut parsed),
         "decompress" => cmd_decompress(&mut parsed),
         "serve" => cmd_serve(&mut parsed),
         "top" => cmd_top(&mut parsed),
@@ -116,6 +131,7 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
     let trace: String = p.flag_or("trace", String::new())?;
     let do_tune = p.switch("tune");
     let do_stream = p.switch("stream");
+    let numeric_probe = p.switch("numeric-probe");
     let quiet = p.switch("quiet");
     let stats = p.switch("stats");
     p.finish()?;
@@ -148,6 +164,7 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
             shard_rows,
             sample_frac,
             chunk_rows,
+            numeric_probe,
             quiet,
             &trace,
             stats,
@@ -172,6 +189,7 @@ fn cmd_compress(p: &mut Parsed) -> Result<(), String> {
         max_epochs: epochs,
         seed,
         sample_frac,
+        numeric_probe,
         ..Default::default()
     };
     if do_tune {
@@ -254,6 +272,7 @@ fn cmd_compress_stream(
     shard_rows: usize,
     sample_frac: f64,
     chunk_rows: usize,
+    numeric_probe: bool,
     quiet: bool,
     trace: &str,
     stats: bool,
@@ -265,6 +284,7 @@ fn cmd_compress_stream(
         max_epochs: epochs,
         seed,
         sample_frac,
+        numeric_probe,
         // Streaming always writes the sharded container; default to the
         // same row-group size as the reader chunks when not specified.
         shard_rows: if shard_rows > 0 {
@@ -303,6 +323,80 @@ fn cmd_compress_stream(
         );
     }
     finish_obs(trace, stats)
+}
+
+/// `dsqz recompress`: magic-byte source negotiation instead of trusting
+/// extensions. The input may be a CSV file, an existing v1/v2 archive
+/// (re-encoded under the new config without a CSV round trip), or `-`
+/// for stdin (any of those formats, spooled to a temp file so the
+/// two-pass pipeline can rewind a pipe). Always writes a v2 sharded
+/// container through the bounded-memory streaming path.
+fn cmd_recompress(p: &mut Parsed) -> Result<(), String> {
+    let input = p.positional(0)?;
+    let output = p.positional(1)?;
+    let error: f64 = p.flag_or("error", 0.0)?;
+    let code: usize = p.flag_or("code", 2)?;
+    let experts: usize = p.flag_or("experts", 1)?;
+    let epochs: usize = p.flag_or("epochs", 120)?;
+    let seed: u64 = p.flag_or("seed", 0)?;
+    let shard_rows: usize = p.flag_or("shard-rows", 0)?;
+    let sample_frac: f64 = p.flag_or("sample-frac", 1.0)?;
+    let chunk_rows: usize = p.flag_or("chunk-rows", 4096)?;
+    let trace: String = p.flag_or("trace", String::new())?;
+    let numeric_probe = p.switch("numeric-probe");
+    let quiet = p.switch("quiet");
+    let stats = p.switch("stats");
+    p.finish()?;
+    if !(0.0..=1.0).contains(&sample_frac) || sample_frac == 0.0 {
+        return Err(format!(
+            "invalid --sample-frac `{sample_frac}`: must be in (0,1]"
+        ));
+    }
+    if chunk_rows == 0 {
+        return Err("--chunk-rows must be > 0".to_string());
+    }
+    arm_obs(&trace, stats);
+
+    let source = if input == "-" {
+        open_source_reader(std::io::stdin(), chunk_rows).map_err(|e| format!("open stdin: {e}"))?
+    } else {
+        open_source(std::path::Path::new(&input), chunk_rows)
+            .map_err(|e| format!("open {input}: {e}"))?
+    };
+    if !quiet {
+        eprintln!(
+            "{input}: {} ({} columns)",
+            source.kind().describe(),
+            ds_table::stream::RowSource::schema(&source).len()
+        );
+    }
+
+    let cfg = DsConfig {
+        error_threshold: error,
+        code_size: code,
+        n_experts: experts,
+        max_epochs: epochs,
+        seed,
+        sample_frac,
+        numeric_probe,
+        shard_rows: if shard_rows > 0 {
+            shard_rows
+        } else {
+            chunk_rows
+        },
+        ..Default::default()
+    };
+    let file = std::fs::File::create(&output).map_err(|e| format!("create {output}: {e}"))?;
+    let out = compress_stream_to(&source, &cfg, std::io::BufWriter::new(file))
+        .map_err(|e| format!("recompression failed: {e}"))?;
+    if !quiet {
+        let b = out.breakdown;
+        eprintln!(
+            "{output}: {} bytes in {} shard(s) [decoder {}, codes {}, failures {}, metadata {}]",
+            out.total_bytes, out.n_shards, b.decoder, b.codes, b.failures, b.metadata
+        );
+    }
+    finish_obs(&trace, stats)
 }
 
 /// Turns the ds-obs recorder on when `--trace` or `--stats` was given.
@@ -609,6 +703,27 @@ fn cmd_inspect(p: &mut Parsed) -> Result<(), String> {
     let _ = writeln!(out, "columns ({}):", info.columns.len());
     for (name, kind) in &info.columns {
         let _ = writeln!(out, "  {name}: {kind}");
+    }
+    if info.shards > 0 {
+        match &info.codec_chains {
+            Some(chains) => {
+                let _ = writeln!(out, "codec chains (shard 0 column streams):");
+                for (i, chain) in chains.iter().enumerate() {
+                    let name = info
+                        .columns
+                        .get(i)
+                        .map(|(n, _)| n.as_str())
+                        .unwrap_or("(stream)");
+                    let _ = writeln!(out, "  {name}: {}", ds_codec::registry::chain_names(chain));
+                }
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "codec chains: legacy (implicit; recorded when compressed with --numeric-probe)"
+                );
+            }
+        }
     }
     Ok(())
 }

@@ -24,12 +24,14 @@ pub mod crc32;
 pub mod delta;
 pub mod dict;
 mod dispatch;
+pub mod formodel;
 pub mod gzlike;
 pub mod huffman;
 pub mod lzss;
 pub mod parq;
 pub mod quant;
 pub mod rangecoder;
+pub mod registry;
 pub mod rle;
 pub mod roaring;
 pub mod varint;
@@ -48,6 +50,10 @@ pub enum CodecError {
     Overflow,
     /// A caller-supplied parameter was out of the supported range.
     InvalidParameter(&'static str),
+    /// A stream named a codec id this build does not know — an archive
+    /// from the future (or a forged id). Typed so callers can
+    /// distinguish "upgrade your decoder" from corruption.
+    UnknownCodec(u16),
 }
 
 impl std::fmt::Display for CodecError {
@@ -57,6 +63,9 @@ impl std::fmt::Display for CodecError {
             CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
             CodecError::Overflow => write!(f, "varint overflow"),
             CodecError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            CodecError::UnknownCodec(id) => {
+                write!(f, "unknown codec id {id} (archive from a newer format?)")
+            }
         }
     }
 }

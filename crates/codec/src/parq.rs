@@ -10,7 +10,7 @@
 //! 2. the backend DeepSqueeze materializes failures into (§6.3).
 
 use crate::{
-    bitpack, delta, dict::Dictionary, gzlike, rle, ByteReader, ByteWriter, CodecError, Result,
+    delta, dict::Dictionary, gzlike, registry, ByteReader, ByteWriter, CodecError, Result,
 };
 
 /// Magic bytes identifying a parq stream.
@@ -46,24 +46,11 @@ impl ParqColumn {
     }
 }
 
-/// Which physical encoding a u32 stream ended up with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum U32Encoding {
-    Rle = 0,
-    Delta = 1,
-    BitPack = 2,
-    /// Roaring bitmap of 1-positions — for 0/1 streams (XOR failures).
-    Roaring = 3,
-    /// Adaptive range coding — fractional bits per symbol where Huffman
-    /// pays its 1-bit floor (low-entropy failure/rank streams).
-    Arith = 4,
-}
-
 /// Alphabet ceiling for the arithmetic candidate (adaptive models over
 /// huge sparse alphabets waste their learning budget).
 const ARITH_MAX_ALPHABET: u32 = 4096;
 
-fn encode_u32_arith(values: &[u32]) -> Option<Vec<u8>> {
+pub(crate) fn encode_u32_arith(values: &[u32]) -> Option<Vec<u8>> {
     use crate::rangecoder::{AdaptiveModel, RangeEncoder};
     let max = values.iter().copied().max()?;
     if max >= ARITH_MAX_ALPHABET || values.len() < 64 {
@@ -81,7 +68,7 @@ fn encode_u32_arith(values: &[u32]) -> Option<Vec<u8>> {
     Some(w.into_vec())
 }
 
-fn decode_u32_arith(payload: &[u8]) -> Result<Vec<u32>> {
+pub(crate) fn decode_u32_arith(payload: &[u8]) -> Result<Vec<u32>> {
     use crate::rangecoder::{AdaptiveModel, RangeDecoder};
     let mut r = ByteReader::new(payload);
     let n = r.read_varint_usize()?;
@@ -104,80 +91,29 @@ fn decode_u32_arith(payload: &[u8]) -> Result<Vec<u32>> {
     Ok(out)
 }
 
-/// Encodes a u32 stream with the smallest of RLE / delta / bit-packing /
-/// Roaring (the last only for 0/1 streams, §6.3.1's binary failures).
-fn encode_u32_best(values: &[u32]) -> (u8, Vec<u8>) {
-    let rle_size = rle::encoded_size(values);
-    let widened: Vec<i64> = values.iter().map(|&v| i64::from(v)).collect();
-    let delta_size = delta::encoded_size_i64(&widened);
-    let wide: Vec<u64> = values.iter().map(|&v| u64::from(v)).collect();
-    let pack_size = bitpack::encoded_size(&wide);
-    let roaring = if values.iter().all(|&v| v <= 1) {
-        Some(crate::roaring::RoaringBitmap::encode_bit_stream(values))
-    } else {
-        None
-    };
-    let arith = encode_u32_arith(values);
-
-    let mut best_tag = U32Encoding::Rle as u8;
-    let mut best_size = rle_size;
-    if delta_size < best_size {
-        best_tag = U32Encoding::Delta as u8;
-        best_size = delta_size;
-    }
-    if pack_size < best_size {
-        best_tag = U32Encoding::BitPack as u8;
-        best_size = pack_size;
-    }
-    if let Some(r) = &roaring {
-        if r.len() < best_size {
-            best_tag = U32Encoding::Roaring as u8;
-            best_size = r.len();
-        }
-    }
-    if let Some(a) = &arith {
-        if a.len() < best_size {
-            best_tag = U32Encoding::Arith as u8;
-        }
-    }
-    match best_tag {
-        t if t == U32Encoding::Rle as u8 => (t, rle::encode(values)),
-        t if t == U32Encoding::Delta as u8 => (t, delta::encode_i64(&widened)),
-        t if t == U32Encoding::BitPack as u8 => (t, bitpack::encode(&wide)),
-        t if t == U32Encoding::Roaring as u8 => {
-            // ds-lint: allow(panic-free-decode) -- encoder-side invariant: the tag is only chosen when the candidate was built
-            (t, roaring.expect("roaring tag implies 0/1 stream"))
-        }
-        // ds-lint: allow(panic-free-decode) -- encoder-side invariant: the arith tag is only chosen when the candidate exists
-        t => (t, arith.expect("arith tag implies candidate existed")),
-    }
+/// Encodes a u32 stream with the smallest applicable codec from the
+/// registry table (RLE / delta / bit-packing / Roaring / arith, plus the
+/// opt-in FoR probe). Returns the wire tag, the winner's registry id
+/// (for codec-chain recording) and the payload.
+fn encode_u32_best(values: &[u32], numeric_probe: bool) -> Result<(u8, u16, Vec<u8>)> {
+    let sel = registry::select_u32(values, numeric_probe)?;
+    Ok((sel.tag, sel.id.raw(), sel.payload))
 }
 
 fn decode_u32_best(tag: u8, payload: &[u8]) -> Result<Vec<u32>> {
-    match tag {
-        t if t == U32Encoding::Rle as u8 => rle::decode(payload),
-        t if t == U32Encoding::Delta as u8 => delta::decode_u32(payload),
-        t if t == U32Encoding::BitPack as u8 => bitpack::decode(payload)?
-            .into_iter()
-            .map(|v| u32::try_from(v).map_err(|_| CodecError::Corrupt("parq: u32 overflow")))
-            .collect(),
-        t if t == U32Encoding::Roaring as u8 => {
-            crate::roaring::RoaringBitmap::decode_bit_stream(payload)
-        }
-        t if t == U32Encoding::Arith as u8 => decode_u32_arith(payload),
-        _ => Err(CodecError::Corrupt("parq: unknown u32 encoding")),
-    }
+    registry::decode_u32(tag, payload)
 }
 
 /// Dictionary layout for f64 columns: sorted distinct values + u32 codes.
-/// Returns `None` when the cardinality is too high to pay off.
-fn encode_f64_dict(values: &[f64]) -> Option<Vec<u8>> {
+/// Returns `None` when the cardinality is too high to pay off; the `u16`
+/// is the registry id of the inner code encoding.
+fn encode_f64_dict(values: &[f64], numeric_probe: bool) -> Result<Option<(Vec<u8>, u16)>> {
     let mut distinct: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
     distinct.sort_unstable();
     distinct.dedup();
     // Beyond this the dictionary header rivals the xor layout anyway.
     if distinct.len() > values.len() / 2 || distinct.len() > u32::MAX as usize {
-        return None;
+        return Ok(None);
     }
     let mut w = ByteWriter::new();
     w.write_varint(distinct.len() as u64);
@@ -196,10 +132,10 @@ fn encode_f64_dict(values: &[f64]) -> Option<Vec<u8>> {
                 .expect("built from values") as u32
         })
         .collect();
-    let (tag, payload) = encode_u32_best(&codes);
+    let (tag, id, payload) = encode_u32_best(&codes, numeric_probe)?;
     w.write_u8(tag);
     w.write_len_prefixed(&payload);
-    Some(w.into_vec())
+    Ok(Some((w.into_vec(), id)))
 }
 
 fn decode_f64_dict(payload: &[u8], nrows: usize) -> Result<Vec<f64>> {
@@ -247,29 +183,43 @@ fn un_entropy(flag: u8, payload: &[u8]) -> Result<Vec<u8>> {
     }
 }
 
-/// Per-column byte cost, reported by [`write_table`] for diagnostics.
+/// Per-column byte cost and codec chain, reported by [`write_table`].
 #[derive(Debug, Clone)]
 pub struct ColumnStats {
     /// Column name as stored.
     pub name: String,
     /// Bytes this column occupies in the container (payload + header).
     pub bytes: usize,
+    /// Registry codec ids the column's values flowed through, outermost
+    /// transform first (e.g. `dict → rle → gzlike`). See
+    /// [`crate::registry::chain_names`] for rendering.
+    pub chain: Vec<u16>,
 }
 
-/// Encodes one named column into a self-contained byte section.
+/// Encodes one named column into a self-contained byte section, plus the
+/// registry codec-id chain the values flowed through.
 ///
 /// Each section carries its own name, type tag, mode bytes and
 /// len-prefixed payload, so sections can be produced independently (and
 /// in parallel) and concatenated in column order — the result is
 /// byte-identical to a sequential single-writer encode.
-fn encode_column_section(name: &str, col: &ParqColumn) -> Vec<u8> {
+fn encode_column_section(
+    name: &str,
+    col: &ParqColumn,
+    numeric_probe: bool,
+) -> Result<(Vec<u8>, Vec<u16>)> {
     let mut w = ByteWriter::new();
+    let mut chain: Vec<u16> = Vec::new();
     w.write_len_prefixed(name.as_bytes());
     match col {
         ParqColumn::U32(values) => {
             w.write_u8(0);
-            let (tag, payload) = encode_u32_best(values);
+            let (tag, id, payload) = encode_u32_best(values, numeric_probe)?;
             let (flag, payload) = entropy_stage(payload);
+            chain.push(id);
+            if flag == 1 {
+                chain.push(registry::GZLIKE.raw());
+            }
             w.write_u8(tag);
             w.write_u8(flag);
             w.write_len_prefixed(&payload);
@@ -286,16 +236,28 @@ fn encode_column_section(name: &str, col: &ParqColumn) -> Vec<u8> {
                 .iter()
                 .map(|&v| u32::try_from(crate::varint::zigzag(v)).ok())
                 .collect();
-            let direct = zz.map(|codes| encode_u32_best(&codes));
+            let direct = match zz {
+                Some(codes) => Some(encode_u32_best(&codes, numeric_probe)?),
+                None => None,
+            };
             match direct {
-                Some((tag, payload)) if payload.len() < delta_payload.len() => {
+                Some((tag, id, payload)) if payload.len() < delta_payload.len() => {
                     let (flag, payload) = entropy_stage(payload);
+                    chain.push(registry::ZIGZAG.raw());
+                    chain.push(id);
+                    if flag == 1 {
+                        chain.push(registry::GZLIKE.raw());
+                    }
                     w.write_u8(2 + flag); // 2 = zigzag raw, 3 = zigzag+gz
                     w.write_u8(tag);
                     w.write_len_prefixed(&payload);
                 }
                 _ => {
                     let (flag, payload) = entropy_stage(delta_payload);
+                    chain.push(registry::DELTA.raw());
+                    if flag == 1 {
+                        chain.push(registry::GZLIKE.raw());
+                    }
                     w.write_u8(flag); // 0 = delta raw, 1 = delta+gz
                     w.write_len_prefixed(&payload);
                 }
@@ -318,15 +280,24 @@ fn encode_column_section(name: &str, col: &ParqColumn) -> Vec<u8> {
             }
             let xor_payload = raw.into_vec();
 
-            let dict_payload = encode_f64_dict(values);
+            let dict_payload = encode_f64_dict(values, numeric_probe)?;
             match dict_payload {
-                Some(dp) if dp.len() < xor_payload.len() => {
+                Some((dp, inner_id)) if dp.len() < xor_payload.len() => {
                     let (flag, payload) = entropy_stage(dp);
+                    chain.push(registry::DICT.raw());
+                    chain.push(inner_id);
+                    if flag == 1 {
+                        chain.push(registry::GZLIKE.raw());
+                    }
                     w.write_u8(2 + flag); // 2 = dict raw, 3 = dict+gz
                     w.write_len_prefixed(&payload);
                 }
                 _ => {
                     let (flag, payload) = entropy_stage(xor_payload);
+                    chain.push(registry::XOR_F64.raw());
+                    if flag == 1 {
+                        chain.push(registry::GZLIKE.raw());
+                    }
                     w.write_u8(flag); // 0 = xor raw, 1 = xor+gz
                     w.write_len_prefixed(&payload);
                 }
@@ -337,15 +308,20 @@ fn encode_column_section(name: &str, col: &ParqColumn) -> Vec<u8> {
             let (dict, codes) = Dictionary::encode_column(values);
             let mut inner = ByteWriter::new();
             dict.write_to(&mut inner);
-            let (tag, payload) = encode_u32_best(&codes);
+            let (tag, id, payload) = encode_u32_best(&codes, numeric_probe)?;
             inner.write_u8(tag);
             inner.write_len_prefixed(&payload);
             let (flag, payload) = entropy_stage(inner.into_vec());
+            chain.push(registry::DICT.raw());
+            chain.push(id);
+            if flag == 1 {
+                chain.push(registry::GZLIKE.raw());
+            }
             w.write_u8(flag);
             w.write_len_prefixed(&payload);
         }
     }
-    w.into_vec()
+    Ok((w.into_vec(), chain))
 }
 
 /// Serializes named columns into a parq container.
@@ -353,15 +329,28 @@ fn encode_column_section(name: &str, col: &ParqColumn) -> Vec<u8> {
 /// All columns must have equal length; returns per-column stats alongside
 /// the bytes. Columns encode in parallel (each into its own buffer) and
 /// concatenate in declaration order, so the container bytes do not depend
-/// on the thread count.
+/// on the thread count. Equivalent to [`write_table_opts`] with the
+/// numeric probe off — the historical byte-identical default.
 pub fn write_table(columns: &[(String, ParqColumn)]) -> Result<(Vec<u8>, Vec<ColumnStats>)> {
+    write_table_opts(columns, false)
+}
+
+/// [`write_table`] with codec selection knobs: `numeric_probe` lets the
+/// per-chunk constant/FoR model ([`crate::registry::FOR_MODEL`]) compete
+/// for u32 streams. Any win changes the emitted bytes, so callers that
+/// enable it must record the returned per-column chains in their
+/// container manifest.
+pub fn write_table_opts(
+    columns: &[(String, ParqColumn)],
+    numeric_probe: bool,
+) -> Result<(Vec<u8>, Vec<ColumnStats>)> {
     let nrows = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
     if columns.iter().any(|(_, c)| c.len() != nrows) {
         return Err(CodecError::InvalidParameter("parq: ragged columns"));
     }
-    let sections: Vec<Vec<u8>> = ds_exec::parallel_map(columns.len(), |i| {
+    let sections: Vec<Result<(Vec<u8>, Vec<u16>)>> = ds_exec::parallel_map(columns.len(), |i| {
         let (name, col) = &columns[i]; // ds-lint: allow(panic-free-decode) -- encoder-side; parallel_map yields i < columns.len()
-        encode_column_section(name, col)
+        encode_column_section(name, col, numeric_probe)
     });
 
     let mut w = ByteWriter::new();
@@ -369,11 +358,13 @@ pub fn write_table(columns: &[(String, ParqColumn)]) -> Result<(Vec<u8>, Vec<Col
     w.write_varint(columns.len() as u64);
     w.write_varint(nrows as u64); // ds-lint: allow(no-raw-cast-len) -- widening usize -> u64, lossless on every supported target
     let mut stats = Vec::with_capacity(columns.len());
-    for ((name, _), section) in columns.iter().zip(&sections) {
-        w.write_bytes(section);
+    for ((name, _), section) in columns.iter().zip(sections) {
+        let (bytes, chain) = section?;
+        w.write_bytes(&bytes);
         stats.push(ColumnStats {
             name: name.clone(),
-            bytes: section.len(),
+            bytes: bytes.len(),
+            chain,
         });
     }
     Ok((w.into_vec(), stats))

@@ -53,6 +53,10 @@ pub struct DsArchive {
     /// Per-column failure-stream sizes (diagnostics; empty after
     /// [`DsArchive::from_bytes`]).
     pub(crate) failure_stats: Vec<(String, usize)>,
+    /// Per-column registry codec-id chains the failure streams flowed
+    /// through, aligned with `failure_stats` (compression-time metadata;
+    /// empty after [`DsArchive::from_bytes`]).
+    pub(crate) column_chains: Vec<Vec<u16>>,
 }
 
 impl DsArchive {
@@ -63,6 +67,7 @@ impl DsArchive {
             bytes,
             breakdown: SizeBreakdown::default(),
             failure_stats: Vec::new(),
+            column_chains: Vec::new(),
         }
     }
 
@@ -87,6 +92,13 @@ impl DsArchive {
     /// diagnostics; empty for archives loaded from raw bytes).
     pub fn failure_stats(&self) -> &[(String, usize)] {
         &self.failure_stats
+    }
+
+    /// Per-column registry codec-id chains of the failure streams,
+    /// aligned with [`failure_stats`](Self::failure_stats) (empty for
+    /// archives loaded from raw bytes).
+    pub fn column_chains(&self) -> &[Vec<u16>] {
+        &self.column_chains
     }
 }
 
@@ -127,6 +139,10 @@ pub struct ArchiveInfo {
     pub code_bits: u8,
     /// Row-group shards in the container (0 = monolithic v1 archive).
     pub shards: usize,
+    /// Recorded per-column codec chains (from the first shard's manifest
+    /// row); `None` for v1 archives and v2 containers written before
+    /// chain recording — those decode via the implicit legacy chain.
+    pub codec_chains: Option<Vec<Vec<u16>>>,
 }
 
 /// Parses just the archive envelope — cheap metadata access for tooling.
@@ -141,6 +157,11 @@ pub fn inspect(archive: &DsArchive) -> crate::Result<ArchiveInfo> {
         let mut info = inspect_bytes(first)?;
         info.nrows = reader.total_rows();
         info.shards = reader.n_shards();
+        info.codec_chains = reader.chains().map(|chains| {
+            (0..chains.n_cols())
+                .map(|col| chains.chain(0, col).unwrap_or(&[]).to_vec())
+                .collect()
+        });
         return Ok(info);
     }
     inspect_bytes(&archive.bytes)
@@ -197,6 +218,7 @@ fn inspect_bytes(bytes: &[u8]) -> crate::Result<ArchiveInfo> {
         code_size,
         code_bits,
         shards: 0,
+        codec_chains: None,
     })
 }
 

@@ -39,6 +39,11 @@ pub struct MaterializeOptions {
     /// the container manifest instead of repeating it per row group;
     /// decompression then substitutes the shared blob.
     pub omit_decoder: bool,
+    /// Let the per-chunk constant/FoR numeric model
+    /// ([`ds_codec::registry::FOR_MODEL`]) compete for u32 streams. Off
+    /// by default: any win changes the emitted bytes, so enabling it
+    /// requires a reader that understands the recorded codec id.
+    pub numeric_probe: bool,
 }
 
 impl Default for MaterializeOptions {
@@ -47,6 +52,7 @@ impl Default for MaterializeOptions {
             code_bits_candidates: vec![4, 8, 16],
             order_free: false,
             omit_decoder: false,
+            numeric_probe: false,
         }
     }
 }
@@ -542,10 +548,12 @@ pub(crate) fn compute_failures(
 }
 
 /// Serializes failure buffers into the columnar failure blob. Returns the
-/// blob, the rare-stream blob, and per-column byte stats.
+/// blob, the rare-stream blob, per-column byte stats, and the per-column
+/// registry codec chains the streams flowed through.
 pub(crate) fn encode_failures(
     buffers: &FailureBuffers,
-) -> Result<(Vec<u8>, Vec<u8>, Vec<(String, usize)>)> {
+    numeric_probe: bool,
+) -> Result<(Vec<u8>, Vec<u8>, Vec<(String, usize)>, Vec<Vec<u16>>)> {
     let mut cols: Vec<(String, parq::ParqColumn)> = Vec::new();
     for (i, fc) in buffers.per_col.iter().enumerate() {
         let name = format!("{i}");
@@ -558,8 +566,13 @@ pub(crate) fn encode_failures(
         };
         cols.push((name, col));
     }
-    let (main, stats) = parq::write_table(&cols)?;
-    let col_stats: Vec<(String, usize)> = stats.into_iter().map(|s| (s.name, s.bytes)).collect();
+    let (main, stats) = parq::write_table_opts(&cols, numeric_probe)?;
+    let mut col_stats = Vec::with_capacity(stats.len());
+    let mut col_chains = Vec::with_capacity(stats.len());
+    for s in stats {
+        col_stats.push((s.name, s.bytes));
+        col_chains.push(s.chain);
+    }
 
     // Rare streams, one per column, already in (col, pos) order.
     let mut w = ByteWriter::new();
@@ -570,10 +583,11 @@ pub(crate) fn encode_failures(
     w.write_varint(by_col.len() as u64);
     for (col, codes) in by_col {
         w.write_varint(col as u64);
-        let (blob, _) = parq::write_table(&[("r".into(), parq::ParqColumn::U32(codes))])?;
+        let (blob, _) =
+            parq::write_table_opts(&[("r".into(), parq::ParqColumn::U32(codes))], numeric_probe)?;
         w.write_len_prefixed(&blob);
     }
-    Ok((main, w.into_vec(), col_stats))
+    Ok((main, w.into_vec(), col_stats, col_chains))
 }
 
 /// Runs the full materialization: mapping, codes (choosing the best width),
@@ -641,6 +655,7 @@ pub fn materialize_with_patches(
     };
 
     // ---- choose the code width by total (codes + failures) size -----------
+    #[allow(clippy::type_complexity)]
     let mut best: Option<(
         usize,
         CodeLayout,
@@ -648,12 +663,13 @@ pub fn materialize_with_patches(
         Vec<u8>,
         Vec<u8>,
         Vec<(String, usize)>,
+        Vec<Vec<u16>>,
     )> = None;
     let encode_span = ds_obs::span("encode");
     for &bits in &opts.code_bits_candidates {
         let (code_layout, quantized) = quantize_codes(&per_expert_codes, bits);
         // Codes blob: k columns in storage order.
-        let codes_blob = encode_code_blob(&quantized, &layout, table.nrows())?;
+        let codes_blob = encode_code_blob(&quantized, &layout, table.nrows(), opts.numeric_probe)?;
 
         let buffers = compute_failures(table, prep, &layout, |e| {
             if !has_model || layout.expert_rows[e].is_empty() {
@@ -663,7 +679,8 @@ pub fn materialize_with_patches(
             let model = model.expect("has_model");
             Ok(Some(model.decode(e, &dq)?))
         })?;
-        let (failures_blob, rare_blob, col_stats) = encode_failures(&buffers)?;
+        let (failures_blob, rare_blob, col_stats, col_chains) =
+            encode_failures(&buffers, opts.numeric_probe)?;
 
         let total = codes_blob.len() + failures_blob.len() + rare_blob.len();
         if best.as_ref().is_none_or(|(t, ..)| total < *t) {
@@ -674,6 +691,7 @@ pub fn materialize_with_patches(
                 failures_blob,
                 rare_blob,
                 col_stats,
+                col_chains,
             ));
         }
         if !has_model {
@@ -681,7 +699,7 @@ pub fn materialize_with_patches(
         }
     }
     drop(encode_span);
-    let (_, code_layout, codes_blob, failures_blob, rare_blob, col_stats) =
+    let (_, code_layout, codes_blob, failures_blob, rare_blob, col_stats, col_chains) =
         best.expect("at least one candidate evaluated");
 
     if ds_obs::enabled() {
@@ -806,6 +824,7 @@ pub fn materialize_with_patches(
         },
         bytes,
         failure_stats: col_stats,
+        column_chains: col_chains,
     })
 }
 
@@ -815,6 +834,7 @@ fn encode_code_blob(
     quantized: &[Vec<Vec<u32>>],
     layout: &RowLayout,
     nrows: usize,
+    numeric_probe: bool,
 ) -> Result<Vec<u8>> {
     let k = quantized
         .iter()
@@ -837,7 +857,7 @@ fn encode_code_blob(
         .enumerate()
         .map(|(d, v)| (format!("code{d}"), parq::ParqColumn::U32(v)))
         .collect();
-    let (blob, _) = parq::write_table(&named)?;
+    let (blob, _) = parq::write_table_opts(&named, numeric_probe)?;
     Ok(blob)
 }
 

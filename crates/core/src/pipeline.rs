@@ -68,6 +68,13 @@ pub struct DsConfig {
     /// decode shards in parallel — or only those intersecting a requested
     /// row range ([`decompress_rows`]).
     pub shard_rows: usize,
+    /// Let the per-chunk constant/FoR numeric model
+    /// ([`ds_codec::registry::FOR_MODEL`]) compete for u32 streams. Off
+    /// by default so archive bytes stay identical to earlier builds;
+    /// when on, sharded containers record the per-column codec chains in
+    /// their manifest so readers can negotiate (an unknown id surfaces
+    /// as a typed `UnknownCodec` error, never a misparse).
+    pub numeric_probe: bool,
 }
 
 impl Default for DsConfig {
@@ -93,6 +100,7 @@ impl Default for DsConfig {
             order_free: false,
             weight_truncate_bits: 16,
             shard_rows: 0,
+            numeric_probe: false,
         }
     }
 }
@@ -365,6 +373,7 @@ impl TrainedCompressor {
             // scramble.
             order_free: false,
             omit_decoder,
+            numeric_probe: self.cfg.numeric_probe,
         };
         let _sp = ds_obs::span("materialize");
         crate::materialize::materialize_with_patches(
@@ -388,9 +397,15 @@ impl TrainedCompressor {
             code_bits_candidates: self.cfg.code_bits_candidates.clone(),
             order_free: self.cfg.order_free,
             omit_decoder: false,
+            numeric_probe: self.cfg.numeric_probe,
         };
         let _sp = ds_obs::span("materialize");
         materialize(table, &self.prep, self.model.as_ref(), assignments, &opts)
+    }
+
+    /// The configuration this compressor was trained under.
+    pub(crate) fn cfg(&self) -> &DsConfig {
+        &self.cfg
     }
 
     /// The gzlike-compressed decoder weights (empty when no model) — the
@@ -415,6 +430,7 @@ pub fn compress(table: &Table, cfg: &DsConfig) -> Result<DsArchive> {
             bytes: out.sink,
             breakdown: out.breakdown,
             failure_stats: Vec::new(),
+            column_chains: Vec::new(),
         });
     }
     let _root = ds_obs::span("compress");

@@ -321,7 +321,19 @@ fn encode_window<W: Write>(
                     breakdown.codes += b.codes;
                     breakdown.failures += b.failures;
                     let rows = groups.get(j).map(Table::nrows).unwrap_or(0);
-                    if let Err(e) = writer.push_shard(rows, archive.as_bytes()) {
+                    // Record per-column codec chains in the manifest only
+                    // when the probe is on: the default path must produce
+                    // byte-identical containers to earlier builds.
+                    let push = if trained.cfg().numeric_probe {
+                        writer.push_shard_with_chains(
+                            rows,
+                            archive.as_bytes(),
+                            archive.column_chains().to_vec(),
+                        )
+                    } else {
+                        writer.push_shard(rows, archive.as_bytes())
+                    };
+                    if let Err(e) = push {
                         first_err = Some(shard_failed(j, e.into()));
                     }
                 }
@@ -667,6 +679,7 @@ mod tests {
             bytes: reference.sink,
             breakdown: reference.breakdown,
             failure_stats: Vec::new(),
+            column_chains: Vec::new(),
         };
         let restored = decompress(&archive).unwrap();
         assert_eq!(restored.nrows(), t.nrows());
@@ -682,6 +695,7 @@ mod tests {
             bytes: out.sink,
             breakdown: out.breakdown,
             failure_stats: Vec::new(),
+            column_chains: Vec::new(),
         };
         assert_eq!(decompress(&archive).unwrap().nrows(), 0);
     }
@@ -764,6 +778,7 @@ mod tests {
             bytes: out.sink,
             breakdown: out.breakdown,
             failure_stats: Vec::new(),
+            column_chains: Vec::new(),
         };
         let restored = decompress(&archive).unwrap();
         assert_eq!(restored.nrows(), t.nrows());

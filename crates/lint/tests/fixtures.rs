@@ -18,7 +18,7 @@ fn lint_fixtures() -> Vec<Finding> {
     let toml = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
     let cfg = Config::parse(&toml).expect("fixture config parses");
     let (files, findings) = lint_root(&root, &cfg).expect("lint_root");
-    assert_eq!(files, 13, "fixture tree should scan exactly 13 files");
+    assert_eq!(files, 14, "fixture tree should scan exactly 14 files");
     findings
 }
 
@@ -133,6 +133,20 @@ fn tainted_alloc_catches_planted_manifest_len_two_deep() {
         two_deep.message.contains("stage_one"),
         "message should name the sinking callee: {}",
         two_deep.message
+    );
+}
+
+#[test]
+fn tainted_alloc_covers_codec_chain_and_footer_length_reads() {
+    let findings = lint_fixtures();
+    // Line 24: the chain-dictionary count (a default varint source)
+    // sizing `with_capacity` uncapped. Line 37: the footer's declared
+    // manifest size (config-extended `footer_manifest_len` source)
+    // sizing `vec![_; n]`. The bounded twins (lines 31 and 43) are
+    // silent.
+    assert_eq!(
+        rule_lines(&findings, "crates/taint/src/chains.rs"),
+        vec![("tainted-alloc", 24), ("tainted-alloc", 37)]
     );
 }
 

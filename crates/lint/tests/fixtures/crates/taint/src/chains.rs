@@ -1,0 +1,44 @@
+//! Codec-chain fixtures: the manifest's chain section carries
+//! attacker-declared counts (chains, ids per chain) and the footer a
+//! declared manifest size — all must be bounded before they size memory.
+
+pub struct ChainRd {
+    pos: usize,
+}
+
+impl ChainRd {
+    pub fn read_varint_u32(&mut self) -> u32 {
+        self.pos += 1;
+        self.pos as u32
+    }
+
+    pub fn footer_manifest_len(&self) -> usize {
+        self.pos
+    }
+}
+
+/// TP: the declared chain-dictionary size reaches the allocation with no
+/// cap — a forged manifest could demand gigabytes.
+pub fn parse_chain_dict(r: &mut ChainRd) -> Vec<u32> {
+    let n_chains = r.read_varint_u32() as usize;
+    Vec::with_capacity(n_chains)
+}
+
+/// TN: the same read bounded by the dictionary cap first.
+pub fn parse_chain_dict_bounded(r: &mut ChainRd) -> Vec<u32> {
+    let n_chains = r.read_varint_u32() as usize;
+    Vec::with_capacity(n_chains.min(1 << 16))
+}
+
+/// TP via the config-extended `footer_manifest_len` source: the footer's
+/// declared manifest size sizes a buffer unbounded.
+pub fn slurp_manifest(r: &ChainRd) -> Vec<u8> {
+    let len = r.footer_manifest_len();
+    vec![0u8; len]
+}
+
+/// TN: capped against the actual container size before allocating.
+pub fn slurp_manifest_bounded(r: &ChainRd, container: usize) -> Vec<u8> {
+    let len = r.footer_manifest_len();
+    vec![0u8; len.min(container)]
+}

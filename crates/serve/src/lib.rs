@@ -203,6 +203,9 @@ struct ArchiveInner<R: ReadAt> {
     decoder: ShardDecoder,
     cache: ShardCache,
     schema: OnceLock<Schema>,
+    /// Per-column codec chains from the manifest's chain section; `None`
+    /// for containers written before chain recording (legacy chain).
+    chains: Option<ds_shard::ShardChains>,
 }
 
 /// A shared, thread-safe handle to an open sharded archive.
@@ -277,8 +280,40 @@ impl<R: ReadAt> Archive<R> {
                 decoder,
                 cache: ShardCache::new(cache_bytes),
                 schema: OnceLock::new(),
+                chains: parsed.chains,
             }),
         })
+    }
+
+    /// Per-column codec chains recorded in the manifest; `None` for
+    /// containers that predate chain recording (they decode through the
+    /// implicit legacy chain).
+    pub fn codec_chains(&self) -> Option<&ds_shard::ShardChains> {
+        self.inner.chains.as_ref()
+    }
+
+    /// Compact codec summary for `STAT`: the distinct registry codec
+    /// names appearing in any recorded chain (first-appearance order,
+    /// comma-joined), or `legacy` when the manifest has no chain section.
+    /// Unknown ids cannot reach here — manifest parsing rejects them.
+    pub fn codec_summary(&self) -> String {
+        let Some(chains) = &self.inner.chains else {
+            return "legacy".to_owned();
+        };
+        let mut names: Vec<&'static str> = Vec::new();
+        for chain in chains.dict() {
+            for &id in chain {
+                let name = ds_codec::registry::name(id).unwrap_or("unknown");
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+        if names.is_empty() {
+            "identity".to_owned()
+        } else {
+            names.join(",")
+        }
     }
 
     /// Total logical rows in the archive.
@@ -710,7 +745,37 @@ mod tests {
             full.schema().len()
         ));
         assert!(text.starts_with(&want), "got: {text}");
+        // The fixture predates chain recording, so STAT reports the
+        // implicit legacy chain (the field itself must always be present).
+        assert!(text.contains(" codecs=legacy\n"), "got: {text}");
         assert!(text.contains("\nERR unknown request `FROB`"), "got: {text}");
         assert!(text.ends_with("BYE\n"), "got: {text}");
+    }
+
+    #[test]
+    fn stat_reports_recorded_codec_chains() {
+        use ds_codec::registry;
+        let t = gen::monitor_like(90, 11);
+        let cfg = ds_core::DsConfig {
+            error_threshold: 0.05,
+            max_epochs: 2,
+            shard_rows: 30,
+            numeric_probe: true,
+            ..Default::default()
+        };
+        let mut bytes = Vec::new();
+        ds_core::compress_sharded_to(&t, &cfg, &mut bytes).expect("compresses");
+        let archive = Archive::open(bytes).expect("opens");
+        let summary = archive.codec_summary();
+        assert_ne!(summary, "legacy");
+        // Every name in the summary is a registry name (no raw ids leak).
+        for name in summary.split(',') {
+            assert!(
+                registry::descriptors().iter().any(|d| d.name == name),
+                "unregistered name `{name}` in `{summary}`"
+            );
+        }
+        let chains = archive.codec_chains().expect("chains recorded");
+        assert_eq!(chains.n_cols(), t.ncols());
     }
 }

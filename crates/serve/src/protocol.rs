@@ -10,8 +10,10 @@
 //!
 //! * `GET a..b` → `OK <n>` followed by `n` CSV data rows (no header).
 //! * `STAT`     → `OK rows=<r> shards=<s> cols=<c> cache_entries=<e>
-//!   cache_bytes=<b> hits=<h> misses=<m> evictions=<v> errors=<x>` on
-//!   one line (fields only ever append, for old clients).
+//!   cache_bytes=<b> hits=<h> misses=<m> evictions=<v> errors=<x>
+//!   codecs=<names>` on one line (fields only ever append, for old
+//!   clients). `codecs` is the comma-joined set of registry codec names
+//!   in the manifest's chain section, or `legacy` when absent.
 //! * `METRICS`  → `OK <nbytes>` followed by exactly `nbytes` bytes of
 //!   Prometheus-style text exposition (see [`metrics_text`]).
 //! * `QUIT`     → `BYE`, then the connection closes.
@@ -186,7 +188,7 @@ pub fn serve_connection<R: ReadAt, I: BufRead, O: Write>(
                         writeln!(
                             output,
                             "OK rows={} shards={} cols={} cache_entries={} cache_bytes={} \
-                             hits={} misses={} evictions={} errors={}",
+                             hits={} misses={} evictions={} errors={} codecs={}",
                             archive.total_rows(),
                             archive.n_shards(),
                             schema.len(),
@@ -196,6 +198,7 @@ pub fn serve_connection<R: ReadAt, I: BufRead, O: Write>(
                             misses,
                             evictions,
                             summary.errors,
+                            archive.codec_summary(),
                         )?;
                     }
                     Err(e) => {

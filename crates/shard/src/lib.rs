@@ -26,9 +26,24 @@
 //!               "rows" U32  per-shard row count
 //!               "len"  I64  per-shard byte length
 //!               "crc"  U32  per-shard CRC-32 (IEEE) of the blob bytes
+//!           | section*                          (optional, appended)
+//!
+//! section  := tag u8 | len-prefixed body
+//!   tag 1  := per-shard per-column codec chains (see [`ShardChains`]):
+//!             varint n_cols | varint n_dict
+//!             | n_dict x (varint chain_len | chain_len x varint codec_id)
+//!             | (n_shards * n_cols) x varint dict_index
 //!
 //! footer   := manifest_len u32 LE | version u8 | magic b"DSRG"
 //! ```
+//!
+//! Sections are a *backward-compatible* manifest extension (still
+//! container v2): an archive that records none is byte-identical to the
+//! pre-section format, readers skip section tags they do not know, and a
+//! manifest with no sections decodes via the implicit legacy codec
+//! chain. Codec ids inside a chain section are validated against
+//! [`ds_codec::registry`] at parse time — an id from the future surfaces
+//! as the typed [`CodecError::UnknownCodec`], never a panic.
 //!
 //! Shard byte offsets are not stored — they are the prefix sums of the
 //! `len` column, which the reader reconstructs and cross-checks against
@@ -47,7 +62,7 @@
 use std::io::Write;
 use std::ops::Range;
 
-use ds_codec::{crc32, parq, ByteReader, ByteWriter, CodecError};
+use ds_codec::{crc32, parq, registry, ByteReader, ByteWriter, CodecError};
 
 /// Trailing magic identifying a v2 sharded container.
 pub const FOOTER_MAGIC: &[u8; 4] = b"DSRG";
@@ -57,6 +72,19 @@ pub const FORMAT_VERSION: u8 = 1;
 
 /// Fixed footer size: `manifest_len: u32` + `version: u8` + magic.
 pub const FOOTER_LEN: usize = 9;
+
+/// Manifest section tag carrying per-shard per-column codec chains.
+pub const SECTION_CODEC_CHAINS: u8 = 1;
+
+/// Hard ceiling on one recorded codec chain's length. Real chains are
+/// 1–4 stages; beyond this the manifest is corrupt, not ambitious.
+pub const MAX_CHAIN_LEN: usize = 16;
+
+/// Hard ceiling on distinct chains in one manifest's dictionary.
+const MAX_CHAIN_DICT: usize = 1 << 16;
+
+/// Hard ceiling on columns named by a chain section.
+const MAX_CHAIN_COLS: usize = 1 << 20;
 
 /// Errors surfaced by the container layer itself (framing, manifest,
 /// integrity). Decode errors from shard *contents* are the caller's type;
@@ -193,6 +221,96 @@ pub fn footer_manifest_len(footer: &[u8]) -> Result<usize, ShardError> {
     Ok(u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]) as usize)
 }
 
+/// Per-shard, per-column codec chains recorded in a manifest's chain
+/// section (tag [`SECTION_CODEC_CHAINS`]).
+///
+/// Chains repeat heavily across shards, so the wire format stores a
+/// dictionary of distinct chains plus one dictionary index per
+/// `(shard, column)` cell. Absence of the section means the archive
+/// predates chain recording and decodes via the implicit legacy chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardChains {
+    n_cols: usize,
+    dict: Vec<Vec<u16>>,
+    /// `n_shards * n_cols` dictionary indexes, shard-major.
+    index: Vec<u32>,
+}
+
+impl ShardChains {
+    /// Number of columns each shard records a chain for.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The distinct chains referenced by the index, in first-use order.
+    pub fn dict(&self) -> &[Vec<u16>] {
+        &self.dict
+    }
+
+    /// The codec-id chain of `col` in `shard`, outermost stage first.
+    /// `None` when either index is out of range.
+    pub fn chain(&self, shard: usize, col: usize) -> Option<&[u16]> {
+        if col >= self.n_cols {
+            return None;
+        }
+        let cell = shard.checked_mul(self.n_cols)?.checked_add(col)?;
+        let ix = *self.index.get(cell)?;
+        self.dict.get(ix as usize).map(|c| c.as_slice())
+    }
+}
+
+/// Parses one chain-section body. Every count, chain length, codec id
+/// and dictionary index is untrusted: bounds-checked, overflow-checked,
+/// and the ids validated against the registry — an unknown id surfaces
+/// as [`CodecError::UnknownCodec`] through [`ShardError::Codec`].
+fn parse_chain_section(body: &[u8], n_shards: usize) -> Result<ShardChains, ShardError> {
+    let mut r = ByteReader::new(body);
+    let n_cols = r.read_varint_usize()?;
+    if n_cols == 0 || n_cols > MAX_CHAIN_COLS {
+        return Err(ShardError::Corrupt(
+            "chain section column count implausible",
+        ));
+    }
+    let n_dict = r.read_varint_usize()?;
+    if n_dict > MAX_CHAIN_DICT {
+        return Err(ShardError::Corrupt("chain dictionary implausibly large"));
+    }
+    let mut dict = Vec::with_capacity(n_dict.min(1024));
+    for _ in 0..n_dict {
+        let len = r.read_varint_usize()?;
+        if len > MAX_CHAIN_LEN {
+            return Err(ShardError::Corrupt("codec chain too long"));
+        }
+        let mut chain = Vec::with_capacity(len);
+        for _ in 0..len {
+            let id = u16::try_from(r.read_varint()?)
+                .map_err(|_| ShardError::Corrupt("codec id exceeds u16"))?;
+            chain.push(id);
+        }
+        registry::validate_chain(&chain)?;
+        dict.push(chain);
+    }
+    let n_cells = n_shards
+        .checked_mul(n_cols)
+        .ok_or(ShardError::Corrupt("chain index size overflows"))?;
+    let mut index = Vec::with_capacity(n_cells.min(1 << 20));
+    for _ in 0..n_cells {
+        let ix = r.read_varint_u32()?;
+        if ix as usize >= dict.len() {
+            return Err(ShardError::Corrupt("chain index out of dictionary range"));
+        }
+        index.push(ix);
+    }
+    if !r.is_empty() {
+        return Err(ShardError::Corrupt("trailing bytes in chain section"));
+    }
+    Ok(ShardChains {
+        n_cols,
+        dict,
+        index,
+    })
+}
+
 /// A parsed manifest: the structural metadata of a v2 container,
 /// decoupled from the shard blobs so it can be built from a positioned
 /// read of just the manifest region (see [`footer_manifest_len`]).
@@ -204,6 +322,9 @@ pub struct ParsedManifest<'a> {
     pub shared: &'a [u8],
     /// Per-shard entries with offsets reconstructed from prefix sums.
     pub entries: Vec<ShardEntry>,
+    /// Recorded per-shard per-column codec chains; `None` for archives
+    /// written before chain recording (implicit legacy chain).
+    pub chains: Option<ShardChains>,
 }
 
 /// Parses and validates the manifest region of a container whose shard
@@ -225,9 +346,6 @@ pub fn parse_manifest(
     }
     let shared = r.read_len_prefixed()?;
     let parq_bytes = r.read_len_prefixed()?;
-    if !r.is_empty() {
-        return Err(ShardError::Corrupt("trailing bytes in manifest"));
-    }
     let mut columns = parq::read_table(parq_bytes)?.into_iter();
     let (rows, lens, crcs) = match (
         columns.next(),
@@ -278,10 +396,26 @@ pub fn parse_manifest(
     if row_start != total_rows {
         return Err(ShardError::Corrupt("shard rows do not sum to total"));
     }
+    // Optional appended sections: tag byte + len-prefixed body. Unknown
+    // tags are skipped so future manifest extensions stay readable by
+    // this build (the reverse of the codec-id rule: sections are
+    // advisory metadata, codec ids gate decodability).
+    let mut chains = None;
+    while !r.is_empty() {
+        let tag = r.read_u8()?;
+        let body = r.read_len_prefixed()?;
+        if tag == SECTION_CODEC_CHAINS {
+            if chains.is_some() {
+                return Err(ShardError::Corrupt("duplicate chain section"));
+            }
+            chains = Some(parse_chain_section(body, entries.len())?);
+        }
+    }
     Ok(ParsedManifest {
         total_rows,
         shared,
         entries,
+        chains,
     })
 }
 
@@ -319,6 +453,7 @@ pub struct ShardWriter<W: Write> {
     lens: Vec<i64>,
     crcs: Vec<u32>,
     total_rows: u64,
+    chains: Vec<Vec<Vec<u16>>>,
 }
 
 impl<W: Write> ShardWriter<W> {
@@ -332,6 +467,7 @@ impl<W: Write> ShardWriter<W> {
             lens: Vec::new(),
             crcs: Vec::new(),
             total_rows: 0,
+            chains: Vec::new(),
         }
     }
 
@@ -372,9 +508,77 @@ impl<W: Write> ShardWriter<W> {
         Ok(())
     }
 
+    /// [`push_shard`](Self::push_shard) that also records the shard's
+    /// per-column codec chains for the manifest's chain section.
+    ///
+    /// Chain recording is all-or-none: either every shard in the
+    /// container records chains (with the same column count) or none
+    /// does — [`finish`](Self::finish) rejects a mix. Ids are *not*
+    /// validated here; the writer must be able to produce test vectors
+    /// with ids from the future, and readers validate on parse.
+    pub fn push_shard_with_chains(
+        &mut self,
+        row_count: usize,
+        blob: &[u8],
+        chains: Vec<Vec<u16>>,
+    ) -> Result<(), ShardError> {
+        if chains.is_empty() {
+            return Err(ShardError::Invalid("chain list must name every column"));
+        }
+        if chains.iter().any(|c| c.len() > MAX_CHAIN_LEN) {
+            return Err(ShardError::Invalid("codec chain too long"));
+        }
+        self.push_shard(row_count, blob)?;
+        self.chains.push(chains);
+        Ok(())
+    }
+
+    /// Serializes the chain section body (dictionary + indexes).
+    fn build_chain_section(chains: &[Vec<Vec<u16>>]) -> Result<Vec<u8>, ShardError> {
+        let n_cols = chains.first().map(|c| c.len()).unwrap_or(0);
+        if chains.iter().any(|c| c.len() != n_cols) {
+            return Err(ShardError::Invalid("chain column counts disagree"));
+        }
+        let mut dict: Vec<&[u16]> = Vec::new();
+        let mut index: Vec<usize> = Vec::with_capacity(chains.len() * n_cols);
+        for shard in chains {
+            for chain in shard {
+                let ix = match dict.iter().position(|d| *d == chain.as_slice()) {
+                    Some(ix) => ix,
+                    None => {
+                        dict.push(chain);
+                        dict.len() - 1
+                    }
+                };
+                index.push(ix);
+            }
+        }
+        if dict.len() > MAX_CHAIN_DICT {
+            return Err(ShardError::Invalid("too many distinct codec chains"));
+        }
+        let mut w = ByteWriter::new();
+        w.write_varint(n_cols as u64);
+        w.write_varint(dict.len() as u64);
+        for chain in &dict {
+            w.write_varint(chain.len() as u64);
+            for &id in *chain {
+                w.write_varint(u64::from(id));
+            }
+        }
+        for ix in index {
+            w.write_varint(ix as u64); // ds-lint: allow(no-raw-cast-len) -- widening usize -> u64, lossless on every supported target
+        }
+        Ok(w.into_vec())
+    }
+
     /// Writes the manifest and footer, returning the sink and the total
     /// container size in bytes.
     pub fn finish(mut self) -> Result<(W, u64), ShardError> {
+        if !self.chains.is_empty() && self.chains.len() != self.rows.len() {
+            return Err(ShardError::Invalid(
+                "codec chains recorded for only some shards",
+            ));
+        }
         let (parq_bytes, _stats) = parq::write_table(&[
             ("rows".to_string(), parq::ParqColumn::U32(self.rows)),
             ("len".to_string(), parq::ParqColumn::I64(self.lens)),
@@ -384,6 +588,11 @@ impl<W: Write> ShardWriter<W> {
         w.write_varint(self.total_rows);
         w.write_len_prefixed(&self.shared);
         w.write_len_prefixed(&parq_bytes);
+        if !self.chains.is_empty() {
+            let body = Self::build_chain_section(&self.chains)?;
+            w.write_u8(SECTION_CODEC_CHAINS);
+            w.write_len_prefixed(&body);
+        }
         let manifest = w.into_vec();
         let manifest_len = u32::try_from(manifest.len())
             .map_err(|_| ShardError::Invalid("manifest > u32 bytes"))?;
@@ -465,6 +674,7 @@ pub struct ShardReader<'a> {
     shared: &'a [u8],
     entries: Vec<ShardEntry>,
     total_rows: usize,
+    chains: Option<ShardChains>,
 }
 
 impl<'a> ShardReader<'a> {
@@ -493,6 +703,7 @@ impl<'a> ShardReader<'a> {
             shared: manifest.shared,
             entries: manifest.entries,
             total_rows: manifest.total_rows,
+            chains: manifest.chains,
         })
     }
 
@@ -509,6 +720,12 @@ impl<'a> ShardReader<'a> {
     /// The opaque shared blob (empty if none was set).
     pub fn shared(&self) -> &'a [u8] {
         self.shared
+    }
+
+    /// Recorded per-shard per-column codec chains; `None` for archives
+    /// written before chain recording (implicit legacy chain).
+    pub fn chains(&self) -> Option<&ShardChains> {
+        self.chains.as_ref()
     }
 
     /// The parsed manifest entries, in shard order.
@@ -779,6 +996,95 @@ mod tests {
                 .0
             });
             assert_eq!(out, reference, "bytes diverged at limit {limit}");
+        }
+    }
+
+    #[test]
+    fn chain_section_roundtrips_and_dedups() {
+        let c_rle = vec![registry::RLE.raw(), registry::GZLIKE.raw()];
+        let c_dict = vec![registry::DICT.raw(), registry::BITPACK.raw()];
+        let mut w = ShardWriter::new(Vec::new());
+        w.push_shard_with_chains(3, b"s0", vec![c_rle.clone(), c_dict.clone()])
+            .unwrap();
+        w.push_shard_with_chains(3, b"s1", vec![c_rle.clone(), c_rle.clone()])
+            .unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        let r = ShardReader::open(&bytes).unwrap();
+        let chains = r.chains().expect("chains recorded");
+        assert_eq!(chains.n_cols(), 2);
+        // Three cells share c_rle: the dictionary holds 2 entries only.
+        assert_eq!(chains.dict().len(), 2);
+        assert_eq!(chains.chain(0, 0), Some(c_rle.as_slice()));
+        assert_eq!(chains.chain(0, 1), Some(c_dict.as_slice()));
+        assert_eq!(chains.chain(1, 1), Some(c_rle.as_slice()));
+        assert_eq!(chains.chain(2, 0), None);
+        assert_eq!(chains.chain(0, 2), None);
+    }
+
+    #[test]
+    fn archives_without_chains_parse_as_legacy() {
+        let bytes = build(&[(5, b"blob")], b"");
+        let r = ShardReader::open(&bytes).unwrap();
+        assert!(r.chains().is_none());
+    }
+
+    #[test]
+    fn chain_recording_is_all_or_none() {
+        let mut w = ShardWriter::new(Vec::new());
+        w.push_shard_with_chains(1, b"a", vec![vec![registry::RLE.raw()]])
+            .unwrap();
+        w.push_shard(1, b"b").unwrap();
+        assert!(matches!(w.finish(), Err(ShardError::Invalid(_))));
+    }
+
+    #[test]
+    fn forged_codec_id_is_typed_unknown_on_open() {
+        // The writer deliberately does not validate ids, so an archive
+        // naming a codec from the future can be built — and the reader
+        // must reject it with the typed error, not a panic.
+        let mut w = ShardWriter::new(Vec::new());
+        w.push_shard_with_chains(2, b"blob", vec![vec![0xBEEF]])
+            .unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        assert!(matches!(
+            ShardReader::open(&bytes),
+            Err(ShardError::Codec(CodecError::UnknownCodec(0xBEEF)))
+        ));
+    }
+
+    #[test]
+    fn unknown_manifest_sections_are_skipped() {
+        // Append a section with an unassigned tag to a plain manifest;
+        // the reader must ignore it and still decode the container.
+        let mut w = ShardWriter::new(Vec::new());
+        w.push_shard(2, b"blob").unwrap();
+        let (mut bytes, _) = w.finish().unwrap();
+        let footer = bytes.split_off(bytes.len() - FOOTER_LEN);
+        let old_len = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+        let mut section = ByteWriter::new();
+        section.write_u8(200);
+        section.write_len_prefixed(b"future metadata");
+        let extra = section.into_vec();
+        bytes.extend_from_slice(&extra);
+        bytes.extend_from_slice(&(old_len + extra.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&footer[4..]);
+        let r = ShardReader::open(&bytes).unwrap();
+        assert_eq!(r.shard_bytes(0).unwrap(), b"blob");
+        assert!(r.chains().is_none());
+    }
+
+    #[test]
+    fn corrupt_chain_sections_error_not_panic() {
+        let chain = vec![registry::DICT.raw(), registry::RLE.raw()];
+        let mut w = ShardWriter::new(Vec::new());
+        w.push_shard_with_chains(2, b"blob", vec![chain]).unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        assert!(ShardReader::open(&bytes).is_ok());
+        // Flip every byte of the manifest region one at a time.
+        for i in (bytes.len().saturating_sub(64))..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let _ = ShardReader::open(&bad); // error or success, never panic
         }
     }
 

@@ -72,11 +72,23 @@ if [ "$mode" = "full" ]; then
   ./target/release/dsqz gen monitor 200 "$smoke_dir/s.csv"
   ./target/release/dsqz compress "$smoke_dir/s.csv" "$smoke_dir/s.dsqz" \
     --epochs 3 --shard-rows 50 --quiet
+  echo "==> dsqz recompress (archive-as-source: byte-identity + chains)"
+  ./target/release/dsqz recompress "$smoke_dir/s.dsqz" "$smoke_dir/s2.dsqz" \
+    --epochs 3 --shard-rows 50 --quiet
+  cmp "$smoke_dir/s.dsqz" "$smoke_dir/s2.dsqz"
+  ./target/release/dsqz inspect "$smoke_dir/s2.dsqz" \
+    | grep -q 'codec chains: legacy'
+  ./target/release/dsqz recompress "$smoke_dir/s.dsqz" "$smoke_dir/s3.dsqz" \
+    --epochs 3 --shard-rows 50 --numeric-probe --quiet
+  ./target/release/dsqz inspect "$smoke_dir/s3.dsqz" \
+    | grep -q 'codec chains (shard 0 column streams):'
+
   printf 'GET 10..20\nSTAT\nMETRICS\nQUIT\n' \
     | ./target/release/dsqz serve "$smoke_dir/s.dsqz" \
     > "$smoke_dir/stdio.out"
   grep -q '^OK rows=200' "$smoke_dir/stdio.out"
   grep -q 'errors=0' "$smoke_dir/stdio.out"
+  grep -q 'codecs=legacy' "$smoke_dir/stdio.out"
   grep -q '^serve_archive_rows 200$' "$smoke_dir/stdio.out"
   grep -q '^serve_requests_by_verb_total{label="get"} 1$' "$smoke_dir/stdio.out"
 
